@@ -1,0 +1,194 @@
+//! Criterion benchmarks for the framework's components. The headline is
+//! the StatStack fit/query time — the paper's pitch is that statistical
+//! modeling replaces "prohibitively slow" cache simulation ("typically
+//! takes less than a minute"; this implementation fits in milliseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CBid, Criterion, Throughput};
+use repf_cache::{CacheConfig, FunctionalCacheSim, MemorySystem};
+use repf_core::analyze;
+use repf_sampling::{Sampler, SamplerConfig};
+use repf_sim::{amd_phenom_ii, CoreSetup, Sim};
+use repf_statstack::StatStackModel;
+use repf_trace::patterns::{StridedStream, StridedStreamCfg};
+use repf_trace::{Pc, TraceSource, TraceSourceExt};
+use repf_workloads::{build, BenchmarkId, BuildOptions};
+
+const N_REFS: u64 = 200_000;
+
+fn workload(id: BenchmarkId) -> repf_workloads::Workload {
+    build(
+        id,
+        &BuildOptions {
+            refs_scale: N_REFS as f64 / 2_000_000.0,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-generation");
+    g.throughput(Throughput::Elements(N_REFS));
+    for id in [BenchmarkId::Libquantum, BenchmarkId::Mcf, BenchmarkId::Gcc] {
+        g.bench_with_input(CBid::from_parameter(id.name()), &id, |b, &id| {
+            b.iter(|| {
+                let mut w = workload(id);
+                let mut n = 0u64;
+                while w.next_ref().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampler");
+    g.throughput(Throughput::Elements(N_REFS));
+    for period in [100u64, 1009, 100_000] {
+        g.bench_with_input(CBid::new("period", period), &period, |b, &period| {
+            let sampler = Sampler::new(SamplerConfig {
+                sample_period: period,
+                line_bytes: 64,
+                seed: 1,
+            });
+            b.iter(|| {
+                let mut w = workload(BenchmarkId::Mcf);
+                sampler.profile(&mut w)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_statstack(c: &mut Criterion) {
+    // Fit + full MRC query — the paper's "fast cache modeling" claim.
+    let sampler = Sampler::new(SamplerConfig {
+        sample_period: 101,
+        line_bytes: 64,
+        seed: 1,
+    });
+    let mut w = workload(BenchmarkId::Mcf);
+    let profile = sampler.profile(&mut w);
+    let mut g = c.benchmark_group("statstack");
+    g.bench_function("fit", |b| b.iter(|| StatStackModel::from_profile(&profile)));
+    let model = StatStackModel::from_profile(&profile);
+    g.bench_function("application-mrc-11-sizes", |b| {
+        b.iter(|| {
+            repf_statstack::curve::figure3_sizes()
+                .into_iter()
+                .map(|s| model.miss_ratio_bytes(s))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("full-analysis-pipeline", |b| {
+        let cfg = amd_phenom_ii().analysis_config(6.0);
+        b.iter(|| analyze(&profile, &cfg))
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache-simulation");
+    g.throughput(Throughput::Elements(N_REFS));
+    g.bench_function("functional-64k-2way", |b| {
+        b.iter(|| {
+            let mut sim = FunctionalCacheSim::new(CacheConfig::new(64 << 10, 2, 64));
+            let mut w = workload(BenchmarkId::Mcf);
+            sim.run(&mut w);
+            sim.totals().misses
+        })
+    });
+    g.bench_function("memory-system-demand-stream", |b| {
+        b.iter(|| {
+            let m = amd_phenom_ii();
+            let mut mem = MemorySystem::new(1, m.hierarchy);
+            let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 1 << 30, 64, 1))
+                .take_refs(N_REFS);
+            let mut now = 0u64;
+            while let Some(r) = src.next_ref() {
+                now += 2 + mem.demand_access(0, r, now).latency;
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+fn bench_timing_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing-simulation");
+    g.throughput(Throughput::Elements(N_REFS));
+    let m = amd_phenom_ii();
+    g.bench_function("solo-baseline", |b| {
+        b.iter(|| {
+            let w = workload(BenchmarkId::Gcc);
+            let base_cpr = w.base_cpr;
+            let target_refs = w.nominal_refs;
+            Sim::run_solo(
+                &m,
+                CoreSetup {
+                    source: Box::new(w.cycle()),
+                    base_cpr,
+                    plan: None,
+                    hw: None,
+                    target_refs,
+                },
+            )
+            .cycles
+        })
+    });
+    g.bench_function("solo-hardware-prefetch", |b| {
+        b.iter(|| {
+            let w = workload(BenchmarkId::Gcc);
+            let base_cpr = w.base_cpr;
+            let target_refs = w.nominal_refs;
+            Sim::run_solo(
+                &m,
+                CoreSetup {
+                    source: Box::new(w.cycle()),
+                    base_cpr,
+                    plan: None,
+                    hw: Some(m.make_hw_prefetcher()),
+                    target_refs,
+                },
+            )
+            .cycles
+        })
+    });
+    g.throughput(Throughput::Elements(4 * N_REFS / 4));
+    g.bench_function("mix-4core-baseline", |b| {
+        b.iter(|| {
+            let setups = (0..4)
+                .map(|i| {
+                    let w = build(
+                        BenchmarkId::Lbm,
+                        &BuildOptions {
+                            refs_scale: N_REFS as f64 / 4.0 / 2_000_000.0,
+                            addr_offset: ((i + 1) as u64) << 45,
+                            ..Default::default()
+                        },
+                    );
+                    let base_cpr = w.base_cpr;
+                    let target_refs = w.nominal_refs;
+                    CoreSetup {
+                        source: Box::new(w.cycle()),
+                        base_cpr,
+                        plan: None,
+                        hw: None,
+                        target_refs,
+                    }
+                })
+                .collect();
+            Sim::run_mix(&m, setups).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_generation, bench_sampler, bench_statstack, bench_caches, bench_timing_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the figure-regeneration pipelines at reduced
+//! scale — wall-clock guards so `cargo bench` exercises the experiment
+//! paths end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repf_sim::{prepare, run_mix, run_policy, MixSpec, PlanCache, Policy};
+use repf_workloads::{BenchmarkId, BuildOptions, InputSet};
+
+fn small() -> BuildOptions {
+    BuildOptions {
+        refs_scale: 0.05,
+        ..Default::default()
+    }
+}
+
+fn bench_fig4_row(c: &mut Criterion) {
+    // One Figure-4 cell: profile + analyze + one policy run.
+    let m = repf_sim::amd_phenom_ii();
+    c.bench_function("fig4-one-benchmark-one-policy", |b| {
+        b.iter(|| {
+            let plans = prepare(BenchmarkId::Libquantum, &m, &small());
+            run_policy(BenchmarkId::Libquantum, &m, &plans, Policy::SoftwareNt, &small()).cycles
+        })
+    });
+}
+
+fn bench_fig7_mix(c: &mut Criterion) {
+    // One Figure-7 mix under one policy (plans prebuilt, as in the study).
+    let m = repf_sim::intel_i7_2600k();
+    let cache = PlanCache::build(&m, &small());
+    let spec = MixSpec {
+        apps: [
+            BenchmarkId::Cigar,
+            BenchmarkId::Gcc,
+            BenchmarkId::Lbm,
+            BenchmarkId::Libquantum,
+        ],
+    };
+    c.bench_function("fig7-one-mix-one-policy", |b| {
+        b.iter(|| {
+            run_mix(&spec, &m, Policy::SoftwareNt, &cache, [InputSet::Ref; 4], 0.05)
+                .makespan_cycles()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4_row, bench_fig7_mix
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Development aid: dump per-benchmark speedups, traffic, coverage and
+//! plan details for both machines — the data behind Figures 4–6 and
+//! Table I in one view, used to calibrate the workload analogs.
+
+use repf_bench::soloeval::evaluate_all;
+use repf_bench::{env_scale, machines, print_header};
+use repf_metrics::{table::pct, Table};
+use repf_sim::Policy;
+
+fn main() {
+    print_header("calibration dump (Figures 4-6 + Table I ingredients)");
+    let scale = env_scale();
+    for m in machines() {
+        println!("\n### {} ###", m.name);
+        let evals = evaluate_all(&m, scale);
+        let mut t = Table::new(vec![
+            "bench", "HW", "SW", "SW+NT", "SC", "tr.HW", "tr.SWNT", "tr.SC", "BW.base", "BW.HW",
+            "BW.SWNT", "plan", "nta", "sc-plan", "delta",
+        ]);
+        for e in &evals {
+            t.row(vec![
+                e.id.name().to_string(),
+                pct(e.speedup(Policy::Hardware) - 1.0),
+                pct(e.speedup(Policy::Software) - 1.0),
+                pct(e.speedup(Policy::SoftwareNt) - 1.0),
+                pct(e.speedup(Policy::StrideCentric) - 1.0),
+                pct(e.traffic_increase(Policy::Hardware)),
+                pct(e.traffic_increase(Policy::SoftwareNt)),
+                pct(e.traffic_increase(Policy::StrideCentric)),
+                format!("{:.2}", e.bandwidth_gbps(Policy::Baseline, &m)),
+                format!("{:.2}", e.bandwidth_gbps(Policy::Hardware, &m)),
+                format!("{:.2}", e.bandwidth_gbps(Policy::SoftwareNt, &m)),
+                format!("{}", e.plans.plan_nt.len()),
+                format!("{}", e.plans.plan_nt.nta_count()),
+                format!("{}", e.plans.stride_centric.len()),
+                format!("{:.2}", e.plans.delta),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

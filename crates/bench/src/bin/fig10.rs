@@ -1,0 +1,12 @@
+//! Regenerate Figure 10 (fair speedup).
+use repf_bench::figs::mixfigs;
+fn main() {
+    repf_bench::print_header("Figure 10: Fair-Speedup across mixed workloads");
+    let studies = mixfigs::run_studies(
+        repf_bench::env_mixes(),
+        repf_bench::env_scale(),
+        repf_bench::env_mix_scale(),
+        true,
+    );
+    mixfigs::print_fig10(&studies);
+}

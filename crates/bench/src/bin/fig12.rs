@@ -1,0 +1,5 @@
+//! Regenerate Figure 12 (parallel workloads).
+fn main() {
+    repf_bench::print_header("Figure 12: parallel workloads at 1/2/4 threads (Intel)");
+    repf_bench::figs::fig12::run(repf_bench::env_scale());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 3 (miss-ratio curves for mcf).
+fn main() {
+    repf_bench::print_header("Figure 3: Miss Ratio Modeling (mcf)");
+    repf_bench::figs::fig3::run(repf_bench::env_scale());
+}

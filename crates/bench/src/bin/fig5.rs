@@ -1,0 +1,6 @@
+//! Regenerate Figure 5 (off-chip traffic increases).
+use repf_bench::figs::fig456::{run, Which};
+fn main() {
+    repf_bench::print_header("Figure 5: Increase in data volume fetched from DRAM");
+    run(repf_bench::env_scale(), Which::Fig5);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (average off-chip bandwidth).
+use repf_bench::figs::fig456::{run, Which};
+fn main() {
+    repf_bench::print_header("Figure 6: Average memory bandwidth");
+    run(repf_bench::env_scale(), Which::Fig6);
+}

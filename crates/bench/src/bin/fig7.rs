@@ -1,0 +1,12 @@
+//! Regenerate Figure 7 (180-mix throughput and traffic distributions).
+use repf_bench::figs::mixfigs;
+fn main() {
+    repf_bench::print_header("Figure 7: 180 mixed workloads - throughput and off-chip traffic");
+    let studies = mixfigs::run_studies(
+        repf_bench::env_mixes(),
+        repf_bench::env_scale(),
+        repf_bench::env_mix_scale(),
+        false,
+    );
+    mixfigs::print_fig7(&studies);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 8 (the cigar/gcc/lbm/libquantum mix on Intel).
+fn main() {
+    repf_bench::print_header("Figure 8: the mix where software prefetching wins the most (Intel)");
+    repf_bench::figs::fig8::run(repf_bench::env_scale(), repf_bench::env_mix_scale());
+}

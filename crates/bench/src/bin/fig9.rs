@@ -1,0 +1,12 @@
+//! Regenerate Figure 9 (mixes with different inputs).
+use repf_bench::figs::mixfigs;
+fn main() {
+    repf_bench::print_header("Figure 9: mixed workloads with different inputs");
+    let studies = mixfigs::run_studies(
+        repf_bench::env_mixes(),
+        repf_bench::env_scale(),
+        repf_bench::env_mix_scale(),
+        true,
+    );
+    mixfigs::print_fig9(&studies);
+}

@@ -1,0 +1,26 @@
+//! Run the complete reproduction: every table and figure of the paper, in
+//! order. Budget ~20-40 minutes at default scale; set `REPF_MIXES` /
+//! `REPF_MIX_SCALE` / `REPF_SCALE` to shrink.
+use repf_bench::figs;
+
+fn main() {
+    repf_bench::print_header("repf: full reproduction of every table and figure");
+    let scale = repf_bench::env_scale();
+    figs::fig3::run(scale);
+    figs::statstack_cov::run(scale);
+    figs::table1::run(scale);
+    figs::fig456::run(scale, figs::fig456::Which::All);
+    let studies = figs::mixfigs::run_studies(
+        repf_bench::env_mixes(),
+        scale,
+        repf_bench::env_mix_scale(),
+        true,
+    );
+    figs::mixfigs::print_fig7(&studies);
+    figs::mixfigs::print_fig9(&studies);
+    figs::mixfigs::print_fig10(&studies);
+    figs::mixfigs::print_fig11(&studies);
+    figs::fig8::run(scale, repf_bench::env_mix_scale());
+    figs::fig12::run(scale);
+    println!("\nDone. Paper-vs-measured commentary lives in EXPERIMENTS.md.");
+}

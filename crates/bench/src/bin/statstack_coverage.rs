@@ -1,0 +1,5 @@
+//! Regenerate the §IV StatStack coverage numbers.
+fn main() {
+    repf_bench::print_header("StatStack coverage vs functional simulation (paper SIV)");
+    repf_bench::figs::statstack_cov::run(repf_bench::env_scale());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table I. See `repf_bench::figs::table1`.
+fn main() {
+    repf_bench::print_header("Table I: Prefetch Coverage & Minimization");
+    repf_bench::figs::table1::run(repf_bench::env_scale());
+}

@@ -1,0 +1,73 @@
+//! Figure 3: miss-ratio modeling — the application-average curve of mcf
+//! and the curve of one frequently executed (delinquent) load, both
+//! produced by StatStack, over cache sizes 8 kB – 8 MB with the AMD
+//! Phenom II L1/L2/LLC sizes marked.
+
+use repf_metrics::Table;
+use repf_sampling::{Sampler, SamplerConfig};
+use repf_sim::amd_phenom_ii;
+use repf_statstack::curve::{figure3_sizes, human_size};
+use repf_statstack::StatStackModel;
+use repf_workloads::{build, BenchmarkId, BuildOptions};
+
+/// Regenerate Figure 3.
+pub fn run(refs_scale: f64) {
+    let machine = amd_phenom_ii();
+    let mut w = build(
+        BenchmarkId::Mcf,
+        &BuildOptions {
+            refs_scale: refs_scale * repf_sim::solo::PROFILE_WINDOW,
+            ..Default::default()
+        },
+    );
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: machine.profile_period,
+        line_bytes: 64,
+        seed: 0x0F16_0003,
+    })
+    .profile(&mut w);
+    let model = StatStackModel::from_profile(&profile);
+
+    // The "frequently executed load" of the paper: the sampled load with
+    // the most samples that actually misses somewhere.
+    let hot_pc = model
+        .sampled_pcs()
+        .into_iter()
+        .filter(|&pc| model.pc_miss_ratio_bytes(pc, 64 * 1024).unwrap_or(0.0) > 0.3)
+        .max_by_key(|&pc| model.pc_sample_count(pc))
+        .expect("mcf has delinquent loads");
+
+    println!("# Figure 3: StatStack miss-ratio curves for mcf (AMD cache sizes marked)");
+    println!(
+        "# marks: L1$ = 64k, L2$ = 512k, LLC = 6M  |  {} samples, 1-in-{} sampling",
+        model.sample_count(),
+        machine.profile_period
+    );
+    let mut t = Table::new(vec!["cache size", "per-instruction", "average", ""]);
+    for size in figure3_sizes() {
+        let avg = model.miss_ratio_bytes(size);
+        let pc = model.pc_miss_ratio_bytes(hot_pc, size).unwrap();
+        let mark = match size {
+            65_536 => "<- L1$",
+            524_288 => "<- L2$",
+            6_291_456 => "<- LLC",
+            _ => "",
+        };
+        t.row(vec![
+            human_size(size),
+            format!("{:5.1}%", pc * 100.0),
+            format!("{:5.1}%", avg * 100.0),
+            mark.to_string(),
+        ]);
+    }
+    // The paper's x-axis has no 6M point; print the LLC mark separately.
+    let llc = 6 << 20;
+    t.row(vec![
+        human_size(llc),
+        format!("{:5.1}%", model.pc_miss_ratio_bytes(hot_pc, llc).unwrap() * 100.0),
+        format!("{:5.1}%", model.miss_ratio_bytes(llc) * 100.0),
+        "<- LLC".to_string(),
+    ]);
+    println!("{}", t.render());
+    println!("(per-instruction curve: {hot_pc}, the hot arc-array load)\n");
+}

@@ -1,0 +1,11 @@
+//! One module per regenerated table/figure. Each `run()` prints the
+//! paper-style rows/series to stdout; the binaries in `src/bin` are thin
+//! wrappers, and `repro_all` runs everything in paper order.
+
+pub mod fig12;
+pub mod fig3;
+pub mod fig456;
+pub mod fig8;
+pub mod mixfigs;
+pub mod statstack_cov;
+pub mod table1;

@@ -1,0 +1,56 @@
+//! Smoke tests for the figure-regeneration harness itself: the shared
+//! evaluation paths behind every binary run end to end at tiny scale and
+//! produce internally consistent data.
+
+use repf_bench::mixeval::{build_cache, run_study, InputMode};
+use repf_bench::soloeval::evaluate_one;
+use repf_bench::{machines, soloeval::BenchEval};
+use repf_sim::Policy;
+use repf_workloads::BenchmarkId;
+
+#[test]
+fn solo_evaluation_is_internally_consistent() {
+    let m = repf_sim::amd_phenom_ii();
+    let e: BenchEval = evaluate_one(BenchmarkId::Libquantum, &m, 0.05);
+    // Baseline speedup is exactly 1 by definition.
+    assert!((e.speedup(Policy::Baseline) - 1.0).abs() < 1e-12);
+    assert_eq!(e.traffic_increase(Policy::Baseline), 0.0);
+    // All five policies ran the same amount of work.
+    let refs = e.outcome(Policy::Baseline).refs;
+    for p in Policy::all() {
+        assert_eq!(e.outcome(p).refs, refs, "{p}");
+        assert!(e.speedup(p) > 0.5 && e.speedup(p) < 10.0, "{p} sane");
+        assert!(e.bandwidth_gbps(p, &m) >= 0.0);
+    }
+    // The plan diagnostics line up with the runs.
+    assert_eq!(
+        e.outcome(Policy::SoftwareNt).sw_prefetches > 0,
+        !e.plans.plan_nt.is_empty()
+    );
+}
+
+#[test]
+fn mix_study_shapes_are_well_formed() {
+    let m = repf_sim::intel_i7_2600k();
+    let cache = build_cache(&m, 0.05);
+    let study = run_study(&m, &cache, 3, 42, InputMode::Original, 0.05);
+    assert_eq!(study.specs.len(), 3);
+    assert_eq!(study.hardware.len(), 3);
+    assert_eq!(study.software.len(), 3);
+    for s in study.hardware.iter().chain(&study.software) {
+        assert!(s.weighted_speedup > 0.3 && s.weighted_speedup < 10.0);
+        assert!(s.fair_speedup <= s.weighted_speedup + 1e-9);
+        assert!(s.qos <= 0.0);
+        assert!(s.traffic_increase > -1.0);
+    }
+    let d = study.dist(false, |s| s.weighted_speedup);
+    assert_eq!(d.len(), 3);
+    assert!((0.0..=1.0).contains(&study.sw_wins_fraction()));
+}
+
+#[test]
+fn both_machines_are_distinct_in_the_harness() {
+    let [amd, intel] = machines();
+    assert_ne!(amd.name, intel.name);
+    assert!(amd.hierarchy.llc.size_bytes < intel.hierarchy.llc.size_bytes);
+}

@@ -1,0 +1,169 @@
+//! A single shared DRAM channel with a fixed access latency and finite
+//! bandwidth.
+//!
+//! Bandwidth is modelled as channel occupancy: every line transfer holds
+//! the channel for `service_cycles`, and a request issued while the channel
+//! is busy queues behind it. Under multiprogrammed load this produces the
+//! growing effective memory latency that makes aggressive prefetching hurt
+//! co-runners — the central mechanism of the paper's §VII-C results.
+
+use crate::stats::DramStats;
+use serde::{Deserialize, Serialize};
+
+/// DRAM channel parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Core cycles from request issue to first data, unloaded.
+    pub latency_cycles: u64,
+    /// Channel occupancy per line transfer, in core cycles. For a machine
+    /// with peak bandwidth `B` bytes/s at frequency `f` Hz and 64 B lines
+    /// this is `64 * f / B`.
+    pub service_cycles: u64,
+    /// Line size in bytes (for traffic accounting).
+    pub line_bytes: u64,
+}
+
+impl DramConfig {
+    /// Peak bandwidth in bytes per core cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.line_bytes as f64 / self.service_cycles as f64
+    }
+}
+
+/// See the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Cycle at which the channel becomes free.
+    free_at: u64,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// A fresh, idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            cfg,
+            free_at: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration of this channel.
+    pub fn cfg(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Issue a line read at time `now`; returns the total demand-visible
+    /// latency (queue wait + access latency + transfer).
+    #[inline]
+    pub fn read(&mut self, now: u64) -> u64 {
+        let wait = self.occupy(now);
+        self.stats.reads += 1;
+        wait + self.cfg.latency_cycles + self.cfg.service_cycles
+    }
+
+    /// Issue a line writeback at time `now`. Writebacks are posted (they
+    /// occupy the channel but nothing waits for them), so no latency is
+    /// returned.
+    #[inline]
+    pub fn write(&mut self, now: u64) {
+        self.occupy(now);
+        self.stats.writes += 1;
+    }
+
+    /// Occupy the channel for one transfer; returns the queue wait.
+    #[inline]
+    fn occupy(&mut self, now: u64) -> u64 {
+        let start = self.free_at.max(now);
+        let wait = start - now;
+        self.free_at = start + self.cfg.service_cycles;
+        self.stats.queue_wait_cycles += wait;
+        self.stats.busy_cycles += self.cfg.service_cycles;
+        wait
+    }
+
+    /// Current queue pressure at `now`: how many cycles a request issued
+    /// now would wait. Hardware prefetch throttling reads this (the paper
+    /// notes modern prefetchers throttle under contention, §I).
+    #[inline]
+    pub fn pressure(&self, now: u64) -> u64 {
+        self.free_at.saturating_sub(now)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Reset counters and channel state.
+    pub fn reset(&mut self) {
+        self.free_at = 0;
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            latency_cycles: 200,
+            service_cycles: 16,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn unloaded_read_latency() {
+        let mut d = Dram::new(cfg());
+        assert_eq!(d.read(1000), 200 + 16);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().queue_wait_cycles, 0);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue() {
+        let mut d = Dram::new(cfg());
+        assert_eq!(d.read(0), 216);
+        // Second read at t=0 waits for the 16-cycle transfer.
+        assert_eq!(d.read(0), 16 + 216);
+        // Third waits for two transfers.
+        assert_eq!(d.read(0), 32 + 216);
+        assert_eq!(d.stats().queue_wait_cycles, 48);
+    }
+
+    #[test]
+    fn channel_drains_over_time() {
+        let mut d = Dram::new(cfg());
+        d.read(0);
+        assert_eq!(d.pressure(0), 16);
+        assert_eq!(d.pressure(8), 8);
+        assert_eq!(d.pressure(100), 0);
+        assert_eq!(d.read(100), 216, "idle channel again");
+    }
+
+    #[test]
+    fn writes_occupy_but_do_not_stall_issuer() {
+        let mut d = Dram::new(cfg());
+        d.write(0);
+        assert_eq!(d.stats().writes, 1);
+        // A demand read right after the writeback queues behind it.
+        assert_eq!(d.read(0), 16 + 216);
+    }
+
+    #[test]
+    fn peak_bandwidth() {
+        assert!((cfg().peak_bytes_per_cycle() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = Dram::new(cfg());
+        d.read(0);
+        d.reset();
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.pressure(0), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! A set-associative cache with true LRU replacement and per-line dirty /
+//! non-temporal state.
+//!
+//! Lines are identified by their global *line index* (`addr / line_bytes`);
+//! byte-address handling happens in the callers. Within each set, ways are
+//! kept physically ordered by recency (way 0 = MRU) — associativities in
+//! this reproduction are at most 48, so the move-to-front is a small
+//! `memmove` and only happens on the levels where traffic is already rare.
+
+use crate::config::CacheConfig;
+
+/// Per-line metadata bit flags.
+mod flag {
+    pub const VALID: u8 = 1 << 0;
+    pub const DIRTY: u8 = 1 << 1;
+    /// Filled by a non-temporal prefetch: bypasses outer levels on eviction.
+    pub const NT: u8 = 1 << 2;
+    /// Filled by a prefetch and not yet referenced by a demand access.
+    pub const PREFETCHED: u8 = 1 << 3;
+}
+
+/// A line pushed out of the cache by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Global line index of the victim.
+    pub line: u64,
+    /// Victim was dirty and must be written back somewhere.
+    pub dirty: bool,
+    /// Victim was a non-temporal line (bypass outer levels on writeback).
+    pub nt: bool,
+    /// Victim was prefetched and never demand-referenced (a useless
+    /// prefetch — the waste the paper's accuracy argument is about).
+    pub unused_prefetch: bool,
+}
+
+/// See the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    assoc: usize,
+    set_mask: u64,
+    /// `sets * assoc` tags, each set's ways ordered MRU..LRU.
+    tags: Vec<u64>,
+    /// Parallel metadata for `tags`.
+    meta: Vec<u8>,
+}
+
+impl SetAssocCache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let assoc = cfg.assoc as usize;
+        SetAssocCache {
+            cfg,
+            assoc,
+            set_mask: sets - 1,
+            tags: vec![0; (sets * cfg.assoc as u64) as usize],
+            meta: vec![0; (sets * cfg.assoc as u64) as usize],
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn cfg(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Demand access. Returns `true` on hit; promotes the line to MRU,
+    /// marks it dirty on a store, and clears its `PREFETCHED` flag (the
+    /// prefetch proved useful). The out-parameter `was_prefetched` reports
+    /// whether this is the *first* demand touch of a prefetched line.
+    #[inline]
+    pub fn access(&mut self, line: u64, store: bool, was_prefetched: &mut bool) -> bool {
+        let range = self.set_range(line);
+        let (start, end) = (range.start, range.end);
+        for w in start..end {
+            if self.meta[w] & flag::VALID != 0 && self.tags[w] == line {
+                *was_prefetched = self.meta[w] & flag::PREFETCHED != 0;
+                let mut m = self.meta[w] & !flag::PREFETCHED;
+                if store {
+                    m |= flag::DIRTY;
+                }
+                // Move to front (MRU).
+                let tag = self.tags[w];
+                self.tags.copy_within(start..w, start + 1);
+                self.meta.copy_within(start..w, start + 1);
+                self.tags[start] = tag;
+                self.meta[start] = m;
+                return true;
+            }
+        }
+        *was_prefetched = false;
+        false
+    }
+
+    /// Look up without disturbing LRU state.
+    #[inline]
+    pub fn probe(&self, line: u64) -> bool {
+        let range = self.set_range(line);
+        self.tags[range.clone()]
+            .iter()
+            .zip(&self.meta[range])
+            .any(|(&t, &m)| m & flag::VALID != 0 && t == line)
+    }
+
+    /// Insert `line` as MRU. If the line is already present its flags are
+    /// merged (dirty sticks, prefetched clears if the fill is a demand
+    /// fill) and no eviction happens. Returns the victim, if any.
+    #[inline]
+    pub fn fill(&mut self, line: u64, dirty: bool, nt: bool, prefetched: bool) -> Option<EvictedLine> {
+        let range = self.set_range(line);
+        let (start, end) = (range.start, range.end);
+        // Already present? Merge state and promote.
+        for w in start..end {
+            if self.meta[w] & flag::VALID != 0 && self.tags[w] == line {
+                let mut m = self.meta[w];
+                if dirty {
+                    m |= flag::DIRTY;
+                }
+                if !prefetched {
+                    m &= !flag::PREFETCHED;
+                }
+                if nt {
+                    m |= flag::NT;
+                }
+                self.tags.copy_within(start..w, start + 1);
+                self.meta.copy_within(start..w, start + 1);
+                self.tags[start] = line;
+                self.meta[start] = m;
+                return None;
+            }
+        }
+        // Victim = LRU way (last). Prefer an invalid way if one exists.
+        let mut victim_way = end - 1;
+        for w in start..end {
+            if self.meta[w] & flag::VALID == 0 {
+                victim_way = w;
+                break;
+            }
+        }
+        let evicted = if self.meta[victim_way] & flag::VALID != 0 {
+            let m = self.meta[victim_way];
+            Some(EvictedLine {
+                line: self.tags[victim_way],
+                dirty: m & flag::DIRTY != 0,
+                nt: m & flag::NT != 0,
+                unused_prefetch: m & flag::PREFETCHED != 0,
+            })
+        } else {
+            None
+        };
+        // Shift [start..victim_way) down one and install at MRU.
+        self.tags.copy_within(start..victim_way, start + 1);
+        self.meta.copy_within(start..victim_way, start + 1);
+        self.tags[start] = line;
+        let mut m = flag::VALID;
+        if dirty {
+            m |= flag::DIRTY;
+        }
+        if nt {
+            m |= flag::NT;
+        }
+        if prefetched {
+            m |= flag::PREFETCHED;
+        }
+        self.meta[start] = m;
+        evicted
+    }
+
+    /// Remove `line` if present, returning its state.
+    pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let range = self.set_range(line);
+        let (start, end) = (range.start, range.end);
+        for w in start..end {
+            if self.meta[w] & flag::VALID != 0 && self.tags[w] == line {
+                let m = self.meta[w];
+                let ev = EvictedLine {
+                    line,
+                    dirty: m & flag::DIRTY != 0,
+                    nt: m & flag::NT != 0,
+                    unused_prefetch: m & flag::PREFETCHED != 0,
+                };
+                // Compact: shift the ways after it up one, invalidate LRU.
+                self.tags.copy_within(w + 1..end, w);
+                self.meta.copy_within(w + 1..end, w);
+                self.meta[end - 1] = 0;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently held (O(capacity); for tests and
+    /// occupancy reporting, not the hot path).
+    pub fn occupancy(&self) -> u64 {
+        self.meta.iter().filter(|&&m| m & flag::VALID != 0).count() as u64
+    }
+
+    /// Clear all content.
+    pub fn clear(&mut self) {
+        self.meta.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways, 64 B lines.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    fn touch(c: &mut SetAssocCache, line: u64) -> bool {
+        let mut wp = false;
+        c.access(line, false, &mut wp)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!touch(&mut c, 0));
+        assert!(c.fill(0, false, false, false).is_none());
+        assert!(touch(&mut c, 0));
+        assert!(c.probe(0));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 map to set 0 (4 sets → line % 4).
+        c.fill(0, false, false, false);
+        c.fill(4, false, false, false);
+        // Touch 0 so 4 becomes LRU.
+        assert!(touch(&mut c, 0));
+        let ev = c.fill(8, false, false, false).expect("must evict");
+        assert_eq!(ev.line, 4);
+        assert!(c.probe(0) && c.probe(8) && !c.probe(4));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = tiny();
+        c.fill(0, false, false, false);
+        let mut wp = false;
+        c.access(0, true, &mut wp); // store → dirty
+        c.fill(4, false, false, false);
+        let ev = c.fill(8, false, false, false).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn fill_merges_existing_line() {
+        let mut c = tiny();
+        c.fill(0, false, false, false);
+        c.fill(4, false, false, false);
+        // Re-filling 0 merges (no eviction) and promotes it to MRU.
+        assert!(c.fill(0, true, false, false).is_none());
+        let ev = c.fill(8, false, false, false).unwrap();
+        assert_eq!(ev.line, 4, "0 was promoted by the merge, so 4 is LRU");
+    }
+
+    #[test]
+    fn nt_flag_rides_along() {
+        let mut c = tiny();
+        c.fill(0, false, true, true);
+        c.fill(4, false, false, false);
+        touch(&mut c, 4);
+        let ev = c.fill(8, false, false, false).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(ev.nt);
+        assert!(ev.unused_prefetch, "never demand-touched");
+    }
+
+    #[test]
+    fn demand_touch_clears_prefetched() {
+        let mut c = tiny();
+        c.fill(0, false, false, true);
+        let mut wp = false;
+        assert!(c.access(0, false, &mut wp));
+        assert!(wp, "first touch reports prefetched");
+        assert!(c.access(0, false, &mut wp));
+        assert!(!wp, "second touch does not");
+        c.fill(4, false, false, false);
+        touch(&mut c, 4);
+        let ev = c.fill(8, false, false, false).unwrap();
+        assert!(!ev.unused_prefetch, "prefetch was used");
+    }
+
+    #[test]
+    fn invalidate_compacts_set() {
+        let mut c = tiny();
+        c.fill(0, true, false, false);
+        c.fill(4, false, false, false);
+        let ev = c.invalidate(0).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.probe(0) && c.probe(4));
+        assert_eq!(c.occupancy(), 1);
+        assert!(c.invalidate(0).is_none());
+        // The set still works after compaction.
+        c.fill(8, false, false, false);
+        assert!(c.probe(4) && c.probe(8));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.fill(line, false, false, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+        for line in 0..4 {
+            assert!(c.probe(line));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        c.fill(3, false, false, false);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(3));
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = tiny();
+        for line in 0..100 {
+            c.fill(line, false, false, false);
+        }
+        assert_eq!(c.occupancy(), 8); // 512 B / 64 B
+    }
+}

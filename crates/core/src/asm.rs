@@ -1,0 +1,95 @@
+//! Pseudo-assembly rendering of a prefetch plan — the §VI-C view.
+//!
+//! The paper's framework works at the assembler level: for a load
+//! `mov (base), dst` it splices `prefetch[nta] distance(base)` directly
+//! after the instruction, reusing the load's base register so no register
+//! allocation is disturbed. This module renders a [`PrefetchPlan`] in
+//! that form, as the "diff" a binary-rewriting backend would apply.
+
+use crate::plan::PrefetchPlan;
+use repf_trace::Pc;
+use std::fmt::Write;
+
+/// x86-64 callee-ish registers to cycle through for display purposes.
+const BASES: [&str; 6] = ["%rbx", "%rsi", "%rdi", "%r12", "%r13", "%r14"];
+
+/// Render the insertion for one load site.
+pub fn render_site(pc: Pc, plan: &PrefetchPlan) -> Option<String> {
+    let d = plan.get(pc)?;
+    let base = BASES[pc.index() % BASES.len()];
+    let mnemonic = if d.nta { "prefetchnta" } else { "prefetcht0" };
+    let mut s = String::new();
+    let _ = writeln!(s, "{pc}:  movq   ({base}), %rax");
+    let _ = writeln!(
+        s,
+        "     {mnemonic} {}({base})        # inserted: stride {}, {} lines ahead",
+        d.distance_bytes,
+        d.stride,
+        (d.distance_bytes.unsigned_abs()).div_ceil(64)
+    );
+    Some(s)
+}
+
+/// Render the whole plan as an insertion diff, sorted by PC.
+pub fn render_plan(plan: &PrefetchPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} software prefetches ({} non-temporal) — §VI-C insertion",
+        plan.len(),
+        plan.nta_count()
+    );
+    for (pc, _) in plan.iter_sorted() {
+        if let Some(site) = render_site(pc, plan) {
+            out.push_str(&site);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PrefetchDirective;
+
+    fn plan() -> PrefetchPlan {
+        let mut p = PrefetchPlan::empty();
+        p.insert(
+            Pc(0),
+            PrefetchDirective {
+                distance_bytes: 3200,
+                nta: true,
+                stride: 16,
+            },
+        );
+        p.insert(
+            Pc(7),
+            PrefetchDirective {
+                distance_bytes: -384,
+                nta: false,
+                stride: -192,
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn renders_nta_and_plain_prefetches() {
+        let p = plan();
+        let s = render_plan(&p);
+        assert!(s.contains("prefetchnta 3200(%rbx)"));
+        assert!(s.contains("prefetcht0 -384("));
+        assert!(s.contains("2 software prefetches (1 non-temporal)"));
+    }
+
+    #[test]
+    fn unplanned_pc_renders_nothing() {
+        assert!(render_site(Pc(99), &plan()).is_none());
+    }
+
+    #[test]
+    fn line_count_annotation() {
+        let s = render_site(Pc(0), &plan()).unwrap();
+        assert!(s.contains("50 lines ahead"), "{s}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Cache-bypassing analysis (§VI-B), after Sandberg et al. (SC 2010).
+//!
+//! Once a load is known to be prefetchable, the analysis looks at its
+//! *data-reusing loads*: the instructions that touch the same cache line
+//! right after it (the `end_pc` of the reuse samples that start at the
+//! load). If **none** of them re-uses data out of L2 or the LLC — their
+//! per-instruction miss-ratio curves do not drop between the L1 and LLC
+//! points — then nothing is lost by keeping the line out of the outer
+//! caches, and the prefetch can be emitted as `PREFETCHNTA`.
+
+use crate::config::AnalysisConfig;
+use repf_sampling::Profile;
+use repf_statstack::StatStackModel;
+use repf_trace::Pc;
+
+/// Decide whether `pc`'s prefetch can bypass L2/LLC.
+///
+/// Conservative on missing information: a reuser with no model data (too
+/// few samples) blocks bypassing.
+pub fn is_non_temporal(
+    pc: Pc,
+    profile: &Profile,
+    model: &StatStackModel,
+    cfg: &AnalysisConfig,
+) -> bool {
+    let reusers = profile.data_reusers_of(pc);
+    if reusers.is_empty() {
+        // Nobody reuses this load's lines at all — bypassing is safe.
+        return true;
+    }
+    for (&reuser, _count) in reusers.iter() {
+        let Some(mr_l1) = model.pc_miss_ratio_bytes(reuser, cfg.l1_bytes) else {
+            return false;
+        };
+        let Some(mr_llc) = model.pc_miss_ratio_bytes(reuser, cfg.llc_bytes) else {
+            return false;
+        };
+        // A drop between the L1 and LLC points means the reuser gets hits
+        // out of L2/LLC that bypassing would destroy.
+        if mr_l1 - mr_llc > cfg.nt_drop_epsilon {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{Mix, MixEnd, StridedStream, StridedStreamCfg};
+    use repf_trace::{TraceSource, TraceSourceExt};
+
+    fn profile_of(mut src: impl TraceSource, period: u64) -> (Profile, StatStackModel) {
+        let p = Sampler::new(SamplerConfig {
+            sample_period: period,
+            line_bytes: 64,
+            seed: 21,
+        })
+        .profile(&mut src);
+        let m = StatStackModel::from_profile(&p);
+        (p, m)
+    }
+
+    #[test]
+    fn pure_stream_is_non_temporal() {
+        // Sub-line-stride stream: its only data-reuser is itself, and its
+        // curve is flat between L1 and LLC (the 1/8 spatial hits happen at
+        // any size, the rest miss at every size).
+        let src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 26, 8, 1))
+            .take_refs(2_000_000);
+        let (p, m) = profile_of(src, 101);
+        let cfg = AnalysisConfig::default();
+        assert!(is_non_temporal(Pc(1), &p, &m, &cfg));
+    }
+
+    #[test]
+    fn llc_resident_reuse_blocks_bypass() {
+        // A loop over a 2 MB region: fits in the 6 MB LLC but not in L1 or
+        // L2 — the load reuses its own lines *from the LLC*, so bypassing
+        // would hurt and must be rejected.
+        let src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 2 << 20, 64, 40))
+            .take_refs(1_500_000);
+        let (p, m) = profile_of(src, 97);
+        let cfg = AnalysisConfig::default();
+        let mr_l1 = m.pc_miss_ratio_bytes(Pc(1), cfg.l1_bytes).unwrap();
+        let mr_llc = m.pc_miss_ratio_bytes(Pc(1), cfg.llc_bytes).unwrap();
+        assert!(mr_l1 > 0.9 && mr_llc < 0.1, "curve drops hard: {mr_l1} {mr_llc}");
+        assert!(!is_non_temporal(Pc(1), &p, &m, &cfg));
+    }
+
+    #[test]
+    fn direct_reuser_only_heuristic_is_faithful() {
+        // Pc 1 streams over a 2 MB region; Pc 2 follows over the same
+        // region one reference later. The line's *next-pass* reuse (out
+        // of the LLC) starts at Pc 2, the last toucher — so Pc 1's only
+        // direct data-reusing load is Pc 2, which reuses from L1.
+        //
+        // The paper's §VI-B heuristic inspects direct reusers only, so it
+        // approves NTA for Pc 1 here even though the pass-to-pass chain
+        // would suffer — a transitive blindness we reproduce faithfully.
+        // (The single-PC variant below shows the self-reuse case where
+        // the heuristic does catch LLC reuse.)
+        let lead = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 2 << 20, 64, 40));
+        let trail = StridedStream::new(StridedStreamCfg::loads(Pc(2), 32, 2 << 20, 64, 40));
+        let mix = Mix::new(
+            vec![
+                (Box::new(lead) as Box<dyn TraceSource>, 1),
+                (Box::new(trail) as Box<dyn TraceSource>, 1),
+            ],
+            MixEnd::CycleComponents,
+        )
+        .take_refs(1_500_000);
+        let (p, m) = profile_of(mix, 97);
+        let cfg = AnalysisConfig::default();
+        assert!(is_non_temporal(Pc(1), &p, &m, &cfg));
+        // Pc 2 itself is the last toucher of every line, so the pass-to-
+        // pass LLC reuse shows up in *its* reuser analysis and blocks it.
+        assert!(!is_non_temporal(Pc(2), &p, &m, &cfg));
+    }
+
+    #[test]
+    fn truly_streaming_giant_region_bypasses() {
+        // One pass over 64 MB: reuse only within the line → NT.
+        let src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 64 << 20, 16, 1))
+            .take_refs(3_000_000);
+        let (p, m) = profile_of(src, 103);
+        assert!(is_non_temporal(Pc(1), &p, &m, &AnalysisConfig::default()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Analysis parameters: target cache geometry, latencies and the paper's
+//! tunables.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the prefetching analysis needs to know about the target
+/// machine and the profiled application.
+///
+/// One profile can be analyzed for several targets — the paper optimizes
+/// for both AMD and Intel "using a single input profile" (§VII).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Target L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// Target L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Target LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Stall cycles for an L1 miss that hits L2.
+    pub lat_l2: f64,
+    /// Stall cycles for an L2 miss that hits the LLC.
+    pub lat_llc: f64,
+    /// Stall cycles for an off-chip access (unloaded).
+    pub lat_dram: f64,
+    /// Cost of executing one software prefetch instruction, in cycles.
+    /// The paper measures α = 1 using ineffective prefetches (§V).
+    pub alpha: f64,
+    /// Average cycles per memory operation (Δ in §VI-A), measured per
+    /// benchmark from the baseline run.
+    pub delta: f64,
+    /// Fraction of stride samples that must land in one line-sized group
+    /// for the load to count as regular (the paper uses 70 %).
+    pub regular_fraction: f64,
+    /// Maximum miss-ratio drop between the L1 and LLC points of a
+    /// data-reusing load's curve for it to still count as "no reuse from
+    /// higher-level caches" in the bypass analysis (§VI-B).
+    pub nt_drop_epsilon: f64,
+    /// Minimum stride samples before the stride analysis trusts a load.
+    pub min_stride_samples: usize,
+    /// Multiplier applied to the per-load latency when computing the
+    /// prefetch distance (§VI-A). The paper's `l` is the *measured*
+    /// average memory latency on live hardware, which includes queueing;
+    /// the analytical latencies in this config are unloaded values, so
+    /// the distance computation scales them up to keep prefetches timely
+    /// under load.
+    pub distance_latency_scale: f64,
+}
+
+impl Default for AnalysisConfig {
+    /// AMD Phenom II-flavoured defaults (Table II), Δ = 2 cycles/memop.
+    fn default() -> Self {
+        AnalysisConfig {
+            l1_bytes: 64 * 1024,
+            l2_bytes: 512 * 1024,
+            llc_bytes: 6 * 1024 * 1024,
+            line_bytes: 64,
+            lat_l2: 12.0,
+            lat_llc: 40.0,
+            lat_dram: 220.0,
+            alpha: 1.0,
+            delta: 2.0,
+            regular_fraction: 0.7,
+            nt_drop_epsilon: 0.02,
+            min_stride_samples: 4,
+            distance_latency_scale: 1.5,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Sanity-check the configuration (used by the pipeline entry point).
+    pub fn validate(&self) {
+        assert!(self.l1_bytes < self.l2_bytes && self.l2_bytes < self.llc_bytes);
+        assert!(self.line_bytes.is_power_of_two());
+        assert!(self.lat_l2 > 0.0 && self.lat_llc >= self.lat_l2 && self.lat_dram >= self.lat_llc);
+        assert!(self.alpha > 0.0 && self.delta > 0.0);
+        assert!((0.0..=1.0).contains(&self.regular_fraction));
+        assert!(self.nt_drop_epsilon >= 0.0);
+        assert!(self.distance_latency_scale >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        AnalysisConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_hierarchy_rejected() {
+        let mut c = AnalysisConfig::default();
+        c.l1_bytes = c.llc_bytes + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_latencies_rejected() {
+        let c = AnalysisConfig {
+            lat_dram: 1.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

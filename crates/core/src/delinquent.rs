@@ -1,0 +1,216 @@
+//! Model-driven delinquent load identification (MDDLI), §V of the paper.
+//!
+//! The cache model gives each load's miss ratio at the target L1, L2 and
+//! LLC sizes. A software prefetch for load `A` executes on *every* visit
+//! but only saves work on the `MR_A(L1)` fraction that would have missed,
+//! so it pays off only when
+//!
+//! ```text
+//! MR_A(D$) > α / latency_A
+//! ```
+//!
+//! with α the prefetch-instruction cost (1 cycle) and `latency_A` the
+//! average stall a miss of `A` suffers — reconstructed from the curve: the
+//! fraction of L1 misses that hit L2, hit LLC, or go off-chip, weighted by
+//! the respective latencies.
+
+use crate::config::AnalysisConfig;
+use repf_sampling::Profile;
+use repf_statstack::StatStackModel;
+use repf_trace::Pc;
+use serde::{Deserialize, Serialize};
+
+/// A load that passed the MDDLI cost-benefit filter.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DelinquentLoad {
+    /// The load instruction.
+    pub pc: Pc,
+    /// Modelled miss ratio at the target L1 size.
+    pub mr_l1: f64,
+    /// Modelled miss ratio at the target L2 size.
+    pub mr_l2: f64,
+    /// Modelled miss ratio at the target LLC size.
+    pub mr_llc: f64,
+    /// Expected stall cycles per L1 miss of this load.
+    pub avg_miss_latency: f64,
+    /// Estimated dynamic execution count (samples × sampling period).
+    pub est_execs: u64,
+}
+
+/// Expected stall per L1 miss given the three curve points.
+pub fn avg_miss_latency(mr_l1: f64, mr_l2: f64, mr_llc: f64, cfg: &AnalysisConfig) -> f64 {
+    if mr_l1 <= 0.0 {
+        return 0.0;
+    }
+    // Clamp the curve to be non-increasing (sampling noise can wiggle it).
+    let mr_l2 = mr_l2.min(mr_l1);
+    let mr_llc = mr_llc.min(mr_l2);
+    let f_l2 = (mr_l1 - mr_l2) / mr_l1;
+    let f_llc = (mr_l2 - mr_llc) / mr_l1;
+    let f_dram = mr_llc / mr_l1;
+    f_l2 * cfg.lat_l2 + f_llc * cfg.lat_llc + f_dram * cfg.lat_dram
+}
+
+/// Run MDDLI: every sampled load is scored against the cost-benefit test;
+/// the survivors are returned sorted by estimated misses removed
+/// (`mr_l1 × est_execs`, descending).
+pub fn identify_delinquent_loads(
+    model: &StatStackModel,
+    profile: &Profile,
+    cfg: &AnalysisConfig,
+) -> Vec<DelinquentLoad> {
+    let mut out = Vec::new();
+    for pc in profile.sampled_load_pcs() {
+        let Some(mr_l1) = model.pc_miss_ratio_bytes(pc, cfg.l1_bytes) else {
+            continue;
+        };
+        let mr_l2 = model.pc_miss_ratio_bytes(pc, cfg.l2_bytes).unwrap_or(mr_l1);
+        let mr_llc = model
+            .pc_miss_ratio_bytes(pc, cfg.llc_bytes)
+            .unwrap_or(mr_l2);
+        let lat = avg_miss_latency(mr_l1, mr_l2, mr_llc, cfg);
+        if lat <= 0.0 {
+            continue;
+        }
+        // The cost-benefit relation of §V.
+        if mr_l1 > cfg.alpha / lat {
+            out.push(DelinquentLoad {
+                pc,
+                mr_l1,
+                mr_l2: mr_l2.min(mr_l1),
+                mr_llc: mr_llc.min(mr_l2).min(mr_l1),
+                avg_miss_latency: lat,
+                est_execs: profile.estimated_execs(pc),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        let ka = a.mr_l1 * a.est_execs as f64;
+        let kb = b.mr_l1 * b.est_execs as f64;
+        kb.partial_cmp(&ka).unwrap().then(a.pc.cmp(&b.pc))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{Mix, MixEnd, StridedStream, StridedStreamCfg};
+    use repf_trace::{TraceSource, TraceSourceExt};
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn latency_mixes_by_hit_level() {
+        let c = cfg();
+        // All L1 misses hit L2.
+        let lat = avg_miss_latency(0.5, 0.0, 0.0, &c);
+        assert!((lat - c.lat_l2).abs() < 1e-9);
+        // All go to DRAM.
+        let lat = avg_miss_latency(0.5, 0.5, 0.5, &c);
+        assert!((lat - c.lat_dram).abs() < 1e-9);
+        // Half L2, half DRAM.
+        let lat = avg_miss_latency(0.4, 0.2, 0.2, &c);
+        assert!((lat - 0.5 * (c.lat_l2 + c.lat_dram)).abs() < 1e-9);
+        // Zero miss ratio: no latency.
+        assert_eq!(avg_miss_latency(0.0, 0.0, 0.0, &c), 0.0);
+    }
+
+    #[test]
+    fn cost_benefit_rejects_rare_missers() {
+        // The paper's own example: a load missing L1 10 % of the time with
+        // a 5-cycle L2 latency costs 10 prefetch cycles to save 5 — MDDLI
+        // must reject it. MR = 0.1, latency = 5 → 0.1 > 1/5 is false.
+        let c = AnalysisConfig {
+            lat_l2: 5.0,
+            ..cfg()
+        };
+        let lat = avg_miss_latency(0.1, 0.0, 0.0, &c);
+        assert!((lat - 5.0).abs() < 1e-9);
+        assert!(0.1 < c.alpha / lat + 1e-12, "fails the test as in §V");
+    }
+
+    #[test]
+    fn streaming_load_is_delinquent_hot_loop_is_not() {
+        // Pc 1: streaming (misses everywhere). Pc 2: 8-line hot loop.
+        let stream = StridedStream::new(StridedStreamCfg::loads(
+            repf_trace::Pc(1),
+            0,
+            1 << 24,
+            64,
+            4,
+        ));
+        let hot = StridedStream::new(StridedStreamCfg::loads(
+            repf_trace::Pc(2),
+            1 << 30,
+            8 * 64,
+            64,
+            1 << 20,
+        ));
+        let mut mix = Mix::new(
+            vec![
+                (Box::new(stream) as Box<dyn TraceSource>, 1),
+                (Box::new(hot) as Box<dyn TraceSource>, 1),
+            ],
+            MixEnd::CycleComponents,
+        )
+        .take_refs(400_000);
+        let profile = Sampler::new(SamplerConfig {
+            sample_period: 40,
+            line_bytes: 64,
+            seed: 9,
+        })
+        .profile(&mut mix);
+        let model = StatStackModel::from_profile(&profile);
+        let del = identify_delinquent_loads(&model, &profile, &cfg());
+        let pcs: Vec<_> = del.iter().map(|d| d.pc).collect();
+        assert!(pcs.contains(&repf_trace::Pc(1)), "stream is delinquent");
+        assert!(
+            !pcs.contains(&repf_trace::Pc(2)),
+            "hot loop never misses → filtered"
+        );
+        let d = &del[0];
+        assert!(d.mr_l1 > 0.5);
+        assert!(d.avg_miss_latency > cfg().lat_llc, "mostly off-chip");
+        assert!(d.est_execs > 100_000);
+    }
+
+    #[test]
+    fn ordering_is_by_estimated_miss_volume() {
+        // Two streams, one sampled 3× as often (3× the references).
+        let heavy = StridedStream::new(StridedStreamCfg::loads(
+            repf_trace::Pc(1),
+            0,
+            1 << 24,
+            64,
+            8,
+        ));
+        let light = StridedStream::new(StridedStreamCfg::loads(
+            repf_trace::Pc(2),
+            1 << 30,
+            1 << 24,
+            64,
+            8,
+        ));
+        let mut mix = Mix::new(
+            vec![
+                (Box::new(heavy) as Box<dyn TraceSource>, 3),
+                (Box::new(light) as Box<dyn TraceSource>, 1),
+            ],
+            MixEnd::CycleComponents,
+        )
+        .take_refs(300_000);
+        let profile = Sampler::new(SamplerConfig {
+            sample_period: 50,
+            line_bytes: 64,
+            seed: 4,
+        })
+        .profile(&mut mix);
+        let model = StatStackModel::from_profile(&profile);
+        let del = identify_delinquent_loads(&model, &profile, &cfg());
+        assert_eq!(del[0].pc, repf_trace::Pc(1), "heavier load first");
+    }
+}

@@ -1,0 +1,168 @@
+//! Prefetch-distance computation (§VI-A).
+//!
+//! To hide a latency of `l` cycles, the prefetch must run `ceil(l / d)`
+//! loop iterations ahead, where `d = r · Δ` is the time one iteration
+//! takes (recurrence × average cycles per memory operation). In bytes:
+//!
+//! * stride ≥ line: `P = ceil(l/d) × stride`
+//! * stride < line: the line is reused `i = C/stride` times, so the
+//!   iteration time per *line* is `d·i` and `P = ceil(l/(d·i)) × C`
+//!
+//! and always `P ≤ R/2` in iterations, so a short loop is not flooded
+//! with prefetches that outrun it.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs for the distance computation, gathered by the pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DistanceInputs {
+    /// Selected stride in bytes (non-zero; sign = direction).
+    pub stride: i64,
+    /// Median recurrence of the load (references between executions).
+    pub recurrence: u64,
+    /// Average cycles per memory operation (Δ).
+    pub delta: f64,
+    /// Latency to hide: the load's average miss latency, cycles.
+    pub latency: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Estimated dynamic executions of the load (trip count proxy for
+    /// the `P ≤ R/2` cap).
+    pub est_execs: u64,
+}
+
+/// Compute the prefetch distance in bytes (signed: negative for downward
+/// walks). Returns `None` when no useful distance exists (zero stride or
+/// a trip count too short for even one line of lookahead).
+pub fn prefetch_distance(inp: &DistanceInputs) -> Option<i64> {
+    if inp.stride == 0 || inp.latency <= 0.0 {
+        return None;
+    }
+    let c = inp.line_bytes;
+    let abs_stride = inp.stride.unsigned_abs();
+    let sign: i64 = if inp.stride > 0 { 1 } else { -1 };
+    // One iteration of the loop costs d = (r + 1) · Δ cycles (recurrence
+    // counts the references *between* executions).
+    let d = (inp.recurrence + 1) as f64 * inp.delta;
+
+    let distance_bytes: u64 = if abs_stride >= c {
+        let iters = (inp.latency / d).ceil().max(1.0);
+        iters as u64 * abs_stride
+    } else {
+        // Sub-line stride: the same line serves i consecutive iterations.
+        let i = (c / abs_stride).max(1);
+        let lines = (inp.latency / (d * i as f64)).ceil().max(1.0);
+        lines as u64 * c
+    };
+
+    // Cap at half the trip count, expressed in bytes of lookahead.
+    let max_bytes = inp.est_execs / 2 * abs_stride;
+    let capped = distance_bytes.min(max_bytes);
+    if capped < c.min(abs_stride) {
+        return None;
+    }
+    Some(sign * capped as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DistanceInputs {
+        DistanceInputs {
+            stride: 64,
+            recurrence: 1,
+            delta: 2.0,
+            latency: 200.0,
+            line_bytes: 64,
+            est_execs: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn line_stride_distance() {
+        // d = (1+1)*2 = 4 cycles/iter; 200/4 = 50 iterations → 3200 B.
+        assert_eq!(prefetch_distance(&base()), Some(3200));
+    }
+
+    #[test]
+    fn large_stride_scales_with_stride() {
+        let inp = DistanceInputs {
+            stride: 256,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), Some(50 * 256));
+    }
+
+    #[test]
+    fn negative_stride_gives_negative_distance() {
+        let inp = DistanceInputs {
+            stride: -64,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), Some(-3200));
+    }
+
+    #[test]
+    fn sub_line_stride_shortens_distance() {
+        // stride 8: i = 8, line time = 4*8 = 32 cycles; 200/32 → 7 lines.
+        let inp = DistanceInputs {
+            stride: 8,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), Some(7 * 64));
+    }
+
+    #[test]
+    fn slow_loops_need_less_lookahead() {
+        // recurrence 99 → d = 200: one iteration already hides the miss.
+        let inp = DistanceInputs {
+            recurrence: 99,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), Some(64));
+    }
+
+    #[test]
+    fn trip_count_cap() {
+        // Only 20 estimated executions → at most 10 iterations ahead.
+        let inp = DistanceInputs {
+            est_execs: 20,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), Some(640));
+    }
+
+    #[test]
+    fn hopeless_trip_count_rejected() {
+        let inp = DistanceInputs {
+            est_execs: 1,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), None);
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let inp = DistanceInputs {
+            stride: 0,
+            ..base()
+        };
+        assert_eq!(prefetch_distance(&inp), None);
+    }
+
+    #[test]
+    fn distance_grows_with_latency() {
+        let short = prefetch_distance(&DistanceInputs {
+            latency: 12.0,
+            ..base()
+        })
+        .unwrap();
+        let long = prefetch_distance(&DistanceInputs {
+            latency: 400.0,
+            ..base()
+        })
+        .unwrap();
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,55 @@
+//! # repf-core
+//!
+//! The paper's primary contribution: **model-driven delinquent load
+//! identification (MDDLI)** and the resource-efficient software-prefetch
+//! analysis built on it.
+//!
+//! The end-to-end pipeline ([`analyze`]) mirrors Figure 1 of the paper:
+//!
+//! 1. a sampling pass has already produced a
+//!    [`Profile`](repf_sampling::Profile): data-reuse samples,
+//!    per-instruction stride and recurrence samples;
+//! 2. **fast cache modeling** — StatStack (`repf-statstack`) turns the
+//!    reuse samples into per-instruction miss-ratio curves;
+//! 3. **delinquent load identification** ([`delinquent`]) — a cost-benefit
+//!    filter keeps load `A` only when `MR_A(L1) > α / latency_A`, where α
+//!    is the cost of executing one prefetch instruction (1 cycle, measured
+//!    by the paper with ineffective prefetches) and `latency_A` is the
+//!    expected stall per L1 miss derived from `A`'s curve;
+//! 4. **stride analysis** ([`strides`]) — strides are grouped by cache
+//!    line; a load is regular when ≥ 70 % of its samples fall in one
+//!    group, and the group's most frequent stride is selected;
+//! 5. **prefetch distance** ([`distance`]) — `P = ceil(l/d) × stride` with
+//!    `d = recurrence × Δ`, shortened for sub-line strides and capped at
+//!    half the estimated trip count (§VI-A);
+//! 6. **cache bypassing** ([`bypass`]) — if none of the load's
+//!    *data-reusing loads* re-use data out of L2/LLC (their miss-ratio
+//!    curves are flat between the L1 and LLC points), the prefetch is
+//!    emitted non-temporal (§VI-B).
+//!
+//! The output is a [`PrefetchPlan`]: per-PC `(distance, nta)` directives —
+//! the moral equivalent of the `prefetch[nta] distance(base)` instructions
+//! the paper splices in at the assembly level (§VI-C).
+//!
+//! [`stride_centric`] implements the prior-work baseline the paper
+//! compares against in Table I and Figures 4–6: prefetch *every* load with
+//! a regular stride, no cost-benefit filter, no bypassing.
+
+pub mod asm;
+pub mod bypass;
+pub mod config;
+pub mod delinquent;
+pub mod distance;
+pub mod pipeline;
+pub mod plan;
+pub mod stride_centric;
+pub mod strides;
+pub mod strides_exact;
+
+pub use config::AnalysisConfig;
+pub use delinquent::{identify_delinquent_loads, DelinquentLoad};
+pub use pipeline::{analyze, Analysis, RejectReason};
+pub use plan::{PrefetchDirective, PrefetchPlan};
+pub use stride_centric::stride_centric_plan;
+pub use strides::{analyze_strides, StrideAnalysis};
+pub use strides_exact::analyze_strides_exact;

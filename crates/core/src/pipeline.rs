@@ -1,0 +1,237 @@
+//! The end-to-end analysis pipeline (Figure 1 of the paper): profile in,
+//! prefetch plan out, with full diagnostics of why each load was kept or
+//! rejected.
+
+use crate::bypass::is_non_temporal;
+use crate::config::AnalysisConfig;
+use crate::delinquent::{identify_delinquent_loads, DelinquentLoad};
+use crate::distance::{prefetch_distance, DistanceInputs};
+use crate::plan::{PrefetchDirective, PrefetchPlan};
+use crate::strides::analyze_strides;
+use repf_sampling::Profile;
+use repf_statstack::StatStackModel;
+use repf_trace::Pc;
+use serde::{Deserialize, Serialize};
+
+/// Why a sampled load did not make it into the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Failed the MDDLI cost-benefit test (§V) — prefetching it would
+    /// cost more cycles than it saves.
+    CostBenefit,
+    /// No dominant stride group reached the 70 % threshold (§VI) —
+    /// typically pointer chasing, as in omnetpp/xalan.
+    IrregularStride,
+    /// Regular, but no useful prefetch distance exists (trip count too
+    /// short).
+    NoDistance,
+}
+
+/// Full analysis output.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Loads that passed MDDLI, ordered by estimated miss volume.
+    pub delinquent: Vec<DelinquentLoad>,
+    /// The final prefetch plan.
+    pub plan: PrefetchPlan,
+    /// Rejected loads with reasons (diagnostics, Table I commentary).
+    pub rejected: Vec<(Pc, RejectReason)>,
+}
+
+impl Analysis {
+    /// Delinquent loads that ended up in the plan.
+    pub fn planned_delinquents(&self) -> impl Iterator<Item = &DelinquentLoad> {
+        self.delinquent
+            .iter()
+            .filter(|d| self.plan.get(d.pc).is_some())
+    }
+}
+
+/// Run steps 3–6 of the framework on a sampling profile for one target
+/// machine. (Steps 1–2, sampling, are `repf_sampling::Sampler`; the
+/// StatStack fit happens inside.)
+pub fn analyze(profile: &Profile, cfg: &AnalysisConfig) -> Analysis {
+    cfg.validate();
+    let model = StatStackModel::from_profile(profile);
+    analyze_with_model(profile, &model, cfg)
+}
+
+/// [`analyze`] with a pre-fitted model (lets callers reuse one StatStack
+/// fit across several target configurations, as the paper does for its
+/// two machines).
+pub fn analyze_with_model(
+    profile: &Profile,
+    model: &StatStackModel,
+    cfg: &AnalysisConfig,
+) -> Analysis {
+    let delinquent = identify_delinquent_loads(model, profile, cfg);
+    let mut plan = PrefetchPlan::empty();
+    let mut rejected = Vec::new();
+
+    // Record cost-benefit rejections for diagnostics.
+    let delinquent_set: std::collections::BTreeSet<Pc> =
+        delinquent.iter().map(|d| d.pc).collect();
+    for pc in profile.sampled_load_pcs() {
+        if !delinquent_set.contains(&pc) {
+            rejected.push((pc, RejectReason::CostBenefit));
+        }
+    }
+
+    for d in &delinquent {
+        let samples: Vec<_> = profile.strides_of(d.pc).copied().collect();
+        let Some(sa) = analyze_strides(
+            &samples,
+            cfg.line_bytes,
+            cfg.regular_fraction,
+            cfg.min_stride_samples,
+        ) else {
+            rejected.push((d.pc, RejectReason::IrregularStride));
+            continue;
+        };
+        let inputs = DistanceInputs {
+            stride: sa.dominant_stride,
+            recurrence: sa.median_recurrence,
+            delta: cfg.delta,
+            latency: d.avg_miss_latency * cfg.distance_latency_scale,
+            line_bytes: cfg.line_bytes,
+            est_execs: d.est_execs,
+        };
+        let Some(distance_bytes) = prefetch_distance(&inputs) else {
+            rejected.push((d.pc, RejectReason::NoDistance));
+            continue;
+        };
+        let nta = is_non_temporal(d.pc, profile, model, cfg);
+        plan.insert(
+            d.pc,
+            PrefetchDirective {
+                distance_bytes,
+                nta,
+                stride: sa.dominant_stride,
+            },
+        );
+    }
+
+    Analysis {
+        delinquent,
+        plan,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{
+        Mix, MixEnd, PointerChase, PointerChaseCfg, StridedStream, StridedStreamCfg,
+    };
+    use repf_trace::{TraceSource, TraceSourceExt};
+
+    fn profile_of(mut src: impl TraceSource) -> Profile {
+        Sampler::new(SamplerConfig {
+            sample_period: 67,
+            line_bytes: 64,
+            seed: 33,
+        })
+        .profile(&mut src)
+    }
+
+    /// A three-personality program: a prefetchable stream (pc 1), an
+    /// unprefetchable pointer chase (pc 10), and an L1-resident hot loop
+    /// (pc 2).
+    fn mixed_program() -> impl TraceSource {
+        let stream = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 25, 64, 2));
+        let hot = StridedStream::new(StridedStreamCfg::loads(Pc(2), 1 << 30, 16 * 64, 64, 1 << 20));
+        let chase = PointerChase::new(PointerChaseCfg {
+            chase_pc: Pc(10),
+            payload_pcs: vec![],
+            base: 1 << 32,
+            node_bytes: 64,
+            nodes: 1 << 16,
+            steps_per_pass: 1 << 16,
+            passes: 100,
+            seed: 8,
+            run_len: 1,
+        });
+        Mix::new(
+            vec![
+                (Box::new(stream) as Box<dyn TraceSource>, 2),
+                (Box::new(hot) as Box<dyn TraceSource>, 1),
+                (Box::new(chase) as Box<dyn TraceSource>, 1),
+            ],
+            MixEnd::CycleComponents,
+        )
+        .take_refs(1_200_000)
+    }
+
+    #[test]
+    fn pipeline_keeps_stream_rejects_chase_and_hot_loop() {
+        let p = profile_of(mixed_program());
+        let a = analyze(&p, &AnalysisConfig::default());
+
+        // The stream is planned.
+        let d = a.plan.get(Pc(1)).expect("stream gets a prefetch");
+        assert_eq!(d.stride, 64);
+        assert!(d.distance_bytes > 0);
+        assert!(d.nta, "pure stream bypasses the cache");
+
+        // The pointer chase is delinquent but irregular.
+        assert!(
+            a.rejected
+                .iter()
+                .any(|&(pc, r)| pc == Pc(10) && r == RejectReason::IrregularStride),
+            "chase rejected for irregularity: {:?}",
+            a.rejected
+        );
+        assert!(a.plan.get(Pc(10)).is_none());
+
+        // The hot loop fails cost-benefit.
+        assert!(a
+            .rejected
+            .iter()
+            .any(|&(pc, r)| pc == Pc(2) && r == RejectReason::CostBenefit));
+
+        // Planned delinquents is consistent.
+        assert!(a.planned_delinquents().any(|d| d.pc == Pc(1)));
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let p = profile_of(mixed_program());
+        let a = analyze(&p, &AnalysisConfig::default());
+        let b = analyze(&p, &AnalysisConfig::default());
+        assert_eq!(a.plan.pcs(), b.plan.pcs());
+        assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn one_profile_two_targets() {
+        // The paper analyzes a single profile for both machines. A bigger
+        // L1 target must never *add* delinquent loads.
+        let p = profile_of(mixed_program());
+        let small_l1 = AnalysisConfig {
+            l1_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            llc_bytes: 8 << 20,
+            ..AnalysisConfig::default()
+        };
+        let big_l1 = AnalysisConfig::default();
+        let a_small = analyze(&p, &small_l1);
+        let a_big = analyze(&p, &big_l1);
+        for d in &a_big.delinquent {
+            assert!(
+                a_small.delinquent.iter().any(|x| x.pc == d.pc),
+                "a load missing a 64k L1 also misses a 32k L1"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile_yields_empty_plan() {
+        let p = Profile::default();
+        let a = analyze(&p, &AnalysisConfig::default());
+        assert!(a.plan.is_empty());
+        assert!(a.delinquent.is_empty());
+        assert!(a.rejected.is_empty());
+    }
+}

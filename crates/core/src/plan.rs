@@ -1,0 +1,139 @@
+//! The prefetch plan: the analysis output that the simulator (or, in the
+//! paper, the assembly rewriter) applies to the running program.
+
+use repf_trace::hash::FxHashMap;
+use repf_trace::Pc;
+use serde::{Deserialize, Serialize};
+
+/// One inserted prefetch: `prefetch[nta] distance(base)` right after the
+/// load (§VI-C).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchDirective {
+    /// Lookahead in bytes relative to the load's current address
+    /// (negative for downward walks).
+    pub distance_bytes: i64,
+    /// Emit `PREFETCHNTA` (bypass L2/LLC) instead of a normal prefetch.
+    pub nta: bool,
+    /// The stride the distance was computed from (diagnostics/reports).
+    pub stride: i64,
+}
+
+/// Per-PC prefetch directives.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PrefetchPlan {
+    directives: FxHashMap<Pc, PrefetchDirective>,
+}
+
+impl PrefetchPlan {
+    /// An empty plan (the baseline).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace the directive for `pc`.
+    pub fn insert(&mut self, pc: Pc, d: PrefetchDirective) {
+        self.directives.insert(pc, d);
+    }
+
+    /// Directive for `pc`, if the plan prefetches it.
+    #[inline]
+    pub fn get(&self, pc: Pc) -> Option<&PrefetchDirective> {
+        self.directives.get(&pc)
+    }
+
+    /// Number of instrumented loads.
+    pub fn len(&self) -> usize {
+        self.directives.len()
+    }
+
+    /// `true` when no load is instrumented.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Instrumented PCs, sorted (deterministic reports).
+    pub fn pcs(&self) -> Vec<Pc> {
+        let mut v: Vec<Pc> = self.directives.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate `(pc, directive)` in sorted PC order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (Pc, &PrefetchDirective)> {
+        let mut v: Vec<_> = self.directives.iter().map(|(&p, d)| (p, d)).collect();
+        v.sort_by_key(|(p, _)| *p);
+        v.into_iter()
+    }
+
+    /// A copy of this plan with every directive demoted to a normal
+    /// (temporal) prefetch — the paper's "Software Pref." variant, vs the
+    /// full "Soft. Pref.+NT".
+    pub fn without_nta(&self) -> Self {
+        let mut out = self.clone();
+        for d in out.directives.values_mut() {
+            d.nta = false;
+        }
+        out
+    }
+
+    /// How many directives are non-temporal.
+    pub fn nta_count(&self) -> usize {
+        self.directives.values().filter(|d| d.nta).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(dist: i64, nta: bool) -> PrefetchDirective {
+        PrefetchDirective {
+            distance_bytes: dist,
+            nta,
+            stride: 64,
+        }
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut p = PrefetchPlan::empty();
+        assert!(p.is_empty());
+        p.insert(Pc(3), d(1024, true));
+        p.insert(Pc(1), d(-512, false));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(Pc(3)).unwrap().distance_bytes, 1024);
+        assert!(p.get(Pc(9)).is_none());
+        assert_eq!(p.pcs(), vec![Pc(1), Pc(3)]);
+        assert_eq!(p.nta_count(), 1);
+    }
+
+    #[test]
+    fn without_nta_strips_hints() {
+        let mut p = PrefetchPlan::empty();
+        p.insert(Pc(1), d(64, true));
+        p.insert(Pc(2), d(64, false));
+        let q = p.without_nta();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.nta_count(), 0);
+        assert_eq!(p.nta_count(), 1, "original untouched");
+    }
+
+    #[test]
+    fn iter_sorted_is_ordered() {
+        let mut p = PrefetchPlan::empty();
+        for pc in [5u32, 1, 9, 3] {
+            p.insert(Pc(pc), d(64, false));
+        }
+        let order: Vec<u32> = p.iter_sorted().map(|(pc, _)| pc.0).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut p = PrefetchPlan::empty();
+        p.insert(Pc(1), d(64, false));
+        p.insert(Pc(1), d(128, true));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(Pc(1)).unwrap().distance_bytes, 128);
+    }
+}

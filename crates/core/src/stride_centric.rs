@@ -1,0 +1,143 @@
+//! The *stride-centric* baseline (§VI-D): the prior-art profile-guided
+//! scheme of Luk et al. (ICS 2002) and Wu (PLDI 2002) that the paper
+//! compares against — insert a prefetch for **every** load with a regular
+//! stride, with no cost-benefit filtering and no cache bypassing.
+//!
+//! Table I shows this executes ~36 % more prefetch instructions than the
+//! MDDLI-filtered plan for the same (or worse) miss coverage.
+
+use crate::config::AnalysisConfig;
+use crate::distance::{prefetch_distance, DistanceInputs};
+use crate::plan::{PrefetchDirective, PrefetchPlan};
+use crate::strides_exact::analyze_strides_exact;
+use repf_sampling::Profile;
+use repf_trace::hash::FxHashMap;
+use repf_trace::{AccessKind, Pc};
+
+/// Build the stride-centric plan from a profile.
+///
+/// Every load with a dominant *exact* stride gets a prefetch (the prior
+/// heuristics match raw strides, not line groups); the distance uses
+/// the same formula as the main pipeline but with a flat assumed latency
+/// (`cfg.lat_dram`) since the heuristic schemes had no per-load latency
+/// model. Never emits non-temporal prefetches.
+pub fn stride_centric_plan(profile: &Profile, cfg: &AnalysisConfig) -> PrefetchPlan {
+    let mut by_pc: FxHashMap<Pc, Vec<repf_sampling::StrideSample>> = FxHashMap::default();
+    for s in &profile.strides {
+        if s.kind == AccessKind::Load {
+            by_pc.entry(s.pc).or_default().push(*s);
+        }
+    }
+    let mut plan = PrefetchPlan::empty();
+    let mut pcs: Vec<Pc> = by_pc.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        let samples = &by_pc[&pc];
+        let Some(sa) = analyze_strides_exact(
+            samples,
+            cfg.regular_fraction,
+            cfg.min_stride_samples,
+        ) else {
+            continue;
+        };
+        let inputs = DistanceInputs {
+            stride: sa.dominant_stride,
+            recurrence: sa.median_recurrence,
+            delta: cfg.delta,
+            latency: cfg.lat_dram * cfg.distance_latency_scale,
+            line_bytes: cfg.line_bytes,
+            est_execs: profile.estimated_execs(pc).max(
+                // Stride samples exist even when no reuse sample started
+                // here; fall back to a sample-count-based estimate.
+                samples.len() as u64 * profile.sample_period,
+            ),
+        };
+        if let Some(distance_bytes) = prefetch_distance(&inputs) {
+            plan.insert(
+                pc,
+                PrefetchDirective {
+                    distance_bytes,
+                    nta: false,
+                    stride: sa.dominant_stride,
+                },
+            );
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{Mix, MixEnd, StridedStream, StridedStreamCfg};
+    use repf_trace::{TraceSource, TraceSourceExt};
+
+    fn profile_of(mut src: impl TraceSource) -> Profile {
+        Sampler::new(SamplerConfig {
+            sample_period: 53,
+            line_bytes: 64,
+            seed: 12,
+        })
+        .profile(&mut src)
+    }
+
+    #[test]
+    fn prefetches_hot_loops_that_mddli_rejects() {
+        // An L1-resident strided hot loop: regular stride, zero misses.
+        // Stride-centric instrumented it (prior work's failure mode);
+        // MDDLI does not.
+        let stream = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 25, 64, 2));
+        let hot = StridedStream::new(StridedStreamCfg::loads(Pc(2), 1 << 30, 16 * 64, 64, 1 << 20));
+        let mix = Mix::new(
+            vec![
+                (Box::new(stream) as Box<dyn TraceSource>, 1),
+                (Box::new(hot) as Box<dyn TraceSource>, 1),
+            ],
+            MixEnd::CycleComponents,
+        )
+        .take_refs(900_000);
+        let p = profile_of(mix);
+        let cfg = AnalysisConfig::default();
+        let sc = stride_centric_plan(&p, &cfg);
+        let mddli = analyze(&p, &cfg).plan;
+        assert!(sc.get(Pc(1)).is_some());
+        assert!(sc.get(Pc(2)).is_some(), "stride-centric takes everything");
+        assert!(mddli.get(Pc(2)).is_none(), "MDDLI filters the hot loop");
+        assert!(
+            sc.len() > mddli.len(),
+            "stride-centric instruments more loads"
+        );
+    }
+
+    #[test]
+    fn never_emits_nta() {
+        let stream =
+            StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 25, 8, 2)).take_refs(800_000);
+        let p = profile_of(stream);
+        let sc = stride_centric_plan(&p, &AnalysisConfig::default());
+        assert!(!sc.is_empty());
+        assert_eq!(sc.nta_count(), 0);
+    }
+
+    #[test]
+    fn irregular_loads_still_skipped() {
+        use repf_trace::patterns::{PointerChase, PointerChaseCfg};
+        let chase = PointerChase::new(PointerChaseCfg {
+            chase_pc: Pc(7),
+            payload_pcs: vec![],
+            base: 0,
+            node_bytes: 64,
+            nodes: 1 << 14,
+            steps_per_pass: 1 << 14,
+            passes: 60,
+            seed: 2,
+            run_len: 1,
+        })
+        .take_refs(700_000);
+        let p = profile_of(chase);
+        let sc = stride_centric_plan(&p, &AnalysisConfig::default());
+        assert!(sc.get(Pc(7)).is_none(), "no regular stride, no prefetch");
+    }
+}

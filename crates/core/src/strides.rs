@@ -1,0 +1,162 @@
+//! Stride analysis (§VI): find delinquent loads with a *regular* stride.
+//!
+//! All sampled strides of a load are grouped by the cache line they would
+//! land in (`stride div line_bytes`); if one group holds at least 70 % of
+//! the samples, the load is regular and the group's most frequent stride
+//! becomes the prefetch stride.
+
+use repf_sampling::StrideSample;
+use repf_trace::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Result of the stride analysis for one load.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrideAnalysis {
+    /// Most frequent stride within the dominant group, in bytes.
+    pub dominant_stride: i64,
+    /// Fraction of samples falling in the dominant group.
+    pub dominant_fraction: f64,
+    /// Median recurrence (references between consecutive executions).
+    pub median_recurrence: u64,
+    /// Number of stride samples analyzed.
+    pub samples: usize,
+}
+
+/// Group strides line-wise and check the 70 % dominance rule. Returns
+/// `None` when the load is irregular, has too few samples, or its dominant
+/// stride is zero (re-referencing the same address needs no prefetch).
+pub fn analyze_strides(
+    samples: &[StrideSample],
+    line_bytes: u64,
+    regular_fraction: f64,
+    min_samples: usize,
+) -> Option<StrideAnalysis> {
+    if samples.len() < min_samples || samples.is_empty() {
+        return None;
+    }
+    let lb = line_bytes as i64;
+    // group id → count
+    let mut groups: FxHashMap<i64, u32> = FxHashMap::default();
+    for s in samples {
+        *groups.entry(s.stride.div_euclid(lb)).or_default() += 1;
+    }
+    let (&dominant_group, &count) = groups
+        .iter()
+        .max_by_key(|&(g, &c)| (c, std::cmp::Reverse(g.abs())))
+        .unwrap();
+    let fraction = count as f64 / samples.len() as f64;
+    if fraction < regular_fraction {
+        return None;
+    }
+    // Most frequent exact stride within the dominant group.
+    let mut exact: FxHashMap<i64, u32> = FxHashMap::default();
+    for s in samples {
+        if s.stride.div_euclid(lb) == dominant_group {
+            *exact.entry(s.stride).or_default() += 1;
+        }
+    }
+    let (&stride, _) = exact
+        .iter()
+        .max_by_key(|&(st, &c)| (c, std::cmp::Reverse(st.abs())))
+        .unwrap();
+    if stride == 0 {
+        return None;
+    }
+    // Median recurrence over the dominant-group samples.
+    let mut recs: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.stride.div_euclid(lb) == dominant_group)
+        .map(|s| s.recurrence)
+        .collect();
+    recs.sort_unstable();
+    let median_recurrence = recs[recs.len() / 2];
+    Some(StrideAnalysis {
+        dominant_stride: stride,
+        dominant_fraction: fraction,
+        median_recurrence,
+        samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_trace::{AccessKind, Pc};
+
+    fn s(stride: i64, recurrence: u64) -> StrideSample {
+        StrideSample {
+            pc: Pc(1),
+            kind: AccessKind::Load,
+            stride,
+            recurrence,
+        }
+    }
+
+    #[test]
+    fn pure_stride_is_regular() {
+        let samples: Vec<_> = (0..10).map(|_| s(64, 5)).collect();
+        let a = analyze_strides(&samples, 64, 0.7, 4).unwrap();
+        assert_eq!(a.dominant_stride, 64);
+        assert_eq!(a.dominant_fraction, 1.0);
+        assert_eq!(a.median_recurrence, 5);
+        assert_eq!(a.samples, 10);
+    }
+
+    #[test]
+    fn sub_line_strides_group_together() {
+        // Strides 8, 16, 8, 24 … all in line-group 0: regular, and the
+        // mode (8) is selected.
+        let samples = vec![s(8, 3), s(8, 3), s(16, 3), s(8, 3), s(24, 3)];
+        let a = analyze_strides(&samples, 64, 0.7, 4).unwrap();
+        assert_eq!(a.dominant_stride, 8);
+    }
+
+    #[test]
+    fn seventy_percent_rule() {
+        // 7 of 10 at stride 64, 3 random: exactly at threshold → regular.
+        let mut samples: Vec<_> = (0..7).map(|_| s(64, 2)).collect();
+        samples.extend([s(5000, 2), s(-900, 2), s(123_456, 2)]);
+        assert!(analyze_strides(&samples, 64, 0.7, 4).is_some());
+        // 6 of 10 → irregular.
+        let mut samples: Vec<_> = (0..6).map(|_| s(64, 2)).collect();
+        samples.extend([s(5000, 2), s(-900, 2), s(123_456, 2), s(777, 2)]);
+        assert!(analyze_strides(&samples, 64, 0.7, 4).is_none());
+    }
+
+    #[test]
+    fn negative_strides_form_their_own_group() {
+        let samples: Vec<_> = (0..8).map(|_| s(-128, 4)).collect();
+        let a = analyze_strides(&samples, 64, 0.7, 4).unwrap();
+        assert_eq!(a.dominant_stride, -128);
+    }
+
+    #[test]
+    fn zero_stride_dominance_is_rejected() {
+        let samples: Vec<_> = (0..8).map(|_| s(0, 4)).collect();
+        assert!(analyze_strides(&samples, 64, 0.7, 4).is_none());
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let samples = vec![s(64, 2), s(64, 2)];
+        assert!(analyze_strides(&samples, 64, 0.7, 4).is_none());
+        assert!(analyze_strides(&[], 64, 0.7, 0).is_none());
+    }
+
+    #[test]
+    fn median_recurrence_is_robust() {
+        let samples = vec![s(64, 1), s(64, 2), s(64, 3), s(64, 1000), s(64, 2)];
+        let a = analyze_strides(&samples, 64, 0.7, 4).unwrap();
+        assert_eq!(a.median_recurrence, 2, "outlier does not skew");
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two groups of equal size: the smaller |group| wins the tie, so
+        // repeated runs agree.
+        let samples = vec![s(64, 1), s(64, 1), s(64, 1), s(-64, 1), s(-64, 1), s(-64, 1)];
+        let a = analyze_strides(&samples, 64, 0.5, 4).unwrap();
+        let b = analyze_strides(&samples, 64, 0.5, 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Scenario tests for the analysis pipeline: hand-constructed profiles
+//! with known right answers, exercising decision boundaries that the
+//! end-to-end workload tests cannot isolate.
+
+use repf_core::{analyze, AnalysisConfig, PrefetchPlan, RejectReason};
+use repf_sampling::{DanglingSample, Profile, ReuseSample, StrideSample, TrapCounts};
+use repf_trace::{AccessKind, Pc};
+
+fn cfg() -> AnalysisConfig {
+    AnalysisConfig::default()
+}
+
+/// A profile describing one load with controllable miss behaviour and
+/// stride pattern.
+fn synthetic_profile(
+    pc: Pc,
+    n_samples: usize,
+    reuse_distance: Option<u64>, // None = all dangling (misses everywhere)
+    strides: &[i64],
+    recurrence: u64,
+) -> Profile {
+    let mut p = Profile {
+        total_refs: 10_000_000,
+        sample_period: 1000,
+        line_bytes: 64,
+        traps: TrapCounts::default(),
+        ..Profile::default()
+    };
+    for i in 0..n_samples {
+        match reuse_distance {
+            Some(d) => p.reuse.push(ReuseSample {
+                start_pc: pc,
+                start_kind: AccessKind::Load,
+                end_pc: pc,
+                end_kind: AccessKind::Load,
+                distance: d,
+                start_index: i as u64 * 1000,
+            }),
+            None => p.dangling.push(DanglingSample {
+                pc,
+                kind: AccessKind::Load,
+                start_index: i as u64 * 1000,
+            }),
+        }
+    }
+    for (i, &s) in strides.iter().cycle().take(n_samples.max(strides.len())).enumerate() {
+        p.strides.push(StrideSample {
+            pc,
+            kind: AccessKind::Load,
+            stride: s,
+            recurrence: recurrence + (i as u64 % 2),
+        });
+    }
+    p
+}
+
+#[test]
+fn always_missing_regular_load_is_planned_nta() {
+    let p = synthetic_profile(Pc(1), 200, None, &[256], 4);
+    let a = analyze(&p, &cfg());
+    let d = a.plan.get(Pc(1)).expect("planned");
+    assert_eq!(d.stride, 256);
+    assert!(d.nta, "no reuser at all → safe to bypass");
+    assert!(d.distance_bytes > 0);
+    assert_eq!(d.distance_bytes % 256, 0, "distance is whole strides");
+}
+
+#[test]
+fn l1_resident_load_fails_cost_benefit() {
+    // Reuse distance 3 → stack distance ≤ 3 → hits even tiny caches.
+    let p = synthetic_profile(Pc(2), 200, Some(3), &[64], 4);
+    let a = analyze(&p, &cfg());
+    assert!(a.plan.get(Pc(2)).is_none());
+    assert!(a
+        .rejected
+        .iter()
+        .any(|&(pc, r)| pc == Pc(2) && r == RejectReason::CostBenefit));
+}
+
+#[test]
+fn irregular_delinquent_load_is_rejected_for_stride() {
+    let p = synthetic_profile(Pc(3), 200, None, &[64, -8192, 777, 13, -4096, 99991], 4);
+    let a = analyze(&p, &cfg());
+    assert!(a.plan.get(Pc(3)).is_none());
+    assert!(a
+        .rejected
+        .iter()
+        .any(|&(pc, r)| pc == Pc(3) && r == RejectReason::IrregularStride));
+}
+
+#[test]
+fn llc_resident_load_gets_a_temporal_prefetch() {
+    // Reuse distance ≈ 30k refs → stack distance ~30k lines ≈ 2 MB:
+    // misses L1/L2, hits the 6 MB LLC. Prefetchable (latency = LLC) but
+    // NOT bypassable (its reuser — itself — reuses from the LLC).
+    let p = synthetic_profile(Pc(4), 300, Some(30_000), &[64], 4);
+    let a = analyze(&p, &cfg());
+    let d = a.plan.get(Pc(4)).expect("LLC-resident loads still benefit");
+    assert!(!d.nta, "bypassing would destroy its own LLC reuse");
+}
+
+#[test]
+fn mixed_reusers_block_bypass_conservatively() {
+    // Load A misses always; its line is re-read by load B whose own
+    // behaviour is LLC-resident (B's curve drops between L1 and LLC).
+    let mut p = synthetic_profile(Pc(5), 200, None, &[128], 4);
+    for i in 0..200u64 {
+        // A → B reuse edges.
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(5),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(6),
+            end_kind: AccessKind::Load,
+            distance: 2,
+            start_index: i * 1000 + 1,
+        });
+        // B's own backward-distance samples: LLC-resident reuse.
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(6),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(6),
+            end_kind: AccessKind::Load,
+            distance: 30_000,
+            start_index: i * 1000 + 2,
+        });
+    }
+    let a = analyze(&p, &cfg());
+    let d = a.plan.get(Pc(5)).expect("A is still prefetchable");
+    assert!(
+        !d.nta,
+        "B reuses data out of the LLC, so A must not bypass it (§VI-B)"
+    );
+}
+
+#[test]
+fn negative_stride_plans_negative_distance() {
+    let p = synthetic_profile(Pc(7), 200, None, &[-192], 6);
+    let a = analyze(&p, &cfg());
+    let d = a.plan.get(Pc(7)).expect("planned");
+    assert!(d.distance_bytes < 0);
+    assert_eq!(d.stride, -192);
+}
+
+#[test]
+fn trip_count_cap_limits_tiny_loops() {
+    // est_execs = samples × period; with one sample at period 1 the
+    // estimated trip count is 1, and P ≤ R/2 leaves no room for even one
+    // stride of lookahead.
+    let mut p = synthetic_profile(Pc(8), 1, None, &[64, 64, 64, 64], 0);
+    p.sample_period = 1; // est_execs = 1
+    let a = analyze(&p, &cfg());
+    assert!(
+        a.plan.get(Pc(8)).is_none(),
+        "a 1-execution load cannot amortize any lookahead"
+    );
+    assert!(a
+        .rejected
+        .iter()
+        .any(|&(pc, r)| pc == Pc(8) && r == RejectReason::NoDistance));
+
+    // Three executions allow exactly one stride of lookahead (P ≤ R/2),
+    // so the load is planned with the minimal distance.
+    let mut p = synthetic_profile(Pc(8), 3, None, &[64, 64, 64, 64], 0);
+    p.sample_period = 1;
+    let a = analyze(&p, &cfg());
+    assert_eq!(a.plan.get(Pc(8)).unwrap().distance_bytes, 64);
+}
+
+#[test]
+fn sub_line_stride_distance_is_line_granular() {
+    let p = synthetic_profile(Pc(9), 300, None, &[16], 1);
+    let a = analyze(&p, &cfg());
+    let d = a.plan.get(Pc(9)).expect("planned");
+    assert_eq!(d.stride, 16);
+    assert_eq!(
+        d.distance_bytes % 64,
+        0,
+        "sub-line strides prefetch whole lines (§VI-A)"
+    );
+}
+
+#[test]
+fn plans_merge_multiple_loads_independently() {
+    let mut p = synthetic_profile(Pc(10), 200, None, &[64], 2);
+    let q = synthetic_profile(Pc(11), 200, None, &[-1024], 9);
+    p.reuse.extend(q.reuse);
+    p.dangling.extend(q.dangling);
+    p.strides.extend(q.strides);
+    let a = analyze(&p, &cfg());
+    assert!(a.plan.get(Pc(10)).is_some());
+    assert!(a.plan.get(Pc(11)).is_some());
+    let d10 = a.plan.get(Pc(10)).unwrap();
+    let d11 = a.plan.get(Pc(11)).unwrap();
+    assert!(d10.distance_bytes > 0 && d11.distance_bytes < 0);
+}
+
+#[test]
+fn empty_and_stores_only_profiles_yield_empty_plans() {
+    let a = analyze(&Profile::default(), &cfg());
+    assert!(a.plan.is_empty());
+    // Store-only samples: never prefetch candidates.
+    let mut p = synthetic_profile(Pc(12), 100, None, &[64], 2);
+    for d in &mut p.dangling {
+        d.kind = AccessKind::Store;
+    }
+    for s in &mut p.strides {
+        s.kind = AccessKind::Store;
+    }
+    let a = analyze(&p, &cfg());
+    assert!(a.plan.is_empty(), "stores are not prefetched");
+}
+
+#[test]
+fn asm_rendering_roundtrips_plan_contents() {
+    let p = synthetic_profile(Pc(13), 200, None, &[64], 2);
+    let a = analyze(&p, &cfg());
+    let asm = repf_core::asm::render_plan(&a.plan);
+    assert!(asm.contains("pc0013"));
+    assert!(asm.contains("prefetch"));
+    let empty = repf_core::asm::render_plan(&PrefetchPlan::empty());
+    assert!(empty.contains("0 software prefetches"));
+}

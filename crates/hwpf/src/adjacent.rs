@@ -1,0 +1,117 @@
+//! Spatial prefetchers that react to individual misses: adjacent-line
+//! (buddy) and next-line.
+
+use crate::{HwPrefetcher, PrefetchRequest};
+use repf_cache::{HitLevel, PrefetchTarget};
+use repf_trace::Pc;
+
+/// On every off-chip miss, fetch the other half of the 128 B-aligned line
+/// pair (Intel's "spatial" / adjacent-line prefetcher).
+///
+/// Cheap and effective for code with any spatial locality, but on sparse
+/// random access it *doubles* off-chip traffic — the paper measures a
+/// 630 % traffic increase for cigar on Intel, most of it from this
+/// mechanism combined with the streamer.
+#[derive(Clone, Debug)]
+pub struct AdjacentLinePrefetcher {
+    line_bytes: u64,
+    target: PrefetchTarget,
+}
+
+impl AdjacentLinePrefetcher {
+    /// Build for the given line size.
+    pub fn new(line_bytes: u64, target: PrefetchTarget) -> Self {
+        AdjacentLinePrefetcher { line_bytes, target }
+    }
+}
+
+impl HwPrefetcher for AdjacentLinePrefetcher {
+    fn observe(&mut self, _pc: Pc, addr: u64, level: HitLevel, out: &mut Vec<PrefetchRequest>) {
+        if level != HitLevel::Dram {
+            return;
+        }
+        let line = addr / self.line_bytes;
+        let buddy = line ^ 1;
+        out.push(PrefetchRequest {
+            addr: buddy * self.line_bytes,
+            target: self.target,
+        });
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "adjacent-line"
+    }
+}
+
+/// On every off-chip miss, fetch the next sequential line.
+#[derive(Clone, Debug)]
+pub struct NextLinePrefetcher {
+    line_bytes: u64,
+    target: PrefetchTarget,
+}
+
+impl NextLinePrefetcher {
+    /// Build for the given line size.
+    pub fn new(line_bytes: u64, target: PrefetchTarget) -> Self {
+        NextLinePrefetcher { line_bytes, target }
+    }
+}
+
+impl HwPrefetcher for NextLinePrefetcher {
+    fn observe(&mut self, _pc: Pc, addr: u64, level: HitLevel, out: &mut Vec<PrefetchRequest>) {
+        if level != HitLevel::Dram {
+            return;
+        }
+        let line = addr / self.line_bytes;
+        out.push(PrefetchRequest {
+            addr: (line + 1) * self.line_bytes,
+            target: self.target,
+        });
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buddy_pairing_is_symmetric() {
+        let mut p = AdjacentLinePrefetcher::new(64, PrefetchTarget::L2);
+        let mut out = Vec::new();
+        p.observe(Pc(0), 0, HitLevel::Dram, &mut out); // line 0 → buddy 1
+        p.observe(Pc(0), 64, HitLevel::Dram, &mut out); // line 1 → buddy 0
+        p.observe(Pc(0), 130, HitLevel::Dram, &mut out); // line 2 → buddy 3
+        assert_eq!(out[0].addr, 64);
+        assert_eq!(out[1].addr, 0);
+        assert_eq!(out[2].addr, 192);
+    }
+
+    #[test]
+    fn only_dram_misses_trigger() {
+        let mut a = AdjacentLinePrefetcher::new(64, PrefetchTarget::L2);
+        let mut n = NextLinePrefetcher::new(64, PrefetchTarget::L2);
+        let mut out = Vec::new();
+        for lvl in [HitLevel::L1, HitLevel::L2, HitLevel::Llc] {
+            a.observe(Pc(0), 0, lvl, &mut out);
+            n.observe(Pc(0), 0, lvl, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn next_line_advances() {
+        let mut n = NextLinePrefetcher::new(64, PrefetchTarget::L1);
+        let mut out = Vec::new();
+        n.observe(Pc(0), 100, HitLevel::Dram, &mut out);
+        assert_eq!(out[0].addr, 128);
+        assert_eq!(out[0].target, PrefetchTarget::L1);
+    }
+}

@@ -1,0 +1,98 @@
+//! # repf-hwpf
+//!
+//! Models of the hardware prefetchers in the paper's two evaluation
+//! machines (Table II):
+//!
+//! * [`PcStridePrefetcher`] — per-instruction stride detection with a
+//!   confidence counter (AMD's L1 stride prefetcher, Intel's DCU "IP"
+//!   prefetcher).
+//! * [`StreamerPrefetcher`] — page-local miss-stream detection with a
+//!   ramping prefetch degree (AMD's DRAM/L2 prefetcher, Intel's L2
+//!   streamer).
+//! * [`AdjacentLinePrefetcher`] — fetch the 128 B-aligned buddy line on a
+//!   miss (Intel-only; the paper credits it for cigar's hardware-prefetch
+//!   speedup on Intel, and blames it for a 630 % traffic blow-up).
+//! * [`NextLinePrefetcher`] — simple next-line prefetch on a miss.
+//! * [`Throttled`] / [`Composite`] — combinators; `Throttled` reduces the
+//!   issue rate when the DRAM queue is congested, modelling the
+//!   prefetch throttling the paper observes ("modern processors throttle
+//!   down prefetching to avoid shared-resource wastage", §I) — which still
+//!   leaves substantial useless traffic at full utilization (Fig 7d).
+//!
+//! Presets for the two machines are in [`presets`].
+
+pub mod adjacent;
+pub mod ghb;
+pub mod presets;
+pub mod stride;
+pub mod streamer;
+pub mod throttle;
+
+use repf_cache::{HitLevel, PrefetchTarget};
+use repf_trace::Pc;
+
+pub use adjacent::{AdjacentLinePrefetcher, NextLinePrefetcher};
+pub use ghb::GhbPrefetcher;
+pub use presets::{amd_phenom_ii_prefetcher, intel_sandybridge_prefetcher};
+pub use stride::PcStridePrefetcher;
+pub use streamer::StreamerPrefetcher;
+pub use throttle::{Composite, Throttled};
+
+/// A prefetch the hardware wants to issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Byte address to prefetch (any address within the target line).
+    pub addr: u64,
+    /// Fill depth (see [`PrefetchTarget`]). Hardware prefetchers never use
+    /// `Nta` — non-temporal hints are a software-only capability, which is
+    /// part of the paper's argument.
+    pub target: PrefetchTarget,
+}
+
+/// Observation-driven hardware prefetcher interface.
+///
+/// The timing simulator calls [`observe`](HwPrefetcher::observe) with every
+/// demand access and the level that satisfied it; the prefetcher appends
+/// any requests it wants issued to `out`.
+pub trait HwPrefetcher {
+    /// Train on a demand access and emit prefetch requests.
+    fn observe(&mut self, pc: Pc, addr: u64, level: HitLevel, out: &mut Vec<PrefetchRequest>);
+
+    /// Inform the prefetcher of current DRAM queue pressure (cycles until
+    /// the channel drains). Only [`Throttled`] reacts; others ignore it.
+    fn set_pressure(&mut self, _pressure_cycles: u64) {}
+
+    /// Clear all training state.
+    fn reset(&mut self);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A no-op prefetcher (hardware prefetching disabled — the paper's
+/// baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoPrefetcher;
+
+impl HwPrefetcher for NoPrefetcher {
+    fn observe(&mut self, _: Pc, _: u64, _: HitLevel, _: &mut Vec<PrefetchRequest>) {}
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "off"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetcher_is_silent() {
+        let mut p = NoPrefetcher;
+        let mut out = Vec::new();
+        p.observe(Pc(1), 0, HitLevel::Dram, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "off");
+        p.reset();
+    }
+}

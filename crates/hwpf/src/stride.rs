@@ -1,0 +1,190 @@
+//! Per-instruction (PC-indexed) stride prefetcher.
+//!
+//! Classic reference-prediction-table design: a direct-mapped table keyed
+//! by PC holds the last address and last stride per instruction, plus a
+//! saturating confidence counter. Once confidence reaches the trigger the
+//! prefetcher issues `degree` requests `distance` strides ahead of the
+//! demand access on *every* subsequent access.
+//!
+//! This is the mechanism that cigar's short strided bursts exploit: by the
+//! time the table is confident, the burst is nearly over, and the
+//! speculative tail (`distance + degree` strides past the end) is pure
+//! waste — Figure 4a's 11 % hardware-prefetch *slowdown*.
+
+use crate::{HwPrefetcher, PrefetchRequest};
+use repf_cache::{HitLevel, PrefetchTarget};
+use repf_trace::Pc;
+
+#[derive(Clone, Copy, Default)]
+struct Entry {
+    tag: u32,
+    valid: bool,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// See the [module documentation](self).
+#[derive(Clone)]
+pub struct PcStridePrefetcher {
+    table: Vec<Entry>,
+    mask: usize,
+    /// Confidence needed before issuing (consecutive same-stride accesses).
+    trigger: u8,
+    /// Requests per triggering access.
+    degree: u32,
+    /// How many strides ahead the first request lands.
+    distance: u32,
+    /// Fill depth of issued requests.
+    target: PrefetchTarget,
+    /// Ignore strides of zero or sub-word wobble smaller than this.
+    min_stride: u64,
+}
+
+impl PcStridePrefetcher {
+    /// Build a prefetcher with a power-of-two `entries` table.
+    pub fn new(entries: usize, trigger: u8, degree: u32, distance: u32, target: PrefetchTarget) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(degree >= 1 && trigger >= 1);
+        PcStridePrefetcher {
+            table: vec![Entry::default(); entries],
+            mask: entries - 1,
+            trigger,
+            degree,
+            distance,
+            target,
+            min_stride: 1,
+        }
+    }
+}
+
+impl HwPrefetcher for PcStridePrefetcher {
+    fn observe(&mut self, pc: Pc, addr: u64, _level: HitLevel, out: &mut Vec<PrefetchRequest>) {
+        let ix = (pc.0 as usize) & self.mask;
+        let e = &mut self.table[ix];
+        if !e.valid || e.tag != pc.0 {
+            *e = Entry {
+                tag: pc.0,
+                valid: true,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
+            return;
+        }
+        let stride = addr.wrapping_sub(e.last_addr) as i64;
+        e.last_addr = addr;
+        if stride == 0 || stride.unsigned_abs() < self.min_stride {
+            return;
+        }
+        if stride == e.stride {
+            e.confidence = e.confidence.saturating_add(1).min(self.trigger + 1);
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+            return;
+        }
+        if e.confidence >= self.trigger {
+            for k in 0..self.degree {
+                let ahead = (self.distance + k) as i64;
+                let target_addr = addr.wrapping_add_signed(stride * ahead);
+                out.push(PrefetchRequest {
+                    addr: target_addr,
+                    target: self.target,
+                });
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Entry::default());
+    }
+
+    fn name(&self) -> &'static str {
+        "pc-stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> PcStridePrefetcher {
+        PcStridePrefetcher::new(64, 2, 2, 2, PrefetchTarget::L2)
+    }
+
+    fn feed(p: &mut PcStridePrefetcher, pc: u32, addrs: &[u64]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &a in addrs {
+            p.observe(Pc(pc), a, HitLevel::Dram, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn trains_then_prefetches_ahead() {
+        let mut p = pf();
+        // Stride 64 is learned at the 2nd access; confidence then needs
+        // two confirmations, so the first trigger fires on the 4th access
+        // (addr 192), `distance`=2 strides ahead with `degree`=2.
+        let out = feed(&mut p, 1, &[0, 64, 128, 192]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].addr, 192 + 2 * 64);
+        assert_eq!(out[1].addr, 192 + 3 * 64);
+    }
+
+    #[test]
+    fn irregular_strides_never_trigger() {
+        let mut p = pf();
+        let out = feed(&mut p, 1, &[0, 100, 64, 9000, 128, 3]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn negative_strides_supported() {
+        let mut p = pf();
+        let out = feed(&mut p, 1, &[1000, 936, 872, 808]);
+        assert!(!out.is_empty());
+        assert!(out[0].addr < 808);
+    }
+
+    #[test]
+    fn distinct_pcs_train_independently() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            p.observe(Pc(1), i * 64, HitLevel::Dram, &mut out);
+            p.observe(Pc(2), 1 << 20 | (i * 128), HitLevel::Dram, &mut out);
+        }
+        assert!(out.iter().any(|r| r.addr < 1 << 20));
+        assert!(out.iter().any(|r| r.addr >= 1 << 20));
+    }
+
+    #[test]
+    fn table_conflict_evicts_training() {
+        let mut p = PcStridePrefetcher::new(1, 2, 1, 1, PrefetchTarget::L2);
+        let mut out = Vec::new();
+        // Alternating PCs share the single entry: neither ever trains.
+        for i in 0..10u64 {
+            p.observe(Pc(1), i * 64, HitLevel::Dram, &mut out);
+            p.observe(Pc(2), i * 64, HitLevel::Dram, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_stride_is_ignored() {
+        let mut p = pf();
+        let out = feed(&mut p, 1, &[64, 64, 64, 64, 64]);
+        assert!(out.is_empty(), "re-referencing one address is not a stream");
+    }
+
+    #[test]
+    fn reset_clears_training() {
+        let mut p = pf();
+        feed(&mut p, 1, &[0, 64, 128]);
+        p.reset();
+        let out = feed(&mut p, 1, &[192, 256]);
+        assert!(out.is_empty(), "must retrain from scratch");
+    }
+}

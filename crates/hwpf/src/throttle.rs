@@ -1,0 +1,197 @@
+//! Prefetcher combinators: composition and bandwidth-aware throttling.
+
+use crate::{HwPrefetcher, PrefetchRequest};
+use repf_cache::HitLevel;
+use repf_trace::Pc;
+
+/// Run several prefetchers side by side (a real core enables its stride,
+/// streamer and spatial prefetchers simultaneously).
+pub struct Composite {
+    parts: Vec<Box<dyn HwPrefetcher>>,
+    name: &'static str,
+}
+
+impl Composite {
+    /// Combine `parts` under a display `name`.
+    pub fn new(name: &'static str, parts: Vec<Box<dyn HwPrefetcher>>) -> Self {
+        assert!(!parts.is_empty());
+        Composite { parts, name }
+    }
+}
+
+impl HwPrefetcher for Composite {
+    fn observe(&mut self, pc: Pc, addr: u64, level: HitLevel, out: &mut Vec<PrefetchRequest>) {
+        for p in &mut self.parts {
+            p.observe(pc, addr, level, out);
+        }
+    }
+
+    fn set_pressure(&mut self, pressure: u64) {
+        for p in &mut self.parts {
+            p.set_pressure(pressure);
+        }
+    }
+
+    fn reset(&mut self) {
+        for p in &mut self.parts {
+            p.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Bandwidth-aware throttle: when the DRAM queue is congested, cap the
+/// number of requests per observation; under heavy congestion, suppress
+/// prefetching entirely.
+///
+/// The thresholds are in cycles of queue drain time. The paper notes that
+/// real prefetchers throttle under contention yet still cause significant
+/// useless traffic at full utilization (Fig 7d) — this model reproduces
+/// that: between `soft` and `hard` pressure one request per access still
+/// slips through.
+pub struct Throttled<P> {
+    inner: P,
+    soft_pressure: u64,
+    hard_pressure: u64,
+    pressure: u64,
+    suppressed: u64,
+}
+
+impl<P: HwPrefetcher> Throttled<P> {
+    /// Wrap `inner` with the given pressure thresholds (cycles).
+    pub fn new(inner: P, soft_pressure: u64, hard_pressure: u64) -> Self {
+        assert!(soft_pressure <= hard_pressure);
+        Throttled {
+            inner,
+            soft_pressure,
+            hard_pressure,
+            pressure: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Requests dropped by throttling so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl<P: HwPrefetcher> HwPrefetcher for Throttled<P> {
+    fn observe(&mut self, pc: Pc, addr: u64, level: HitLevel, out: &mut Vec<PrefetchRequest>) {
+        let before = out.len();
+        self.inner.observe(pc, addr, level, out);
+        let produced = out.len() - before;
+        if produced == 0 {
+            return;
+        }
+        let keep = if self.pressure >= self.hard_pressure {
+            0
+        } else if self.pressure >= self.soft_pressure {
+            1
+        } else {
+            produced
+        };
+        if keep < produced {
+            self.suppressed += (produced - keep) as u64;
+            out.truncate(before + keep);
+        }
+    }
+
+    fn set_pressure(&mut self, pressure: u64) {
+        self.pressure = pressure;
+        self.inner.set_pressure(pressure);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.pressure = 0;
+        self.suppressed = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacent::NextLinePrefetcher;
+    use repf_cache::PrefetchTarget;
+
+    fn next_line() -> NextLinePrefetcher {
+        NextLinePrefetcher::new(64, PrefetchTarget::L2)
+    }
+
+    #[test]
+    fn composite_merges_requests() {
+        let mut c = Composite::new(
+            "both",
+            vec![Box::new(next_line()), Box::new(next_line())],
+        );
+        let mut out = Vec::new();
+        c.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(c.name(), "both");
+    }
+
+    #[test]
+    fn no_pressure_passes_everything() {
+        let mut t = Throttled::new(next_line(), 100, 200);
+        let mut out = Vec::new();
+        t.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(t.suppressed(), 0);
+    }
+
+    #[test]
+    fn soft_pressure_caps_to_one() {
+        let c = Composite::new(
+            "both",
+            vec![Box::new(next_line()), Box::new(next_line())],
+        );
+        let mut t = Throttled::new(c, 100, 200);
+        t.set_pressure(150);
+        let mut out = Vec::new();
+        t.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(t.suppressed(), 1);
+    }
+
+    #[test]
+    fn hard_pressure_suppresses_all() {
+        let mut t = Throttled::new(next_line(), 100, 200);
+        t.set_pressure(500);
+        let mut out = Vec::new();
+        t.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.suppressed(), 1);
+    }
+
+    #[test]
+    fn pressure_release_restores_issue() {
+        let mut t = Throttled::new(next_line(), 100, 200);
+        t.set_pressure(500);
+        let mut out = Vec::new();
+        t.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        t.set_pressure(0);
+        t.observe(Pc(0), 64, HitLevel::Dram, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_pressure_and_counters() {
+        let mut t = Throttled::new(next_line(), 1, 1);
+        t.set_pressure(5);
+        let mut out = Vec::new();
+        t.observe(Pc(0), 0, HitLevel::Dram, &mut out);
+        assert_eq!(t.suppressed(), 1);
+        t.reset();
+        assert_eq!(t.suppressed(), 0);
+        t.observe(Pc(0), 64, HitLevel::Dram, &mut out);
+        assert!(!out.is_empty(), "pressure cleared by reset");
+    }
+}

@@ -1,0 +1,123 @@
+//! Bootstrap confidence intervals for mix-study means.
+//!
+//! The paper reports point averages over 180 random mixes; this
+//! reproduction sometimes runs fewer (see `REPF_MIXES`), so its reports
+//! attach a deterministic bootstrap CI to every mean — making "SW+NT
+//! beats HW by X % on average" checkable against sampling noise.
+
+/// A two-sided confidence interval for a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Does the interval exclude `value`? (e.g. `excludes(0.0)` = "the
+    /// improvement is distinguishable from zero at this level".)
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+/// Percentile-bootstrap CI of the mean with `resamples` draws, seeded for
+/// reproducibility. `level` is the two-sided confidence (0.95 → 2.5 % per
+/// tail). Panics on an empty sample or a silly level.
+pub fn bootstrap_mean_ci(values: &[f64], level: f64, resamples: usize, seed: u64) -> ConfidenceInterval {
+    assert!(!values.is_empty(), "need data");
+    assert!((0.5..1.0).contains(&level), "level in [0.5, 1)");
+    assert!(resamples >= 100);
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+
+    // Small xorshift, inline to keep this crate dependency-free.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let ix = (next() % n as u64) as usize;
+            acc += values[ix];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let tail = (1.0 - level) / 2.0;
+    let lo_ix = ((resamples as f64) * tail) as usize;
+    let hi_ix = (((resamples as f64) * (1.0 - tail)) as usize).min(resamples - 1);
+    ConfidenceInterval {
+        mean,
+        lo: means[lo_ix],
+        hi: means[hi_ix],
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_data_has_degenerate_ci() {
+        let ci = bootstrap_mean_ci(&[2.0; 50], 0.95, 500, 7);
+        assert_eq!(ci.mean, 2.0);
+        assert_eq!(ci.lo, 2.0);
+        assert_eq!(ci.hi, 2.0);
+        assert_eq!(ci.width(), 0.0);
+        assert!(ci.excludes(0.0));
+        assert!(!ci.excludes(2.0));
+    }
+
+    #[test]
+    fn ci_brackets_the_mean_and_is_deterministic() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let a = bootstrap_mean_ci(&vals, 0.95, 1000, 42);
+        let b = bootstrap_mean_ci(&vals, 0.95, 1000, 42);
+        assert_eq!(a, b, "seeded bootstrap is reproducible");
+        assert!(a.lo <= a.mean && a.mean <= a.hi);
+        assert!((a.mean - 4.5).abs() < 1e-12);
+        // With 100 points spread 0..9 the CI of the mean is well under ±1.
+        assert!(a.width() < 2.0);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let vals: Vec<f64> = (0..60).map(|i| (i as f64).sin()).collect();
+        let c90 = bootstrap_mean_ci(&vals, 0.90, 2000, 3);
+        let c99 = bootstrap_mean_ci(&vals, 0.99, 2000, 3);
+        assert!(c99.width() >= c90.width());
+    }
+
+    #[test]
+    fn detects_a_real_separation() {
+        // Two clearly separated populations: their mean-difference CI
+        // excludes zero.
+        let diffs: Vec<f64> = (0..80).map(|i| 0.08 + ((i % 7) as f64 - 3.0) * 0.01).collect();
+        let ci = bootstrap_mean_ci(&diffs, 0.95, 1000, 9);
+        assert!(ci.excludes(0.0), "{ci:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need data")]
+    fn empty_rejected() {
+        bootstrap_mean_ci(&[], 0.95, 1000, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sorted distribution functions — the presentation of Figures 7 and 9:
+//! "in 60 % of the mixes, our method improves throughput by at least 14 %".
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of per-run values with distribution queries. Values are
+/// kept sorted ascending.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Distribution {
+    sorted: Vec<f64>,
+}
+
+impl Distribution {
+    /// Build from raw values (NaNs are rejected).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "finite values only");
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Distribution { sorted: values }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum / maximum.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// See [`min`](Self::min).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let ix = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[ix]
+    }
+
+    /// Fraction of values `≥ threshold` — reads like the paper: "X % of
+    /// the mixes improve by at least `threshold`".
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&v| v < threshold);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of values `≤ threshold`.
+    pub fn fraction_at_most(&self, threshold: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let at_most = self.sorted.partition_point(|&v| v <= threshold);
+        at_most as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted series, ascending — the x-axis of a Figure 7-style plot
+    /// ("Runs" percentile vs value).
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample the sorted series at `points` evenly spaced percentiles
+    /// (including both ends): the printable form of the paper's
+    /// distribution plots.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (q, self.quantile(q))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> Distribution {
+        Distribution::new(vec![0.1, 0.5, 0.2, 0.4, 0.3])
+    }
+
+    #[test]
+    fn sorted_and_stats() {
+        let d = dist();
+        assert_eq!(d.sorted(), &[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!((d.mean() - 0.3).abs() < 1e-12);
+        assert_eq!(d.min(), 0.1);
+        assert_eq!(d.max(), 0.5);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = dist();
+        assert_eq!(d.quantile(0.0), 0.1);
+        assert_eq!(d.quantile(0.5), 0.3);
+        assert_eq!(d.quantile(1.0), 0.5);
+    }
+
+    #[test]
+    fn fractions_read_like_the_paper() {
+        let d = dist();
+        // "60 % of the mixes improve by at least 0.3"
+        assert!((d.fraction_at_least(0.3) - 0.6).abs() < 1e-12);
+        assert!((d.fraction_at_most(0.2) - 0.4).abs() < 1e-12);
+        assert_eq!(d.fraction_at_least(f64::MIN), 1.0);
+    }
+
+    #[test]
+    fn series_covers_both_ends() {
+        let s = dist().series(5);
+        assert_eq!(s.first().unwrap().1, 0.1);
+        assert_eq!(s.last().unwrap().1, 0.5);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_distribution_is_safe() {
+        let d = Distribution::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.quantile(0.5), 0.0);
+        assert_eq!(d.fraction_at_least(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Distribution::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,95 @@
+//! # repf-metrics
+//!
+//! Multiprogrammed-performance metrics exactly as the paper defines them
+//! (§VII-C/D, after Srikantaiah et al.):
+//!
+//! * **weighted speedup** (throughput): the mean of per-application
+//!   speedups over the baseline mix;
+//! * **fair speedup**: the harmonic mean of per-application speedups —
+//!   `FS = N / Σ (T_prefetch / T_base)`;
+//! * **QoS**: cumulative slowdown, `Σ min(0, T_base/T_prefetch − 1)` —
+//!   zero when no application in the mix ever slows down;
+//! * sorted **distribution functions** for the Figure 7/9-style plots;
+//! * plain-text table rendering for the figure/table regeneration
+//!   binaries.
+
+pub mod ci;
+pub mod distribution;
+pub mod table;
+
+pub use ci::{bootstrap_mean_ci, ConfidenceInterval};
+pub use distribution::Distribution;
+pub use table::Table;
+
+/// Speedup of a run against its baseline: `base_time / policy_time`
+/// (equivalently with cycles). Values above 1 are improvements.
+pub fn speedup(base_cycles: u64, policy_cycles: u64) -> f64 {
+    assert!(policy_cycles > 0, "a run takes time");
+    base_cycles as f64 / policy_cycles as f64
+}
+
+/// Weighted speedup (the paper's throughput metric): arithmetic mean of
+/// per-application speedups.
+pub fn weighted_speedup(per_app: &[f64]) -> f64 {
+    assert!(!per_app.is_empty());
+    per_app.iter().sum::<f64>() / per_app.len() as f64
+}
+
+/// Fair speedup: harmonic mean of per-application speedups,
+/// `N / Σ (1/s_i)`. Penalizes mixes that speed some applications up by
+/// slowing others down.
+pub fn fair_speedup(per_app: &[f64]) -> f64 {
+    assert!(!per_app.is_empty());
+    assert!(per_app.iter().all(|&s| s > 0.0));
+    per_app.len() as f64 / per_app.iter().map(|s| 1.0 / s).sum::<f64>()
+}
+
+/// QoS degradation: `Σ min(0, s_i − 1)`. Zero is ideal (no application
+/// slowed down); more negative is worse.
+pub fn qos(per_app: &[f64]) -> f64 {
+    per_app.iter().map(|&s| (s - 1.0).min(0.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(200, 100), 2.0);
+        assert_eq!(speedup(100, 200), 0.5);
+    }
+
+    #[test]
+    fn weighted_is_arithmetic_mean() {
+        assert!((weighted_speedup(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_speedup_is_harmonic_and_below_weighted() {
+        let s = [2.0, 1.0, 1.0, 0.5];
+        let fs = fair_speedup(&s);
+        let ws = weighted_speedup(&s);
+        assert!(fs <= ws, "harmonic ≤ arithmetic");
+        // Harmonic mean of [2, 0.5] is 0.8.
+        assert!((fair_speedup(&[2.0, 0.5]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_speedup_equal_speeds() {
+        assert!((fair_speedup(&[1.3, 1.3, 1.3, 1.3]) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qos_only_counts_slowdowns() {
+        assert_eq!(qos(&[1.5, 2.0]), 0.0, "no slowdown, perfect QoS");
+        assert!((qos(&[1.5, 0.9, 0.8]) - (-0.3)).abs() < 1e-12);
+        assert!(qos(&[0.5]) < qos(&[0.9]), "more negative is worse");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_time_rejected() {
+        speedup(10, 0);
+    }
+}

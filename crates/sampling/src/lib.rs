@@ -1,0 +1,29 @@
+//! # repf-sampling
+//!
+//! Sparse runtime sampling of **data reuse**, **per-instruction stride**
+//! and **recurrence** — the integrated sampling pass of the paper (§III,
+//! Figure 2), modelled after the hardware watchpoint/breakpoint sampler of
+//! Sembrant et al. (CGO 2012) that the paper extends.
+//!
+//! A randomly selected memory reference (1 in `sample_period` on average,
+//! the paper uses 1 in 100 000) arms two monitors:
+//!
+//! 1. a **watchpoint** on the cache line it touched — the next access to
+//!    that line yields a *reuse sample*: the number of intervening memory
+//!    references (the reuse distance), plus the PCs on both ends (needed by
+//!    the cache-bypassing analysis to find *data-reusing loads*, §VI-B);
+//! 2. a **breakpoint** on the sampled instruction — its next execution
+//!    yields a *stride sample*: the difference between the two data
+//!    addresses, and the *recurrence* (intervening references between the
+//!    two executions, used for prefetch-distance computation, §VI-A).
+//!
+//! Lines never re-accessed become *dangling samples* (cold misses at every
+//! cache size). The paper implements the monitors with debug registers and
+//! performance counters; here they are hash-map lookups over the simulated
+//! reference stream — the recorded information is identical.
+
+pub mod sampler;
+pub mod samples;
+
+pub use sampler::{Sampler, SamplerConfig};
+pub use samples::{DanglingSample, Profile, ReuseSample, StrideSample, TrapCounts};

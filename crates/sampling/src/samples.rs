@@ -1,0 +1,290 @@
+//! Sample records produced by the sparse sampler and the aggregate
+//! [`Profile`] consumed by StatStack and the prefetching analysis.
+
+use repf_trace::hash::FxHashMap;
+use repf_trace::{AccessKind, Pc};
+use serde::{Deserialize, Serialize};
+
+/// A completed data-reuse sample: two consecutive accesses to the same
+/// cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseSample {
+    /// Instruction whose access armed the watchpoint.
+    pub start_pc: Pc,
+    /// Whether the arming access was a load or a store.
+    pub start_kind: AccessKind,
+    /// Instruction that re-accessed the line (a *data-reusing load* for
+    /// the cache-bypassing analysis when it is a load). The measured
+    /// distance is this access's *backward* reuse distance, so per-PC
+    /// miss ratios attribute completed samples to `end_pc`.
+    pub end_pc: Pc,
+    /// Whether the re-access was a load or a store.
+    pub end_kind: AccessKind,
+    /// Number of memory references strictly between the two accesses
+    /// (the paper's reuse distance, Figure 2).
+    pub distance: u64,
+    /// Reference index of the arming access (for phase analyses).
+    pub start_index: u64,
+}
+
+/// A watchpoint that never fired: the line was not re-accessed before the
+/// end of the run. Modelled as an infinite reuse distance (a miss at every
+/// cache size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DanglingSample {
+    /// Instruction whose access armed the watchpoint.
+    pub pc: Pc,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Reference index of the arming access.
+    pub start_index: u64,
+}
+
+/// A completed per-instruction stride sample: two consecutive executions
+/// of the same instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideSample {
+    /// The sampled instruction.
+    pub pc: Pc,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Byte difference between the second and first data address.
+    pub stride: i64,
+    /// Memory references strictly between the two executions — the
+    /// *recurrence* of Figure 2.
+    pub recurrence: u64,
+}
+
+/// Trap counts of a sampling pass — the basis of the overhead model
+/// (the paper's framework keeps runtime overhead below ~30 %: reuse
+/// sampling alone below 20 %, §III).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrapCounts {
+    /// Samples armed (counter-overflow interrupt + watchpoint/breakpoint
+    /// setup).
+    pub arms: u64,
+    /// Watchpoint traps (line re-accessed).
+    pub watchpoint_fires: u64,
+    /// Breakpoint traps (instruction re-executed).
+    pub breakpoint_fires: u64,
+}
+
+impl TrapCounts {
+    /// Total traps taken.
+    pub fn total(&self) -> u64 {
+        self.arms + self.watchpoint_fires + self.breakpoint_fires
+    }
+
+    /// Estimated runtime overhead as a fraction of native execution,
+    /// given a per-trap cost expressed in memory-reference equivalents
+    /// (a few thousand on real hardware: interrupt + ptrace round trip).
+    pub fn estimated_overhead(&self, refs_per_trap: f64, total_refs: u64) -> f64 {
+        if total_refs == 0 {
+            return 0.0;
+        }
+        self.total() as f64 * refs_per_trap / total_refs as f64
+    }
+}
+
+/// Everything one sampling pass produces.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// Total references in the profiled run.
+    pub total_refs: u64,
+    /// Mean sampling period used (references per sample).
+    pub sample_period: u64,
+    /// Cache-line size the watchpoints used.
+    pub line_bytes: u64,
+    /// Completed reuse samples.
+    pub reuse: Vec<ReuseSample>,
+    /// Never-reused samples.
+    pub dangling: Vec<DanglingSample>,
+    /// Completed stride samples.
+    pub strides: Vec<StrideSample>,
+    /// Trap counts for the overhead model.
+    pub traps: TrapCounts,
+}
+
+impl Profile {
+    /// Total number of reuse-type samples taken (completed + dangling).
+    pub fn sample_count(&self) -> usize {
+        self.reuse.len() + self.dangling.len()
+    }
+
+    /// Number of samples *started* at each PC. Because sampling is uniform
+    /// over references, `starts × sample_period` estimates the PC's
+    /// dynamic execution count — used to estimate trip counts for the
+    /// `P ≤ R/2` prefetch-distance cap (§VI-A).
+    pub fn pc_sample_starts(&self) -> FxHashMap<Pc, u64> {
+        let mut m: FxHashMap<Pc, u64> = FxHashMap::default();
+        for r in &self.reuse {
+            *m.entry(r.start_pc).or_default() += 1;
+        }
+        for d in &self.dangling {
+            *m.entry(d.pc).or_default() += 1;
+        }
+        m
+    }
+
+    /// Estimated dynamic execution count of `pc` (see
+    /// [`pc_sample_starts`](Self::pc_sample_starts)).
+    pub fn estimated_execs(&self, pc: Pc) -> u64 {
+        let starts = self
+            .reuse
+            .iter()
+            .filter(|r| r.start_pc == pc)
+            .count()
+            .saturating_add(self.dangling.iter().filter(|d| d.pc == pc).count());
+        starts as u64 * self.sample_period
+    }
+
+    /// Stride samples recorded for `pc`.
+    pub fn strides_of(&self, pc: Pc) -> impl Iterator<Item = &StrideSample> {
+        self.strides.iter().filter(move |s| s.pc == pc)
+    }
+
+    /// All PCs that started at least one sample, sorted.
+    pub fn sampled_pcs(&self) -> Vec<Pc> {
+        let mut v: Vec<Pc> = self.pc_sample_starts().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Load PCs with model data (prefetch candidates), sorted: loads that
+    /// appear as the re-accessing end of a completed sample, or armed a
+    /// sample that dangled (cold misses).
+    pub fn sampled_load_pcs(&self) -> Vec<Pc> {
+        let mut v: Vec<Pc> = Vec::new();
+        for r in &self.reuse {
+            if r.end_kind == AccessKind::Load {
+                v.push(r.end_pc);
+            }
+        }
+        for d in &self.dangling {
+            if d.kind == AccessKind::Load {
+                v.push(d.pc);
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Loads that re-accessed lines armed by `pc` — the *data-reusing
+    /// loads* of the cache-bypassing analysis (§VI-B), with occurrence
+    /// counts.
+    pub fn data_reusers_of(&self, pc: Pc) -> FxHashMap<Pc, u64> {
+        let mut m: FxHashMap<Pc, u64> = FxHashMap::default();
+        for r in &self.reuse {
+            if r.start_pc == pc {
+                *m.entry(r.end_pc).or_default() += 1;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        Profile {
+            total_refs: 1000,
+            sample_period: 10,
+            line_bytes: 64,
+            reuse: vec![
+                ReuseSample {
+                    start_pc: Pc(1),
+                    start_kind: AccessKind::Load,
+                    end_pc: Pc(2),
+                    end_kind: AccessKind::Load,
+                    distance: 5,
+                    start_index: 0,
+                },
+                ReuseSample {
+                    start_pc: Pc(1),
+                    start_kind: AccessKind::Load,
+                    end_pc: Pc(2),
+                    end_kind: AccessKind::Load,
+                    distance: 7,
+                    start_index: 100,
+                },
+                ReuseSample {
+                    start_pc: Pc(1),
+                    start_kind: AccessKind::Load,
+                    end_pc: Pc(3),
+                    end_kind: AccessKind::Store,
+                    distance: 9,
+                    start_index: 200,
+                },
+            ],
+            dangling: vec![DanglingSample {
+                pc: Pc(4),
+                kind: AccessKind::Store,
+                start_index: 300,
+            }],
+            strides: vec![StrideSample {
+                pc: Pc(1),
+                kind: AccessKind::Load,
+                stride: 64,
+                recurrence: 3,
+            }],
+            traps: TrapCounts::default(),
+        }
+    }
+
+    #[test]
+    fn sample_count_includes_dangling() {
+        assert_eq!(profile().sample_count(), 4);
+    }
+
+    #[test]
+    fn trap_overhead_model() {
+        let t = TrapCounts {
+            arms: 100,
+            watchpoint_fires: 90,
+            breakpoint_fires: 85,
+        };
+        assert_eq!(t.total(), 275);
+        // 275 traps × 6000-reference cost over 10M references ≈ 16.5 %.
+        let oh = t.estimated_overhead(6000.0, 10_000_000);
+        assert!((oh - 0.165).abs() < 1e-9);
+        assert_eq!(TrapCounts::default().estimated_overhead(6000.0, 0), 0.0);
+    }
+
+    #[test]
+    fn pc_starts_and_estimated_execs() {
+        let p = profile();
+        let starts = p.pc_sample_starts();
+        assert_eq!(starts[&Pc(1)], 3);
+        assert_eq!(starts[&Pc(4)], 1);
+        assert_eq!(p.estimated_execs(Pc(1)), 30);
+        assert_eq!(p.estimated_execs(Pc(9)), 0);
+    }
+
+    #[test]
+    fn data_reusers_counts_end_pcs() {
+        let p = profile();
+        let reusers = p.data_reusers_of(Pc(1));
+        assert_eq!(reusers[&Pc(2)], 2);
+        assert_eq!(reusers[&Pc(3)], 1);
+        assert!(p.data_reusers_of(Pc(4)).is_empty());
+    }
+
+    #[test]
+    fn load_pcs_are_reusing_ends_plus_dangling_starts() {
+        let p = profile();
+        // Pc(2) re-accesses as a load; Pc(3) re-accesses as a store; the
+        // dangling start Pc(4) is a store.
+        assert_eq!(p.sampled_load_pcs(), vec![Pc(2)]);
+        assert_eq!(p.sampled_pcs(), vec![Pc(1), Pc(4)]);
+    }
+
+    #[test]
+    fn strides_of_filters() {
+        let p = profile();
+        assert_eq!(p.strides_of(Pc(1)).count(), 1);
+        assert_eq!(p.strides_of(Pc(2)).count(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # repf-sim
+//!
+//! The multicore timing simulator that plays the role of the paper's two
+//! evaluation machines (Table II):
+//!
+//! * [`machine`] — per-machine configuration: cache geometry, effective
+//!   latencies, DRAM bandwidth, frequency and the hardware-prefetcher
+//!   flavour (AMD Phenom II-like and Intel i7-2600K-like presets);
+//! * [`policy`] — the five prefetch policies of the evaluation: baseline
+//!   (no prefetching), hardware prefetching, software prefetching with and
+//!   without cache bypassing, and the stride-centric prior-work baseline;
+//! * [`runner`] — the core timing loop: in-order cores with a base
+//!   cycles-per-reference cost plus demand-visible memory stalls, software
+//!   prefetch issue (α = 1 cycle per executed prefetch instruction) and
+//!   hardware prefetcher training;
+//! * [`solo`] — profile → analyze → plan → run pipelines for
+//!   single-benchmark experiments (Figures 4–6, Table I);
+//! * [`mixes`] — the 180 random 4-application mixed workloads (Figures
+//!   7–11) and parallel workloads (Figure 12).
+//!
+//! ## Timing model
+//!
+//! Latencies are *effective* (demand-visible) values: real out-of-order
+//! cores overlap a large part of each miss with independent work and other
+//! misses, so the configured L2/LLC/DRAM stall values are calibrated as
+//! `raw latency / typical MLP`, not DRAM datasheet numbers. Bandwidth is
+//! modelled exactly (line transfers occupy the shared channel), so
+//! saturation and queueing — the contention effects the paper's multicore
+//! results hinge on — emerge naturally.
+
+pub mod adaptive;
+pub mod machine;
+pub mod mixes;
+pub mod policy;
+pub mod runner;
+pub mod solo;
+
+pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutcome};
+pub use machine::{amd_phenom_ii, intel_i7_2600k, HwPfKind, MachineConfig};
+pub use mixes::{generate_mixes, random_inputs, run_mix, MixOutcome, MixSpec, PlanCache};
+pub use policy::Policy;
+pub use runner::{CoreSetup, Sim, SoloOutcome};
+pub use solo::{prepare, prepare_parallel, run_policy, BenchPlans, ParallelPlans};

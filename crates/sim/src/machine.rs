@@ -1,0 +1,187 @@
+//! Machine configurations for the paper's Table II processors.
+
+use repf_cache::{CacheConfig, DramConfig, HierarchyConfig};
+use repf_core::AnalysisConfig;
+use repf_hwpf::{amd_phenom_ii_prefetcher, intel_sandybridge_prefetcher, HwPrefetcher};
+use serde::{Deserialize, Serialize};
+
+/// Which hardware-prefetcher preset a machine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HwPfKind {
+    /// Stride + streamer (no adjacent-line), AMD Family 10h style.
+    Amd,
+    /// Stride + streamer + adjacent-line, Sandy Bridge style.
+    Intel,
+}
+
+/// A modelled machine.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Display name (matches the paper's Table II).
+    pub name: &'static str,
+    /// Core frequency in GHz (converts cycles to seconds / GB/s).
+    pub freq_ghz: f64,
+    /// Cache hierarchy and DRAM channel.
+    pub hierarchy: HierarchyConfig,
+    /// Hardware prefetcher flavour.
+    pub hw: HwPfKind,
+    /// Cycles one executed software prefetch instruction costs (α).
+    pub sw_prefetch_cost: f64,
+    /// Sampling period for the profiling pass. The paper samples
+    /// 1 in 100 000 of ~10¹¹-reference SPEC runs; our nominal runs are
+    /// ~2×10⁶ references, so the scaled-down analog keeps the *number of
+    /// samples* (a few thousand) comparable rather than the ratio.
+    pub profile_period: u64,
+}
+
+/// AMD Phenom II X4 (Table II): 64 kB L1, 512 kB L2, 6 MB shared LLC,
+/// 2.8 GHz. Peak DRAM bandwidth ≈ 10 GB/s.
+pub fn amd_phenom_ii() -> MachineConfig {
+    MachineConfig {
+        name: "AMD Phenom II",
+        freq_ghz: 2.8,
+        hierarchy: HierarchyConfig {
+            l1: CacheConfig::new(64 * 1024, 2, 64),
+            l2: CacheConfig::new(512 * 1024, 16, 64),
+            llc: CacheConfig::new(6 * 1024 * 1024, 48, 64),
+            lat_l2: 5,
+            lat_llc: 16,
+            dram: DramConfig {
+                latency_cycles: 26,
+                service_cycles: 22,
+                line_bytes: 64,
+            },
+        },
+        hw: HwPfKind::Amd,
+        sw_prefetch_cost: 1.0,
+        profile_period: 1009,
+    }
+}
+
+/// Intel Core i7-2600K (Table II): 32 kB L1, 256 kB L2, 8 MB shared LLC,
+/// 3.4 GHz. Peak DRAM bandwidth ≈ 15.6 GB/s (the paper's streams
+/// measurement).
+pub fn intel_i7_2600k() -> MachineConfig {
+    MachineConfig {
+        name: "Intel i7-2600K",
+        freq_ghz: 3.4,
+        hierarchy: HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 8, 64),
+            l2: CacheConfig::new(256 * 1024, 8, 64),
+            llc: CacheConfig::new(8 * 1024 * 1024, 16, 64),
+            lat_l2: 4,
+            lat_llc: 12,
+            dram: DramConfig {
+                latency_cycles: 22,
+                service_cycles: 15,
+                line_bytes: 64,
+            },
+        },
+        hw: HwPfKind::Intel,
+        sw_prefetch_cost: 1.0,
+        profile_period: 1009,
+    }
+}
+
+impl MachineConfig {
+    /// Instantiate this machine's hardware prefetcher (one per core).
+    pub fn make_hw_prefetcher(&self) -> Box<dyn HwPrefetcher> {
+        let lb = self.hierarchy.l1.line_bytes;
+        match self.hw {
+            HwPfKind::Amd => amd_phenom_ii_prefetcher(lb),
+            HwPfKind::Intel => intel_sandybridge_prefetcher(lb),
+        }
+    }
+
+    /// Analysis configuration for this machine, given the measured average
+    /// cycles per memory operation (Δ) of the profiled benchmark.
+    pub fn analysis_config(&self, delta: f64) -> AnalysisConfig {
+        let h = &self.hierarchy;
+        AnalysisConfig {
+            l1_bytes: h.l1.size_bytes,
+            l2_bytes: h.l2.size_bytes,
+            llc_bytes: h.llc.size_bytes,
+            line_bytes: h.l1.line_bytes,
+            lat_l2: h.lat_l2 as f64,
+            lat_llc: h.lat_llc as f64,
+            lat_dram: (h.dram.latency_cycles + h.dram.service_cycles) as f64,
+            alpha: self.sw_prefetch_cost,
+            delta,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Convert a cycle count to seconds.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Average off-chip bandwidth in GB/s for `bytes` moved over `cycles`.
+    pub fn gb_per_s(&self, bytes: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.seconds(cycles) / 1e9
+    }
+
+    /// Peak DRAM bandwidth in GB/s (sanity checks, Figure 8/12 captions).
+    pub fn peak_gb_per_s(&self) -> f64 {
+        self.hierarchy.dram.peak_bytes_per_cycle() * self.freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometries() {
+        let amd = amd_phenom_ii();
+        assert_eq!(amd.hierarchy.l1.size_bytes, 64 * 1024);
+        assert_eq!(amd.hierarchy.llc.size_bytes, 6 << 20);
+        let intel = intel_i7_2600k();
+        assert_eq!(intel.hierarchy.l1.size_bytes, 32 * 1024);
+        assert_eq!(intel.hierarchy.llc.size_bytes, 8 << 20);
+        assert!(intel.freq_ghz > amd.freq_ghz);
+    }
+
+    #[test]
+    fn peak_bandwidths_match_paper_scale() {
+        // The paper's Intel machine measured 15.6 GB/s with streams but
+        // achieved at most 13.6 GB/s under real mixes (Fig 8); the
+        // channel is calibrated between those. AMD's DDR2/3 platform
+        // lands near 8 GB/s.
+        let i = intel_i7_2600k().peak_gb_per_s();
+        assert!((13.0..16.0).contains(&i), "intel peak {i}");
+        let a = amd_phenom_ii().peak_gb_per_s();
+        assert!((7.0..10.0).contains(&a), "amd peak {a}");
+    }
+
+    #[test]
+    fn analysis_config_reflects_machine() {
+        let m = intel_i7_2600k();
+        let c = m.analysis_config(2.5);
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.delta, 2.5);
+        assert!(c.lat_dram > c.lat_llc);
+        c.validate();
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let m = amd_phenom_ii();
+        assert!((m.seconds(2_800_000_000) - 1.0).abs() < 1e-9);
+        // 64 B per 18 cycles at 2.8 GHz ≈ 9.95 GB/s.
+        let g = m.gb_per_s(64, 18);
+        assert!((g - 9.95).abs() < 0.1, "{g}");
+    }
+
+    #[test]
+    fn prefetchers_instantiate() {
+        assert!(amd_phenom_ii().make_hw_prefetcher().name().contains("amd"));
+        assert!(intel_i7_2600k()
+            .make_hw_prefetcher()
+            .name()
+            .contains("intel"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Single-benchmark pipelines: sampling pass → analysis → plans → policy
+//! runs. This is the programmatic form of the paper's Figure 1 framework
+//! plus the §VII evaluation flow.
+
+use crate::machine::MachineConfig;
+use crate::policy::Policy;
+use crate::runner::{CoreSetup, Sim, SoloOutcome};
+use repf_core::{analyze, stride_centric_plan, Analysis, PrefetchPlan};
+use repf_sampling::{Profile, Sampler, SamplerConfig};
+use repf_trace::TraceSourceExt;
+use repf_workloads::{build, BenchmarkId, BuildOptions, ParallelId, Workload};
+
+/// Everything the profiling + analysis passes produce for one benchmark
+/// on one machine.
+pub struct BenchPlans {
+    /// The benchmark.
+    pub id: BenchmarkId,
+    /// Measured average cycles per memory operation (Δ) from the baseline
+    /// run — the paper measures this with performance counters (§VI-A).
+    pub delta: f64,
+    /// Full MDDLI analysis (delinquent loads, rejections, plan).
+    pub analysis: Analysis,
+    /// The full plan with non-temporal hints ("Soft. Pref.+NT").
+    pub plan_nt: PrefetchPlan,
+    /// The same plan with NT hints stripped ("Software Pref.").
+    pub plan_plain: PrefetchPlan,
+    /// The stride-centric baseline plan.
+    pub stride_centric: PrefetchPlan,
+    /// The sampling profile (reused by Table I / coverage reporting).
+    pub profile: Profile,
+    /// Baseline solo outcome (reused as the speedup denominator).
+    pub baseline: SoloOutcome,
+}
+
+fn workload_setup(w: Workload, policy: Policy, plans: Option<&BenchPlans>, machine: &MachineConfig) -> CoreSetup {
+    let base_cpr = w.base_cpr;
+    let target_refs = w.nominal_refs;
+    let plan = plans.and_then(|p| match policy {
+        Policy::Baseline | Policy::Hardware => None,
+        Policy::Software => Some(p.plan_plain.clone()),
+        Policy::SoftwareNt | Policy::Combined => Some(p.plan_nt.clone()),
+        Policy::StrideCentric => Some(p.stride_centric.clone()),
+    });
+    let hw = policy
+        .uses_hardware()
+        .then(|| machine.make_hw_prefetcher());
+    CoreSetup {
+        source: Box::new(w.cycle()),
+        base_cpr,
+        plan,
+        hw,
+        target_refs,
+    }
+}
+
+/// Run the sampling pass and both analyses for `id` on `machine`.
+///
+/// The profile is gathered on the `opts.input` input (use [`InputSet::Ref`]
+/// for the paper's methodology — plans are then reused unchanged for
+/// alternate inputs in the §VII-D study).
+///
+/// [`InputSet::Ref`]: repf_workloads::InputSet::Ref
+/// How much longer the profiling window is than one timed run. Reuse
+/// edges that span a full pass over a large data structure (e.g. a
+/// table's pass-to-pass reuse) only complete if the window covers at
+/// least two passes; the paper profiles entire SPEC executions, which are
+/// ~10⁵ passes long, so a generous window is the faithful scaled-down
+/// analog.
+pub const PROFILE_WINDOW: f64 = 5.0;
+
+pub fn prepare(id: BenchmarkId, machine: &MachineConfig, opts: &BuildOptions) -> BenchPlans {
+    // Step 1-2: integrated sampling pass, over a window several nominal
+    // runs long (see [`PROFILE_WINDOW`]).
+    let profile_opts = BuildOptions {
+        refs_scale: opts.refs_scale * PROFILE_WINDOW,
+        ..*opts
+    };
+    let mut w = build(id, &profile_opts);
+    let sampler = Sampler::new(SamplerConfig {
+        sample_period: machine.profile_period,
+        line_bytes: machine.hierarchy.l1.line_bytes,
+        seed: 0x5a3b_0000 ^ id as u64,
+    });
+    let profile = sampler.profile(&mut w);
+
+    // Baseline run: speedup denominator and the measured Δ.
+    let baseline = Sim::run_solo(
+        machine,
+        workload_setup(build(id, opts), Policy::Baseline, None, machine),
+    );
+    // Δ: average cycles per memory operation *once the stalls the
+    // prefetches are meant to remove are gone* — i.e. the compute floor
+    // plus the prefetch instruction itself. The paper measures Δ with
+    // performance counters on real (latency-overlapping) hardware; the
+    // blocking baseline of this simulator would inflate it several-fold
+    // and make every prefetch distance too short, so we use the hit-CPI
+    // of the baseline run instead (documented substitution, DESIGN.md).
+    let delta = (baseline.cycles - baseline.stall_cycles) as f64 / baseline.refs.max(1) as f64
+        + machine.sw_prefetch_cost;
+
+    // Steps 3-6: model, MDDLI, stride analysis, distances, bypassing.
+    let cfg = machine.analysis_config(delta);
+    let analysis = analyze(&profile, &cfg);
+    let plan_nt = analysis.plan.clone();
+    let plan_plain = plan_nt.without_nta();
+    let stride_centric = stride_centric_plan(&profile, &cfg);
+
+    BenchPlans {
+        id,
+        delta,
+        analysis,
+        plan_nt,
+        plan_plain,
+        stride_centric,
+        profile,
+        baseline,
+    }
+}
+
+/// Run `id` solo under `policy`, using the prepared plans.
+pub fn run_policy(
+    id: BenchmarkId,
+    machine: &MachineConfig,
+    plans: &BenchPlans,
+    policy: Policy,
+    opts: &BuildOptions,
+) -> SoloOutcome {
+    let w = build(id, opts);
+    Sim::run_solo(machine, workload_setup(w, policy, Some(plans), machine))
+}
+
+/// Plans for a parallel workload: profile one thread (SPMD code — every
+/// thread executes the same loads), analyze, and the plan applies to all
+/// threads.
+pub struct ParallelPlans {
+    /// Plan with NT hints.
+    pub plan_nt: PrefetchPlan,
+    /// Measured Δ of the single-thread baseline.
+    pub delta: f64,
+}
+
+/// Profile + analyze a parallel workload on `machine`.
+pub fn prepare_parallel(
+    id: ParallelId,
+    machine: &MachineConfig,
+    opts: &BuildOptions,
+) -> ParallelPlans {
+    let mut threads = repf_workloads::build_parallel(id, 1, opts);
+    let w = threads.remove(0);
+    let base_cpr = w.base_cpr;
+    let target = w.nominal_refs;
+    let mut sampled = repf_workloads::build_parallel(id, 1, opts).remove(0);
+    let sampler = Sampler::new(SamplerConfig {
+        sample_period: machine.profile_period,
+        line_bytes: machine.hierarchy.l1.line_bytes,
+        seed: 0x7a11 ^ (id as u64) << 8,
+    });
+    let profile = sampler.profile(&mut sampled);
+    let baseline = Sim::run_solo(
+        machine,
+        CoreSetup {
+            source: Box::new(w.cycle()),
+            base_cpr,
+            plan: None,
+            hw: None,
+            target_refs: target,
+        },
+    );
+    let delta = (baseline.cycles - baseline.stall_cycles) as f64 / baseline.refs.max(1) as f64
+        + machine.sw_prefetch_cost;
+    let cfg = machine.analysis_config(delta);
+    let analysis = analyze(&profile, &cfg);
+    ParallelPlans {
+        plan_nt: analysis.plan,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{amd_phenom_ii, intel_i7_2600k};
+
+    fn opts() -> BuildOptions {
+        BuildOptions {
+            refs_scale: 0.05, // 100k refs: fast but representative
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn libquantum_pipeline_end_to_end() {
+        let m = amd_phenom_ii();
+        let plans = prepare(BenchmarkId::Libquantum, &m, &opts());
+        assert!(plans.delta > 1.0, "Δ includes stalls: {}", plans.delta);
+        assert!(
+            !plans.plan_nt.is_empty(),
+            "the streaming load must be planned"
+        );
+        assert!(
+            plans.plan_nt.nta_count() > 0,
+            "pure streams get NT prefetches"
+        );
+        let sw = run_policy(BenchmarkId::Libquantum, &m, &plans, Policy::SoftwareNt, &opts());
+        assert!(
+            sw.cycles < plans.baseline.cycles,
+            "software prefetching speeds libquantum up ({} vs {})",
+            sw.cycles,
+            plans.baseline.cycles
+        );
+    }
+
+    #[test]
+    fn omnetpp_gets_little_prefetching() {
+        let m = intel_i7_2600k();
+        let plans = prepare(BenchmarkId::Omnetpp, &m, &opts());
+        // The chase PC dominates misses but is irregular.
+        assert!(
+            plans.plan_nt.len() <= 4,
+            "only the strided slivers are planned: {:?}",
+            plans.plan_nt.pcs()
+        );
+    }
+
+    #[test]
+    fn stride_centric_plans_more_loads_than_mddli() {
+        let m = amd_phenom_ii();
+        let plans = prepare(BenchmarkId::Gcc, &m, &opts());
+        assert!(
+            plans.stride_centric.len() >= plans.plan_nt.len(),
+            "stride-centric has no cost-benefit filter ({} vs {})",
+            plans.stride_centric.len(),
+            plans.plan_nt.len()
+        );
+    }
+
+    #[test]
+    fn hardware_policy_runs() {
+        let m = intel_i7_2600k();
+        let plans = prepare(BenchmarkId::Lbm, &m, &opts());
+        let hw = run_policy(BenchmarkId::Lbm, &m, &plans, Policy::Hardware, &opts());
+        assert!(hw.cycles < plans.baseline.cycles, "streamer helps lbm");
+        assert!(hw.stats.prefetches_issued > 0);
+        assert_eq!(hw.sw_prefetches, 0);
+    }
+
+    #[test]
+    fn parallel_prepare_produces_plan_for_swim() {
+        let m = intel_i7_2600k();
+        let p = prepare_parallel(
+            ParallelId::Swim,
+            &m,
+            &BuildOptions {
+                refs_scale: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(!p.plan_nt.is_empty(), "swim's streams are prefetchable");
+        assert!(p.delta > 1.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! The StatStack model proper. See the crate documentation for the math.
+
+use crate::curve::MissRatioCurve;
+use repf_sampling::Profile;
+use repf_trace::hash::FxHashMap;
+use repf_trace::Pc;
+
+/// Per-PC sample data: sorted completed distances plus dangling count.
+#[derive(Clone, Debug, Default)]
+struct PcSamples {
+    /// Sorted reuse distances of completed samples started at this PC.
+    distances: Vec<u64>,
+    dangling: u64,
+}
+
+impl PcSamples {
+    fn total(&self) -> u64 {
+        self.distances.len() as u64 + self.dangling
+    }
+
+    /// Samples with distance ≥ `threshold` plus dangling ones.
+    fn at_or_beyond(&self, threshold: u64) -> u64 {
+        let below = self.distances.partition_point(|&d| d < threshold);
+        (self.distances.len() - below) as u64 + self.dangling
+    }
+}
+
+/// A fitted StatStack model: query miss ratios for any cache size, for the
+/// whole application or per instruction.
+#[derive(Clone, Debug)]
+pub struct StatStackModel {
+    line_bytes: u64,
+    /// All completed distances, sorted ascending.
+    sorted: Vec<u64>,
+    /// Prefix sums of `sorted` (`prefix[i]` = sum of first `i` distances).
+    prefix: Vec<u64>,
+    dangling: u64,
+    per_pc: FxHashMap<Pc, PcSamples>,
+}
+
+impl StatStackModel {
+    /// Fit the model to a sampling profile.
+    pub fn from_profile(p: &Profile) -> Self {
+        let mut sorted: Vec<u64> = p.reuse.iter().map(|r| r.distance).collect();
+        sorted.sort_unstable();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for &d in &sorted {
+            acc += d;
+            prefix.push(acc);
+        }
+        let mut per_pc: FxHashMap<Pc, PcSamples> = FxHashMap::default();
+        // A completed sample's distance is the *backward* reuse distance
+        // of the re-accessing instruction: it decides whether `end_pc`
+        // hit. Dangling samples stand in for the cold/far misses of the
+        // instruction whose lines are never re-touched in the window.
+        for r in &p.reuse {
+            per_pc.entry(r.end_pc).or_default().distances.push(r.distance);
+        }
+        for d in &p.dangling {
+            per_pc.entry(d.pc).or_default().dangling += 1;
+        }
+        for s in per_pc.values_mut() {
+            s.distances.sort_unstable();
+        }
+        StatStackModel {
+            line_bytes: p.line_bytes,
+            sorted,
+            prefix,
+            dangling: p.dangling.len() as u64,
+            per_pc,
+        }
+    }
+
+    /// Line size the underlying profile used.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Total samples (completed + dangling).
+    pub fn sample_count(&self) -> u64 {
+        self.sorted.len() as u64 + self.dangling
+    }
+
+    /// Expected stack distance for reuse distance `d`:
+    /// `S(d) = Σ_{k=0}^{d-1} P(rd > k)`.
+    ///
+    /// With `n` total samples, `c(d)` completed samples of distance `< d`
+    /// and `Σ_{<d}` their distance sum, the inner sum telescopes to
+    /// `S(d) = (n·d − (c(d)·d − Σ_{<d})) / n`.
+    pub fn stack_distance(&self, d: u64) -> f64 {
+        let n = self.sample_count();
+        if n == 0 {
+            return d as f64; // no information: worst case, every line unique
+        }
+        let c = self.sorted.partition_point(|&x| x < d) as u64;
+        let sum_below = self.prefix[c as usize];
+        let covered = c as u128 * d as u128 - sum_below as u128;
+        let total = n as u128 * d as u128 - covered;
+        total as f64 / n as f64
+    }
+
+    /// Smallest reuse distance whose expected stack distance reaches
+    /// `lines`, or `None` if no finite distance does (then only dangling
+    /// samples miss).
+    pub fn distance_threshold(&self, lines: u64) -> Option<u64> {
+        if lines == 0 {
+            return Some(0);
+        }
+        let target = lines as f64;
+        // S(d) ≤ d, so start the exponential search at `lines`.
+        let mut hi = lines.max(1);
+        let cap = self.sorted.last().copied().unwrap_or(0).saturating_add(1);
+        loop {
+            if self.stack_distance(hi) >= target {
+                break;
+            }
+            if hi > cap {
+                // Beyond the largest observed distance the survival
+                // function is dangling-only: S grows at slope
+                // dangling/n. If dangling is zero, S has plateaued.
+                if self.dangling == 0 {
+                    return None;
+                }
+            }
+            hi = hi.saturating_mul(2);
+            if hi == u64::MAX {
+                return None;
+            }
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.stack_distance(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Application miss ratio for a fully-associative LRU cache of
+    /// `lines` cache lines.
+    pub fn miss_ratio(&self, lines: u64) -> f64 {
+        let n = self.sample_count();
+        if n == 0 {
+            return 0.0;
+        }
+        match self.distance_threshold(lines) {
+            None => self.dangling as f64 / n as f64,
+            Some(t) => {
+                let below = self.sorted.partition_point(|&d| d < t) as u64;
+                let missing = (self.sorted.len() as u64 - below) + self.dangling;
+                missing as f64 / n as f64
+            }
+        }
+    }
+
+    /// Application miss ratio for a cache of `bytes` capacity.
+    pub fn miss_ratio_bytes(&self, bytes: u64) -> f64 {
+        self.miss_ratio(bytes / self.line_bytes)
+    }
+
+    /// Per-instruction miss ratio at `lines` capacity. Returns `None` for
+    /// PCs with no samples.
+    pub fn pc_miss_ratio(&self, pc: Pc, lines: u64) -> Option<f64> {
+        let s = self.per_pc.get(&pc)?;
+        let n = s.total();
+        if n == 0 {
+            return None;
+        }
+        let missing = match self.distance_threshold(lines) {
+            None => s.dangling,
+            Some(t) => s.at_or_beyond(t),
+        };
+        Some(missing as f64 / n as f64)
+    }
+
+    /// Per-instruction miss ratio at `bytes` capacity.
+    pub fn pc_miss_ratio_bytes(&self, pc: Pc, bytes: u64) -> Option<f64> {
+        self.pc_miss_ratio(pc, bytes / self.line_bytes)
+    }
+
+    /// Application miss-ratio curve over `sizes_bytes`.
+    pub fn mrc_bytes(&self, sizes_bytes: &[u64]) -> MissRatioCurve {
+        MissRatioCurve::new(
+            sizes_bytes.to_vec(),
+            sizes_bytes
+                .iter()
+                .map(|&b| self.miss_ratio_bytes(b))
+                .collect(),
+        )
+    }
+
+    /// Per-instruction miss-ratio curve over `sizes_bytes`.
+    pub fn pc_mrc_bytes(&self, pc: Pc, sizes_bytes: &[u64]) -> Option<MissRatioCurve> {
+        if !self.per_pc.contains_key(&pc) {
+            return None;
+        }
+        Some(MissRatioCurve::new(
+            sizes_bytes.to_vec(),
+            sizes_bytes
+                .iter()
+                .map(|&b| self.pc_miss_ratio_bytes(pc, b).unwrap())
+                .collect(),
+        ))
+    }
+
+    /// PCs with at least one sample, sorted.
+    pub fn sampled_pcs(&self) -> Vec<Pc> {
+        let mut v: Vec<Pc> = self.per_pc.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of samples recorded for `pc`.
+    pub fn pc_sample_count(&self, pc: Pc) -> u64 {
+        self.per_pc.get(&pc).map_or(0, |s| s.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{PointerChase, PointerChaseCfg, StridedStream, StridedStreamCfg};
+    use repf_trace::{MemRef, Pc, TraceSource, TraceSourceExt};
+
+    fn dense(period: u64) -> Sampler {
+        Sampler::new(SamplerConfig {
+            sample_period: period,
+            line_bytes: 64,
+            seed: 42,
+        })
+    }
+
+    fn model_of<S: TraceSource>(src: &mut S, period: u64) -> StatStackModel {
+        StatStackModel::from_profile(&dense(period).profile(src))
+    }
+
+    #[test]
+    fn stack_distance_is_monotone_and_bounded() {
+        let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 256 * 64, 64, 4));
+        let m = model_of(&mut src, 3);
+        let mut prev = 0.0;
+        for d in [0u64, 1, 2, 5, 10, 100, 255, 256, 1000, 10_000] {
+            let s = m.stack_distance(d);
+            assert!(s >= prev - 1e-9, "monotone");
+            assert!(s <= d as f64 + 1e-9, "S(d) ≤ d");
+            prev = s;
+        }
+        assert_eq!(m.stack_distance(0), 0.0);
+    }
+
+    #[test]
+    fn cyclic_loop_has_step_mrc() {
+        // 256-line loop, many passes: every completed reuse distance is
+        // 255, so the true stack distance is 255 (all intervening lines
+        // unique). The MRC must step from ~1 to ~0 at 256 lines.
+        let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 256 * 64, 64, 40));
+        let m = model_of(&mut src, 7);
+        assert!(m.sample_count() > 100);
+        let small = m.miss_ratio(128);
+        let exact = m.miss_ratio(256);
+        let large = m.miss_ratio(512);
+        assert!(small > 0.9, "128-line cache thrashes: {small}");
+        assert!(large < 0.1, "512-line cache fits: {large}");
+        assert!(exact <= small && exact >= large);
+    }
+
+    #[test]
+    fn stack_distance_equals_reuse_distance_for_all_unique_streams() {
+        // In a pure streaming pattern every intervening access is unique,
+        // so S(d) ≈ d.
+        let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 22, 64, 1));
+        let m = model_of(&mut src, 11);
+        for d in [10u64, 100, 1000] {
+            let s = m.stack_distance(d);
+            assert!(
+                (s - d as f64).abs() / (d as f64) < 0.05,
+                "S({d}) = {s} should be ≈ {d} for a no-reuse stream"
+            );
+        }
+    }
+
+    #[test]
+    fn mrc_monotone_nonincreasing_in_size() {
+        let mut src = PointerChase::new(PointerChaseCfg {
+            chase_pc: Pc(1),
+            payload_pcs: vec![Pc(2)],
+            base: 0,
+            node_bytes: 64,
+            nodes: 4096,
+            steps_per_pass: 4096,
+            passes: 12,
+            seed: 3,
+            run_len: 1,
+        });
+        let m = model_of(&mut src, 9);
+        let sizes: Vec<u64> = (0..14).map(|i| 1u64 << i).collect();
+        let mrc: Vec<f64> = sizes.iter().map(|&l| m.miss_ratio(l)).collect();
+        for w in mrc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "bigger cache, never more misses");
+        }
+        // Payload loads reuse the chase load's line at distance 0, so
+        // about half the accesses hit even with a single line of cache.
+        assert!(
+            mrc[0] > 0.45 && mrc[0] < 0.6,
+            "1-line cache: only distance-0 reuse hits ({})",
+            mrc[0]
+        );
+    }
+
+    #[test]
+    fn per_pc_curves_separate_working_sets() {
+        // Pc 1 loops over 16 lines (hot), Pc 2 streams with no reuse.
+        let hot = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 16 * 64, 64, 2000));
+        let cold = StridedStream::new(StridedStreamCfg::loads(Pc(2), 1 << 30, 1 << 21, 64, 1));
+        let mut mix = repf_trace::patterns::Mix::new(
+            vec![
+                (Box::new(hot) as Box<dyn TraceSource>, 1),
+                (Box::new(cold) as Box<dyn TraceSource>, 1),
+            ],
+            repf_trace::patterns::MixEnd::CycleComponents,
+        )
+        .take_refs(60_000);
+        let m = model_of(&mut mix, 5);
+        // At 64-line capacity the hot loop fits (its reuse distance is
+        // ~32: 15 own lines + ~16 interleaved stream lines), the stream
+        // does not.
+        let hot_mr = m.pc_miss_ratio(Pc(1), 64).unwrap();
+        let cold_mr = m.pc_miss_ratio(Pc(2), 64).unwrap();
+        assert!(hot_mr < 0.2, "hot loop hits: {hot_mr}");
+        assert!(cold_mr > 0.8, "stream misses: {cold_mr}");
+        assert!(m.pc_miss_ratio(Pc(99), 64).is_none());
+    }
+
+    #[test]
+    fn matches_functional_simulator_on_random_access() {
+        // Uniform random access over N lines: compare StatStack's MRC
+        // against an exact high-associativity simulation.
+        use repf_cache::{CacheConfig, FunctionalCacheSim};
+        use repf_trace::rng::XorShift64Star;
+        let n_lines = 2048u64;
+        let make_refs = || {
+            let mut rng = XorShift64Star::new(17);
+            (0..400_000u64)
+                .map(|_| MemRef::load(Pc(1), rng.below(n_lines) * 64))
+                .collect::<Vec<_>>()
+        };
+        let mut src = repf_trace::source::Recorded::new(make_refs());
+        let m = model_of(&mut src, 13);
+        for lines in [256u64, 512, 1024] {
+            let mut sim = FunctionalCacheSim::new(CacheConfig::new(lines * 64, 16, 64));
+            let mut src = repf_trace::source::Recorded::new(make_refs());
+            sim.run(&mut src);
+            let exact = sim.totals().miss_ratio();
+            let est = m.miss_ratio(lines);
+            assert!(
+                (est - exact).abs() < 0.05,
+                "lines={lines}: statstack {est:.3} vs sim {exact:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_samples_are_misses_at_every_size() {
+        // Pure cold streaming: everything dangles.
+        let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 24, 64, 1));
+        let m = model_of(&mut src, 10);
+        assert!(m.miss_ratio(1 << 20) > 0.99);
+        assert!(m.miss_ratio_bytes(1 << 30) > 0.99);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = repf_sampling::Profile::default();
+        let m = StatStackModel::from_profile(&p);
+        assert_eq!(m.miss_ratio(100), 0.0);
+        assert_eq!(m.sample_count(), 0);
+        assert!(m.sampled_pcs().is_empty());
+    }
+
+    #[test]
+    fn zero_size_cache_misses_everything() {
+        let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 64 * 64, 64, 10));
+        let m = model_of(&mut src, 3);
+        assert_eq!(m.miss_ratio(0), 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Windowed (phase-aware) StatStack — after Sembrant et al.'s
+//! phase-guided profiling (CGO 2012), which the paper's sampler builds
+//! on. One flat profile averages over program phases; splitting the
+//! samples by their arming index exposes how the miss-ratio curve moves
+//! over time, and a simple distance metric over adjacent windows flags
+//! phase boundaries (where a static prefetch plan goes stale — see
+//! `repf_sim::adaptive`).
+
+use crate::model::StatStackModel;
+use repf_sampling::Profile;
+
+/// StatStack fitted independently to consecutive sample windows.
+pub struct WindowedModel {
+    windows: Vec<StatStackModel>,
+    window_refs: u64,
+}
+
+impl WindowedModel {
+    /// Split `profile` into `window_refs`-sized windows by each sample's
+    /// arming index and fit one model per window. Windows with no samples
+    /// are kept (empty models) so indices align with execution time.
+    pub fn from_profile(profile: &Profile, window_refs: u64) -> Self {
+        assert!(window_refs > 0);
+        let n_windows = profile.total_refs.div_ceil(window_refs).max(1) as usize;
+        let mut parts: Vec<Profile> = (0..n_windows)
+            .map(|_| Profile {
+                total_refs: window_refs,
+                sample_period: profile.sample_period,
+                line_bytes: profile.line_bytes,
+                ..Profile::default()
+            })
+            .collect();
+        for r in &profile.reuse {
+            let w = (r.start_index / window_refs) as usize;
+            parts[w.min(n_windows - 1)].reuse.push(*r);
+        }
+        for d in &profile.dangling {
+            let w = (d.start_index / window_refs) as usize;
+            parts[w.min(n_windows - 1)].dangling.push(*d);
+        }
+        WindowedModel {
+            windows: parts.iter().map(StatStackModel::from_profile).collect(),
+            window_refs,
+        }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` when no windows exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// References per window.
+    pub fn window_refs(&self) -> u64 {
+        self.window_refs
+    }
+
+    /// The model for window `w`.
+    pub fn window(&self, w: usize) -> &StatStackModel {
+        &self.windows[w]
+    }
+
+    /// Miss ratio of window `w` at `lines` capacity.
+    pub fn miss_ratio(&self, w: usize, lines: u64) -> f64 {
+        self.windows[w].miss_ratio(lines)
+    }
+
+    /// A phase-change signal between adjacent windows: the L1 distance
+    /// between their miss-ratio curves sampled at `sizes` (in lines),
+    /// normalized to `[0, 1]`.
+    pub fn phase_distance(&self, w: usize, sizes: &[u64]) -> f64 {
+        assert!(w + 1 < self.windows.len(), "needs a successor window");
+        assert!(!sizes.is_empty());
+        let a = &self.windows[w];
+        let b = &self.windows[w + 1];
+        sizes
+            .iter()
+            .map(|&s| (a.miss_ratio(s) - b.miss_ratio(s)).abs())
+            .sum::<f64>()
+            / sizes.len() as f64
+    }
+
+    /// Windows whose successor differs by more than `threshold` — phase
+    /// boundaries.
+    pub fn phase_boundaries(&self, sizes: &[u64], threshold: f64) -> Vec<usize> {
+        (0..self.windows.len().saturating_sub(1))
+            .filter(|&w| self.phase_distance(w, sizes) > threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_sampling::{Sampler, SamplerConfig};
+    use repf_trace::patterns::{StridedStream, StridedStreamCfg};
+    use repf_trace::source::Recorded;
+    use repf_trace::{Pc, TraceSource, TraceSourceExt};
+
+    /// Phase A: tiny hot loop (hits). Phase B: cold streaming (misses).
+    fn two_phase_profile() -> Profile {
+        let mut refs = Vec::new();
+        let mut hot = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 8 * 64, 64, 20_000))
+            .take_refs(100_000);
+        while let Some(r) = hot.next_ref() {
+            refs.push(r);
+        }
+        let mut cold = StridedStream::new(StridedStreamCfg::loads(Pc(1), 1 << 30, 1 << 26, 64, 1))
+            .take_refs(100_000);
+        while let Some(r) = cold.next_ref() {
+            refs.push(r);
+        }
+        Sampler::new(SamplerConfig {
+            sample_period: 31,
+            line_bytes: 64,
+            seed: 17,
+        })
+        .profile(&mut Recorded::new(refs))
+    }
+
+    #[test]
+    fn windows_see_different_phases() {
+        let p = two_phase_profile();
+        let wm = WindowedModel::from_profile(&p, 50_000);
+        assert_eq!(wm.len(), 4);
+        assert!(!wm.is_empty());
+        assert_eq!(wm.window_refs(), 50_000);
+        // Windows 0-1 are the hot loop (low miss ratio at 64 lines);
+        // windows 2-3 are the cold stream (≈ 1).
+        assert!(wm.miss_ratio(0, 64) < 0.1, "{}", wm.miss_ratio(0, 64));
+        assert!(wm.miss_ratio(3, 64) > 0.9, "{}", wm.miss_ratio(3, 64));
+    }
+
+    #[test]
+    fn phase_boundary_detected_exactly_once() {
+        let p = two_phase_profile();
+        let wm = WindowedModel::from_profile(&p, 50_000);
+        let sizes = [16u64, 64, 256, 1024];
+        let b = wm.phase_boundaries(&sizes, 0.4);
+        assert_eq!(b, vec![1], "the A→B switch sits between windows 1 and 2");
+        // Within-phase distances are small.
+        assert!(wm.phase_distance(0, &sizes) < 0.1);
+        assert!(wm.phase_distance(2, &sizes) < 0.1);
+    }
+
+    #[test]
+    fn single_window_degenerates_to_flat_model() {
+        let p = two_phase_profile();
+        let wm = WindowedModel::from_profile(&p, u64::MAX / 2);
+        assert_eq!(wm.len(), 1);
+        let flat = StatStackModel::from_profile(&p);
+        for lines in [16u64, 256, 4096] {
+            assert!((wm.miss_ratio(0, lines) - flat.miss_ratio(lines)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_windows_are_benign() {
+        // A profile whose samples all land in the first half still yields
+        // aligned windows for the second half.
+        let mut p = two_phase_profile();
+        p.reuse.retain(|r| r.start_index < 50_000);
+        p.dangling.retain(|d| d.start_index < 50_000);
+        let wm = WindowedModel::from_profile(&p, 50_000);
+        assert_eq!(wm.len(), 4);
+        assert_eq!(wm.window(3).sample_count(), 0);
+        assert_eq!(wm.miss_ratio(3, 64), 0.0, "empty model reports 0");
+    }
+}

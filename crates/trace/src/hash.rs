@@ -1,0 +1,115 @@
+//! A fast, non-cryptographic hasher for the hot-path hash maps used by the
+//! sampler and the simulators.
+//!
+//! The sampler performs two hash-map lookups per simulated memory reference
+//! (watched line, watched PC); with hundreds of millions of references per
+//! experiment the default SipHash would dominate. This is the classic
+//! `FxHash` multiply-xor scheme used by rustc, reimplemented here to keep
+//! the dependency set to the sanctioned list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher (rustc's FxHash scheme).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+    }
+
+    #[test]
+    fn hasher_mixes_small_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        let h1 = b.hash_one(1u64);
+        let h2 = b.hash_one(2u64);
+        assert_ne!(h1, h2);
+        // High bits must vary too (hashbrown uses the top 7 bits).
+        assert_ne!(h1 >> 57, h2 >> 57);
+    }
+
+    #[test]
+    fn byte_writes_consistent_with_word_writes() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        // Hashing the same logical bytes twice gives the same value.
+        let mut h1 = b.build_hasher();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = b.build_hasher();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

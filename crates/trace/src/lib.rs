@@ -1,0 +1,23 @@
+//! # repf-trace
+//!
+//! Memory-reference trace model and synthetic access-pattern generators.
+//!
+//! Everything in this reproduction of *"A Case for Resource Efficient
+//! Prefetching in Multicores"* (ICPP 2014) consumes a stream of memory
+//! references: the sparse sampler, the StatStack cache model, the functional
+//! cache simulator and the multicore timing simulator. This crate defines
+//! that stream ([`MemRef`], [`TraceSource`]) and a library of deterministic
+//! access-pattern generators ([`patterns`]) from which the SPEC CPU 2006
+//! *workload analogs* in `repf-workloads` are composed.
+//!
+//! All generators are seeded and produce bit-identical streams across runs,
+//! which makes every experiment in the paper reproduction deterministic.
+
+pub mod hash;
+pub mod mem;
+pub mod patterns;
+pub mod rng;
+pub mod source;
+
+pub use mem::{line_index, AccessKind, MemRef, Pc, LINE_BYTES};
+pub use source::{Chain, Cycle, Recorded, TakeRefs, TraceSource, TraceSourceExt};

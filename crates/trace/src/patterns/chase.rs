@@ -1,0 +1,268 @@
+//! Pointer chasing over a random permutation — the access pattern of linked
+//! data structures (*mcf* arcs, *omnetpp* event heap, *xalan* DOM nodes).
+//! Irregular per-instruction strides make these loads unprefetchable by the
+//! paper's stride analysis, which is exactly the behaviour the low-coverage
+//! rows of Table I exercise.
+
+use crate::mem::{MemRef, Pc};
+use crate::rng::XorShift64Star;
+use crate::source::TraceSource;
+
+/// Configuration for [`PointerChase`].
+#[derive(Clone, Debug)]
+pub struct PointerChaseCfg {
+    /// PC of the `node = node->next` load.
+    pub chase_pc: Pc,
+    /// Extra payload loads at successive 8-byte offsets within the node,
+    /// one PC each. Payload loads usually hit the line fetched by the chase
+    /// load — they are the *data-reusing loads* of the paper's
+    /// cache-bypassing analysis (§VI-B).
+    pub payload_pcs: Vec<Pc>,
+    /// Base address of the node array.
+    pub base: u64,
+    /// Node size in bytes (≥ 8, typically one or two cache lines).
+    pub node_bytes: u64,
+    /// Number of nodes in the structure.
+    pub nodes: u32,
+    /// Node visits per pass.
+    pub steps_per_pass: u64,
+    /// Number of passes before the stream ends.
+    pub passes: u32,
+    /// RNG seed for the permutation.
+    pub seed: u64,
+    /// Heap-locality run length: nodes are chained in address-sequential
+    /// runs of this length, with run order randomized. `1` = fully random
+    /// (Sattolo cycle). Real pointer structures are allocated roughly in
+    /// traversal order, so short runs (2–4) are typical — and they are
+    /// what tricks hardware streamers into useless tail prefetches.
+    pub run_len: u32,
+}
+
+/// Pointer chase over a single random cycle (Sattolo permutation) of
+/// `nodes` nodes. See [`PointerChaseCfg`].
+#[derive(Clone, Debug)]
+pub struct PointerChase {
+    cfg: PointerChaseCfg,
+    /// successor permutation: next[i] = index of the node after i
+    next: Vec<u32>,
+    cur: u32,
+    step: u64,
+    pass: u32,
+    /// pending payload refs for the current node (index into payload_pcs)
+    payload_ix: usize,
+    emitting_payload: bool,
+}
+
+impl PointerChase {
+    /// Build the chase; panics when `nodes < 2` or `node_bytes < 8`.
+    pub fn new(cfg: PointerChaseCfg) -> Self {
+        assert!(cfg.nodes >= 2, "need at least two nodes to chase");
+        assert!(cfg.node_bytes >= 8, "nodes must hold a pointer");
+        assert!(cfg.run_len >= 1, "run length must be at least 1");
+        let next = run_cycle(cfg.nodes, cfg.run_len, cfg.seed);
+        PointerChase {
+            cfg,
+            next,
+            cur: 0,
+            step: 0,
+            pass: 0,
+            payload_ix: 0,
+            emitting_payload: false,
+        }
+    }
+
+    /// The configuration this chase was built from.
+    pub fn cfg(&self) -> &PointerChaseCfg {
+        &self.cfg
+    }
+
+    #[inline]
+    fn node_addr(&self, node: u32) -> u64 {
+        self.cfg.base + node as u64 * self.cfg.node_bytes
+    }
+}
+
+/// Single-cycle successor permutation with address-sequential runs of
+/// `run_len` nodes: within a run, `next[i] = i + 1`; run heads are chained
+/// in a random (Sattolo) cycle over the runs. `run_len == 1` degenerates
+/// to a plain random cycle.
+fn run_cycle(n: u32, run_len: u32, seed: u64) -> Vec<u32> {
+    if run_len <= 1 {
+        return sattolo_cycle(n, seed);
+    }
+    let runs: u32 = n.div_ceil(run_len);
+    if runs < 2 {
+        return sattolo_cycle(n, seed);
+    }
+    let run_order = sattolo_cycle(runs, seed);
+    let mut next = vec![0u32; n as usize];
+    for run in 0..runs {
+        let start = run * run_len;
+        let end = ((run + 1) * run_len).min(n);
+        for i in start..end - 1 {
+            next[i as usize] = i + 1;
+        }
+        next[(end - 1) as usize] = run_order[run as usize] * run_len;
+    }
+    next
+}
+
+/// Sattolo's algorithm: a uniformly random single-cycle permutation, so a
+/// chase starting anywhere visits every node before repeating.
+fn sattolo_cycle(n: u32, seed: u64) -> Vec<u32> {
+    let mut items: Vec<u32> = (0..n).collect();
+    let mut rng = XorShift64Star::new(seed);
+    let mut i = n as usize - 1;
+    while i > 0 {
+        let j = rng.below(i as u64) as usize; // j in [0, i)
+        items.swap(i, j);
+        i -= 1;
+    }
+    // items is now a random cyclic ordering; build successor pointers.
+    let mut next = vec![0u32; n as usize];
+    for k in 0..n as usize {
+        let from = items[k];
+        let to = items[(k + 1) % n as usize];
+        next[from as usize] = to;
+    }
+    next
+}
+
+impl TraceSource for PointerChase {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.emitting_payload {
+            let pc = self.cfg.payload_pcs[self.payload_ix];
+            let addr = self.node_addr(self.cur) + 8 * (self.payload_ix as u64 + 1);
+            self.payload_ix += 1;
+            if self.payload_ix == self.cfg.payload_pcs.len() {
+                self.emitting_payload = false;
+                self.payload_ix = 0;
+                self.cur = self.next[self.cur as usize];
+            }
+            return Some(MemRef::load(pc, addr));
+        }
+        if self.pass >= self.cfg.passes {
+            return None;
+        }
+        let addr = self.node_addr(self.cur);
+        let r = MemRef::load(self.cfg.chase_pc, addr);
+        if self.cfg.payload_pcs.is_empty() {
+            self.cur = self.next[self.cur as usize];
+        } else {
+            self.emitting_payload = true;
+        }
+        self.step += 1;
+        if self.step == self.cfg.steps_per_pass {
+            self.step = 0;
+            self.pass += 1;
+            // A pass restarts from the head node, like re-entering the
+            // program's outer loop.
+            if !self.emitting_payload {
+                self.cur = 0;
+            }
+        }
+        Some(r)
+    }
+
+    fn reset(&mut self) {
+        self.cur = 0;
+        self.step = 0;
+        self.pass = 0;
+        self.payload_ix = 0;
+        self.emitting_payload = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSourceExt;
+
+    fn cfg(nodes: u32, payload: usize) -> PointerChaseCfg {
+        PointerChaseCfg {
+            chase_pc: Pc(10),
+            payload_pcs: (0..payload).map(|i| Pc(11 + i as u32)).collect(),
+            base: 1 << 20,
+            node_bytes: 64,
+            nodes,
+            steps_per_pass: nodes as u64,
+            passes: 1,
+            seed: 42,
+            run_len: 1,
+        }
+    }
+
+    #[test]
+    fn visits_every_node_once_per_cycle() {
+        let mut c = PointerChase::new(cfg(128, 0));
+        let refs = c.collect_refs(10_000);
+        assert_eq!(refs.len(), 128);
+        let mut seen: Vec<u64> = refs.iter().map(|r| r.addr).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 128, "single cycle must visit all nodes");
+    }
+
+    #[test]
+    fn payload_loads_follow_chase_load() {
+        let mut c = PointerChase::new(cfg(16, 2));
+        let refs = c.collect_refs(6);
+        assert_eq!(refs[0].pc, Pc(10));
+        assert_eq!(refs[1].pc, Pc(11));
+        assert_eq!(refs[2].pc, Pc(12));
+        assert_eq!(refs[3].pc, Pc(10));
+        // Payloads stay within the node just chased.
+        assert_eq!(refs[1].addr, refs[0].addr + 8);
+        assert_eq!(refs[2].addr, refs[0].addr + 16);
+    }
+
+    #[test]
+    fn reset_replays() {
+        let mut c = PointerChase::new(PointerChaseCfg {
+            passes: 2,
+            ..cfg(64, 1)
+        });
+        let a = c.collect_refs(100_000);
+        c.reset();
+        let b = c.collect_refs(100_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strides_are_irregular() {
+        let mut c = PointerChase::new(cfg(1024, 0));
+        let refs = c.collect_refs(1024);
+        let mut stride_counts = std::collections::HashMap::new();
+        for w in refs.windows(2) {
+            *stride_counts
+                .entry(w[1].addr as i64 - w[0].addr as i64)
+                .or_insert(0u32) += 1;
+        }
+        let max = stride_counts.values().copied().max().unwrap();
+        assert!(
+            (max as f64) < 0.1 * refs.len() as f64,
+            "no stride should dominate a pointer chase (max count {max})"
+        );
+    }
+
+    #[test]
+    fn seeds_change_permutation() {
+        let a = sattolo_cycle(256, 1);
+        let b = sattolo_cycle(256, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_single_cycle() {
+        for seed in 0..5 {
+            let next = sattolo_cycle(97, seed);
+            let mut cur = 0u32;
+            for _ in 0..96 {
+                cur = next[cur as usize];
+                assert_ne!(cur, 0, "returned to start too early");
+            }
+            assert_eq!(next[cur as usize], 0, "must close the cycle");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic access-pattern generators.
+//!
+//! These are the vocabulary from which the SPEC CPU 2006 workload analogs in
+//! `repf-workloads` are composed:
+//!
+//! * [`StridedStream`] — regular strided sweeps over a region (streaming
+//!   kernels such as *libquantum*, *lbm*; also small hot working-set loops).
+//! * [`PointerChase`] — permutation pointer chasing (linked structures in
+//!   *mcf*, *omnetpp*, *xalan*).
+//! * [`Gather`] — sequential index-array walk plus data-dependent random
+//!   gather (sparse algebra in *soplex*, graph search in *astar*).
+//! * [`Stencil3d`] — multi-plane 3D stencil sweeps (*leslie3d*,
+//!   *GemsFDTD*, *milc*, *swim*).
+//! * [`BurstStride`] — short-lived strided bursts from random start points
+//!   (*cigar*'s population scans, which mis-train hardware stride
+//!   prefetchers).
+//! * [`Mix`] — deterministic weighted interleaving of sub-patterns.
+//!
+//! Every generator is deterministic in its seed and replays an identical
+//! stream after [`TraceSource::reset`](crate::source::TraceSource::reset).
+
+mod burst;
+mod chase;
+mod gather;
+mod mix;
+mod stencil;
+mod stream;
+
+pub use burst::{BurstStride, BurstStrideCfg};
+pub use chase::{PointerChase, PointerChaseCfg};
+pub use gather::{Gather, GatherCfg};
+pub use mix::{Mix, MixEnd};
+pub use stencil::{Stencil3d, Stencil3dCfg};
+pub use stream::{StridedStream, StridedStreamCfg};

@@ -1,0 +1,262 @@
+//! The [`TraceSource`] abstraction: a resettable stream of memory
+//! references, plus combinators shared by workloads and runners.
+
+use crate::mem::MemRef;
+
+/// A deterministic, resettable stream of memory references.
+///
+/// `next_ref` returns `None` when the modelled program ends; [`reset`]
+/// rewinds the source to its initial state so the *same* stream can be
+/// replayed (profiling pass, then baseline run, then each policy run).
+///
+/// [`reset`]: TraceSource::reset
+pub trait TraceSource {
+    /// Produce the next reference, or `None` at program end.
+    fn next_ref(&mut self) -> Option<MemRef>;
+
+    /// Rewind to the initial state. After `reset`, the source must replay
+    /// exactly the same stream it produced the first time.
+    fn reset(&mut self);
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        (**self).next_ref()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Extension combinators for every [`TraceSource`].
+pub trait TraceSourceExt: TraceSource + Sized {
+    /// Truncate the stream after `n` references.
+    fn take_refs(self, n: u64) -> TakeRefs<Self> {
+        TakeRefs {
+            inner: self,
+            remaining: n,
+            limit: n,
+        }
+    }
+
+    /// Restart the stream whenever it ends, making it infinite. Used by the
+    /// multicore runner to keep finished applications generating contention
+    /// until the slowest co-runner completes.
+    fn cycle(self) -> Cycle<Self> {
+        Cycle { inner: self }
+    }
+
+    /// Run this source to exhaustion, then `next` — a two-phase program.
+    fn chain<B: TraceSource>(self, next: B) -> Chain<Self, B> {
+        Chain {
+            first: self,
+            second: next,
+            in_second: false,
+        }
+    }
+
+    /// Drain up to `n` references into a vector (for tests and small
+    /// offline analyses).
+    fn collect_refs(&mut self, n: u64) -> Vec<MemRef> {
+        let mut out = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            match self.next_ref() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl<S: TraceSource + Sized> TraceSourceExt for S {}
+
+/// See [`TraceSourceExt::take_refs`].
+#[derive(Clone, Debug)]
+pub struct TakeRefs<S> {
+    inner: S,
+    remaining: u64,
+    limit: u64,
+}
+
+impl<S: TraceSource> TraceSource for TakeRefs<S> {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.inner.next_ref() {
+            Some(r) => {
+                self.remaining -= 1;
+                Some(r)
+            }
+            None => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.remaining = self.limit;
+    }
+}
+
+/// Run one source to exhaustion, then another — multi-phase programs.
+/// See [`TraceSourceExt::chain`].
+#[derive(Clone, Debug)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+    in_second: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if !self.in_second {
+            if let Some(r) = self.first.next_ref() {
+                return Some(r);
+            }
+            self.in_second = true;
+        }
+        self.second.next_ref()
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+        self.in_second = false;
+    }
+}
+
+/// See [`TraceSourceExt::cycle`].
+#[derive(Clone, Debug)]
+pub struct Cycle<S> {
+    inner: S,
+}
+
+impl<S: TraceSource> TraceSource for Cycle<S> {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if let Some(r) = self.inner.next_ref() {
+            return Some(r);
+        }
+        self.inner.reset();
+        self.inner.next_ref()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// A pre-recorded trace, replayed from a vector. Mostly used in tests and
+/// for regression fixtures.
+#[derive(Clone, Debug, Default)]
+pub struct Recorded {
+    refs: Vec<MemRef>,
+    pos: usize,
+}
+
+impl Recorded {
+    /// Wrap a vector of references.
+    pub fn new(refs: Vec<MemRef>) -> Self {
+        Recorded { refs, pos: 0 }
+    }
+
+    /// Number of references in the recording.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` when the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+impl TraceSource for Recorded {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        let r = self.refs.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Pc;
+
+    fn ramp(n: u64) -> Recorded {
+        Recorded::new((0..n).map(|i| MemRef::load(Pc(0), i * 64)).collect())
+    }
+
+    #[test]
+    fn recorded_replays_and_resets() {
+        let mut r = ramp(3);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        let a: Vec<_> = r.collect_refs(10);
+        assert_eq!(a.len(), 3);
+        assert_eq!(r.next_ref(), None);
+        r.reset();
+        let b: Vec<_> = r.collect_refs(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_refs_truncates_and_resets() {
+        let mut t = ramp(10).take_refs(4);
+        assert_eq!(t.collect_refs(100).len(), 4);
+        assert_eq!(t.next_ref(), None);
+        t.reset();
+        assert_eq!(t.collect_refs(100).len(), 4);
+    }
+
+    #[test]
+    fn take_refs_short_stream() {
+        let mut t = ramp(2).take_refs(10);
+        assert_eq!(t.collect_refs(100).len(), 2);
+    }
+
+    #[test]
+    fn cycle_is_infinite_and_periodic() {
+        let mut c = ramp(3).cycle();
+        let refs = c.collect_refs(9);
+        assert_eq!(refs.len(), 9);
+        assert_eq!(refs[0], refs[3]);
+        assert_eq!(refs[1], refs[7]);
+    }
+
+    #[test]
+    fn chain_runs_phases_in_order_and_resets() {
+        let mut c = ramp(2).chain(Recorded::new(vec![MemRef::load(Pc(9), 1 << 20)]));
+        let refs = c.collect_refs(100);
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].pc, Pc(0));
+        assert_eq!(refs[2].pc, Pc(9));
+        assert_eq!(c.next_ref(), None);
+        c.reset();
+        assert_eq!(c.collect_refs(100), refs);
+    }
+
+    #[test]
+    fn boxed_source_dispatches() {
+        let mut b: Box<dyn TraceSource> = Box::new(ramp(2));
+        assert!(b.next_ref().is_some());
+        b.reset();
+        assert_eq!(b.collect_refs(10).len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests over the pattern generators: reset-replay identity,
+//! region containment and configuration-count agreement for arbitrary
+//! parameters.
+
+use proptest::prelude::*;
+use repf_trace::patterns::{
+    BurstStride, BurstStrideCfg, Gather, GatherCfg, Mix, MixEnd, PointerChase, PointerChaseCfg,
+    Stencil3d, Stencil3dCfg, StridedStream, StridedStreamCfg,
+};
+use repf_trace::{Pc, TraceSource, TraceSourceExt};
+
+fn assert_reset_replays<S: TraceSource>(mut s: S, n: u64) {
+    let a = s.collect_refs(n);
+    s.reset();
+    let b = s.collect_refs(n);
+    assert_eq!(a, b, "reset must replay the identical stream");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn strided_stream_properties(
+        stride_abs in 1i64..512,
+        negative in any::<bool>(),
+        len_kb in 1u64..64,
+        passes in 1u32..4,
+        store_period in 0u32..5,
+    ) {
+        let len = len_kb * 1024;
+        let stride = if negative { -stride_abs } else { stride_abs };
+        prop_assume!(stride.unsigned_abs() <= len);
+        let cfg = StridedStreamCfg {
+            pc: Pc(1),
+            store_pc: Pc(2),
+            base: 4096,
+            len_bytes: len,
+            stride,
+            passes,
+            store_period,
+            store_offset: 0,
+        };
+        let total = cfg.total_refs();
+        let mut s = StridedStream::new(cfg);
+        let refs = s.collect_refs(u64::MAX);
+        prop_assert_eq!(refs.len() as u64, total, "total_refs agrees with the stream");
+        for r in &refs {
+            prop_assert!(r.addr >= 4096 && r.addr < 4096 + len, "in region");
+        }
+        s.reset();
+        prop_assert_eq!(s.collect_refs(u64::MAX), refs);
+    }
+
+    #[test]
+    fn pointer_chase_visits_everything(
+        nodes in 2u32..600,
+        run_len in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let mut c = PointerChase::new(PointerChaseCfg {
+            chase_pc: Pc(0),
+            payload_pcs: vec![],
+            base: 0,
+            node_bytes: 64,
+            nodes,
+            steps_per_pass: nodes as u64,
+            passes: 1,
+            seed,
+            run_len,
+        });
+        let refs = c.collect_refs(u64::MAX);
+        prop_assert_eq!(refs.len(), nodes as usize);
+        let mut seen: Vec<u64> = refs.iter().map(|r| r.addr / 64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), nodes as usize,
+            "a single-cycle permutation visits every node exactly once per pass");
+    }
+
+    #[test]
+    fn gather_replays_and_stays_in_table(
+        elems in 16u64..5000,
+        locality in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut g = Gather::new(GatherCfg {
+            index_pc: Pc(0),
+            data_pc: Pc(1),
+            index_base: 0,
+            index_stride: 4,
+            data_base: 1 << 20,
+            data_elems: elems,
+            data_elem_bytes: 8,
+            index_len: 500,
+            passes: 1,
+            locality,
+            locality_window: 32,
+            seed,
+        });
+        let refs = g.collect_refs(u64::MAX);
+        for r in refs.iter().filter(|r| r.pc == Pc(1)) {
+            let e = (r.addr - (1 << 20)) / 8;
+            prop_assert!(e < elems, "gather index in range");
+        }
+        g.reset();
+        prop_assert_eq!(g.collect_refs(u64::MAX), refs);
+    }
+
+    #[test]
+    fn burst_stride_containment(
+        burst_len in 1u32..32,
+        stride in prop::sample::select(vec![-128i64, -64, 16, 64, 192]),
+        seed in any::<u64>(),
+    ) {
+        let len = 1u64 << 18;
+        prop_assume!(stride.unsigned_abs() * burst_len as u64 <= len);
+        let mut b = BurstStride::new(BurstStrideCfg {
+            pc: Pc(0),
+            base: 1 << 24,
+            len_bytes: len,
+            stride,
+            burst_len,
+            bursts_per_pass: 64,
+            passes: 2,
+            seed,
+        });
+        let refs = b.collect_refs(u64::MAX);
+        prop_assert_eq!(refs.len() as u64, 64 * 2 * burst_len as u64);
+        for r in &refs {
+            prop_assert!(r.addr >= 1 << 24 && r.addr < (1 << 24) + len);
+        }
+        b.reset();
+        prop_assert_eq!(b.collect_refs(u64::MAX), refs);
+    }
+
+    #[test]
+    fn stencil_counts_and_replay(
+        nx in 4u64..32,
+        ny in 2u64..8,
+        nz in 1u64..4,
+        elem in prop::sample::select(vec![8u64, 16, 24]),
+        store in any::<bool>(),
+    ) {
+        let cfg = Stencil3dCfg {
+            first_pc: Pc(0),
+            base_in: 0,
+            base_out: 1 << 30,
+            nx,
+            ny,
+            nz,
+            elem_bytes: elem,
+            offsets: vec![0, 1, -1, nx as i64],
+            store,
+            passes: 1,
+        };
+        let total = cfg.total_refs();
+        let mut s = Stencil3d::new(cfg);
+        let refs = s.collect_refs(u64::MAX);
+        prop_assert_eq!(refs.len() as u64, total);
+        let stores = refs.iter().filter(|r| r.kind.is_store()).count() as u64;
+        prop_assert_eq!(stores, if store { nx * ny * nz } else { 0 });
+        s.reset();
+        prop_assert_eq!(s.collect_refs(u64::MAX), refs);
+    }
+
+    #[test]
+    fn mix_weight_accounting(w1 in 1u32..8, w2 in 1u32..8, n in 100u64..2000) {
+        let a = StridedStream::new(StridedStreamCfg::loads(Pc(1), 0, 1 << 16, 64, 1000));
+        let b = StridedStream::new(StridedStreamCfg::loads(Pc(2), 1 << 30, 1 << 16, 64, 1000));
+        let mut m = Mix::new(
+            vec![
+                (Box::new(a) as Box<dyn TraceSource>, w1),
+                (Box::new(b) as Box<dyn TraceSource>, w2),
+            ],
+            MixEnd::CycleComponents,
+        );
+        let period = (w1 + w2) as u64;
+        let rounds = n / period;
+        let refs = m.collect_refs(rounds * period);
+        let c1 = refs.iter().filter(|r| r.pc == Pc(1)).count() as u64;
+        let c2 = refs.iter().filter(|r| r.pc == Pc(2)).count() as u64;
+        prop_assert_eq!(c1, rounds * w1 as u64, "exact weight accounting per period");
+        prop_assert_eq!(c2, rounds * w2 as u64);
+    }
+}
+
+#[test]
+fn adapters_compose_with_reset() {
+    let s = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 4096, 64, 2));
+    assert_reset_replays(s.clone().take_refs(100).cycle().take_refs(333), 1000);
+    assert_reset_replays(s.cycle().take_refs(500), 1000);
+}

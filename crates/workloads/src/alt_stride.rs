@@ -1,0 +1,152 @@
+//! A sweep whose stride alternates between two values — the structure-walk
+//! pattern of *milc* (SU(3) matrices interleaved with gauge links) and
+//! parts of *gcc*.
+//!
+//! When both strides land in the same line-sized group, the paper's
+//! *grouped* stride analysis sees a regular load, while an exact-stride
+//! heuristic (the stride-centric baseline) sees a 50/50 split and gives
+//! up. This is the mechanism behind milc's Table I row: 95.9 % coverage
+//! for MDDLI-filtered vs 52.8 % for stride-centric.
+
+use repf_trace::{MemRef, Pc, TraceSource};
+
+/// Configuration for [`AlternatingStride`].
+#[derive(Clone, Debug)]
+pub struct AlternatingStrideCfg {
+    /// PC of the sweeping load.
+    pub pc: Pc,
+    /// Base address of the region.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len_bytes: u64,
+    /// Stride used on even steps (must be positive).
+    pub stride_a: u64,
+    /// Stride used on odd steps (must be positive).
+    pub stride_b: u64,
+    /// Sweeps over the region.
+    pub passes: u32,
+}
+
+/// See [`AlternatingStrideCfg`].
+#[derive(Clone, Debug)]
+pub struct AlternatingStride {
+    cfg: AlternatingStrideCfg,
+    pos: u64,
+    step: u64,
+    pass: u32,
+}
+
+impl AlternatingStride {
+    /// Build the sweep; panics on zero strides or an empty region.
+    pub fn new(cfg: AlternatingStrideCfg) -> Self {
+        assert!(cfg.stride_a > 0 && cfg.stride_b > 0);
+        assert!(cfg.len_bytes > cfg.stride_a + cfg.stride_b);
+        AlternatingStride {
+            cfg,
+            pos: 0,
+            step: 0,
+            pass: 0,
+        }
+    }
+}
+
+impl TraceSource for AlternatingStride {
+    #[inline]
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.pass >= self.cfg.passes {
+            return None;
+        }
+        let r = MemRef::load(self.cfg.pc, self.cfg.base + self.pos);
+        let stride = if self.step.is_multiple_of(2) {
+            self.cfg.stride_a
+        } else {
+            self.cfg.stride_b
+        };
+        self.pos += stride;
+        self.step += 1;
+        if self.pos >= self.cfg.len_bytes {
+            self.pos = 0;
+            self.step = 0;
+            self.pass += 1;
+        }
+        Some(r)
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.step = 0;
+        self.pass = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_trace::TraceSourceExt;
+
+    fn cfg() -> AlternatingStrideCfg {
+        AlternatingStrideCfg {
+            pc: Pc(1),
+            base: 4096,
+            len_bytes: 1 << 16,
+            stride_a: 64,
+            stride_b: 80,
+            passes: 2,
+        }
+    }
+
+    #[test]
+    fn strides_alternate() {
+        let mut s = AlternatingStride::new(cfg());
+        let refs = s.collect_refs(6);
+        let d: Vec<i64> = refs.windows(2).map(|w| (w[1].addr - w[0].addr) as i64).collect();
+        assert_eq!(d, vec![64, 80, 64, 80, 64]);
+    }
+
+    #[test]
+    fn grouped_regular_exact_irregular() {
+        // Both strides land in line group 1 (64..=127 for 64 B lines), so
+        // the grouped analysis sees 100 % regularity while no exact stride
+        // exceeds ~50 %.
+        let mut s = AlternatingStride::new(cfg());
+        let refs = s.collect_refs(1000);
+        let mut grouped = 0usize;
+        let mut exact_64 = 0usize;
+        let mut n = 0usize;
+        for w in refs.windows(2) {
+            let d = (w[1].addr as i64) - (w[0].addr as i64);
+            if d <= 0 {
+                continue; // wrap-around at pass end
+            }
+            n += 1;
+            if d.div_euclid(64) == 1 {
+                grouped += 1;
+            }
+            if d == 64 {
+                exact_64 += 1;
+            }
+        }
+        assert!(grouped as f64 / n as f64 > 0.99);
+        let f = exact_64 as f64 / n as f64;
+        assert!(f > 0.4 && f < 0.6, "exact stride splits ~50/50: {f}");
+    }
+
+    #[test]
+    fn reset_replays() {
+        let mut s = AlternatingStride::new(cfg());
+        let a = s.collect_refs(u64::MAX);
+        s.reset();
+        assert_eq!(a, s.collect_refs(u64::MAX));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stays_in_region() {
+        let c = cfg();
+        let hi = c.base + c.len_bytes;
+        let mut s = AlternatingStride::new(c);
+        for r in s.collect_refs(u64::MAX) {
+            assert!(r.addr >= 4096 && r.addr < hi);
+        }
+    }
+}

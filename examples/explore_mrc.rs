@@ -1,0 +1,68 @@
+//! Explore the miss-ratio curves StatStack models from a sparse profile —
+//! the paper's Figure 3 for any benchmark, at any sampling rate.
+//!
+//! ```text
+//! cargo run --release --example explore_mrc [bench] [sample_period]
+//! ```
+
+use repf::sampling::{Sampler, SamplerConfig};
+use repf::statstack::curve::{figure3_sizes, human_size};
+use repf::statstack::StatStackModel;
+use repf::workloads::{build, BenchmarkId, BuildOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args
+        .first()
+        .map(|n| {
+            BenchmarkId::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(n))
+                .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+        })
+        .unwrap_or(BenchmarkId::Mcf);
+    let period: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1009);
+
+    let mut w = build(
+        id,
+        &BuildOptions {
+            refs_scale: 5.0,
+            ..Default::default()
+        },
+    );
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: period,
+        line_bytes: 64,
+        seed: 7,
+    })
+    .profile(&mut w);
+    let model = StatStackModel::from_profile(&profile);
+    println!(
+        "{id}: {} samples at 1-in-{period} over {} references",
+        model.sample_count(),
+        profile.total_refs
+    );
+
+    // Application curve.
+    println!("\napplication miss-ratio curve:");
+    for size in figure3_sizes() {
+        let mr = model.miss_ratio_bytes(size);
+        let bar = "#".repeat((mr * 50.0).round() as usize);
+        println!("  {:>6}  {:5.1}%  {bar}", human_size(size), mr * 100.0);
+    }
+
+    // The five most-sampled instructions.
+    println!("\nper-instruction curves (top 5 loads by sample count):");
+    let mut pcs = model.sampled_pcs();
+    pcs.sort_by_key(|&pc| std::cmp::Reverse(model.pc_sample_count(pc)));
+    for &pc in pcs.iter().take(5) {
+        print!("  {pc} [{:>5} samples]:", model.pc_sample_count(pc));
+        for size in figure3_sizes() {
+            print!(
+                " {:.0}",
+                model.pc_miss_ratio_bytes(pc, size).unwrap_or(0.0) * 100.0
+            );
+        }
+        println!("   (% at {} … {})", human_size(8192), human_size(8 << 20));
+    }
+}

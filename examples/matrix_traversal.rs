@@ -1,0 +1,124 @@
+//! The textbook software-prefetching case study: row-major vs
+//! column-major matrix traversal.
+//!
+//! A column-major walk of a row-major matrix strides by a full row of
+//! bytes per access — hostile to caches and to next-line prefetching, but
+//! perfectly regular, so the paper's analysis derives a large-stride
+//! prefetch for it automatically. This example shows the framework
+//! discovering the right distance for both traversals without knowing
+//! anything about matrices.
+//!
+//! ```text
+//! cargo run --release --example matrix_traversal
+//! ```
+
+use repf::core::{analyze, asm::render_plan};
+use repf::sampling::{Sampler, SamplerConfig};
+use repf::sim::{amd_phenom_ii, CoreSetup, Sim};
+use repf::trace::patterns::{StridedStream, StridedStreamCfg};
+use repf::trace::{Pc, TraceSource, TraceSourceExt};
+
+const ROWS: u64 = 2048;
+const COLS: u64 = 2048;
+const ELEM: u64 = 8;
+
+/// Column-major walk over a row-major ROWS×COLS matrix of f64: one full
+/// column (stride = row bytes), then the next column.
+struct ColMajorWalk {
+    row: u64,
+    col: u64,
+    done: bool,
+}
+
+impl TraceSource for ColMajorWalk {
+    fn next_ref(&mut self) -> Option<repf::trace::MemRef> {
+        if self.done {
+            return None;
+        }
+        let addr = (self.row * COLS + self.col) * ELEM;
+        self.row += 1;
+        if self.row == ROWS {
+            self.row = 0;
+            self.col += 1;
+            if self.col == COLS {
+                self.done = true;
+            }
+        }
+        Some(repf::trace::MemRef::load(Pc(1), addr))
+    }
+
+    fn reset(&mut self) {
+        self.row = 0;
+        self.col = 0;
+        self.done = false;
+    }
+}
+
+fn timed(src: Box<dyn TraceSource>, plan: Option<repf::core::PrefetchPlan>, n: u64) -> u64 {
+    let m = amd_phenom_ii();
+    Sim::run_solo(
+        &m,
+        CoreSetup {
+            source: Box::new(src.cycle()),
+            base_cpr: 2.0,
+            plan,
+            hw: None,
+            target_refs: n,
+        },
+    )
+    .cycles
+}
+
+fn study(label: &str, mk: impl Fn() -> Box<dyn TraceSource>, n: u64) {
+    let m = amd_phenom_ii();
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: 503,
+        line_bytes: 64,
+        seed: 1,
+    })
+    .profile(&mut mk().take_refs(n));
+    let analysis = analyze(&profile, &m.analysis_config(3.0));
+    println!("== {label} ==");
+    print!("{}", render_plan(&analysis.plan));
+    let base = timed(mk(), None, n);
+    let pf = timed(mk(), Some(analysis.plan.clone()), n);
+    println!(
+        "baseline {base} cycles → prefetched {pf} cycles ({:+.1}%)\n",
+        (base as f64 / pf as f64 - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let n = ROWS * COLS / 4;
+    println!(
+        "matrix: {ROWS}x{COLS} f64 (row stride {} bytes)\n",
+        COLS * ELEM
+    );
+    study(
+        "row-major walk (unit stride: spatial locality, 1 miss per 8 elements)",
+        || {
+            Box::new(StridedStream::new(StridedStreamCfg::loads(
+                Pc(0),
+                0,
+                ROWS * COLS * ELEM,
+                ELEM as i64,
+                1,
+            )))
+        },
+        n,
+    );
+    study(
+        "column-major walk (row-sized stride: every access misses)",
+        || {
+            Box::new(ColMajorWalk {
+                row: 0,
+                col: 0,
+                done: false,
+            })
+        },
+        n,
+    );
+    println!("The analysis derives a line-granular distance for the row-major walk and");
+    println!("a multi-kilobyte distance (whole rows ahead) for the column-major walk —");
+    println!("the §VI-A formula adapting to the stride automatically.");
+}

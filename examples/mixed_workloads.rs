@@ -1,0 +1,76 @@
+//! Shared-resource contention study: run a 4-application mix under
+//! baseline, hardware and resource-efficient software prefetching and
+//! watch who pays for wasted bandwidth and LLC space (paper §VII-C).
+//!
+//! ```text
+//! cargo run --release --example mixed_workloads [bench bench bench bench]
+//! ```
+
+use repf::metrics::{fair_speedup, qos, weighted_speedup};
+use repf::sim::{intel_i7_2600k, run_mix, MixSpec, PlanCache, Policy};
+use repf::workloads::{BenchmarkId, BuildOptions, InputSet};
+
+fn parse_bench(name: &str) -> BenchmarkId {
+    BenchmarkId::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; pick from Table I"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps = if args.len() == 4 {
+        [
+            parse_bench(&args[0]),
+            parse_bench(&args[1]),
+            parse_bench(&args[2]),
+            parse_bench(&args[3]),
+        ]
+    } else {
+        // The paper's Figure 8 drill-down mix.
+        [
+            BenchmarkId::Cigar,
+            BenchmarkId::Gcc,
+            BenchmarkId::Lbm,
+            BenchmarkId::Libquantum,
+        ]
+    };
+    let machine = intel_i7_2600k();
+    let spec = MixSpec { apps };
+    println!(
+        "mix: {} + {} + {} + {} on {}",
+        apps[0], apps[1], apps[2], apps[3], machine.name
+    );
+
+    eprintln!("(profiling all benchmarks once — plans are reused across mixes)");
+    let cache = PlanCache::build(
+        &machine,
+        &BuildOptions {
+            refs_scale: 0.5,
+            ..Default::default()
+        },
+    );
+    let inputs = [InputSet::Ref; 4];
+    let base = run_mix(&spec, &machine, Policy::Baseline, &cache, inputs, 0.5);
+
+    for policy in [Policy::Hardware, Policy::SoftwareNt] {
+        let run = run_mix(&spec, &machine, policy, &cache, inputs, 0.5);
+        let speedups = run.speedups_vs(&base);
+        println!("\n== {policy} ==");
+        for (i, id) in apps.iter().enumerate() {
+            println!("  {:<12} speedup {:+.1}%", id.name(), (speedups[i] - 1.0) * 100.0);
+        }
+        println!(
+            "  throughput (weighted speedup) {:+.1}% | fair speedup {:.3} | QoS {:+.1}%",
+            (weighted_speedup(&speedups) - 1.0) * 100.0,
+            fair_speedup(&speedups),
+            qos(&speedups) * 100.0
+        );
+        println!(
+            "  off-chip traffic vs baseline mix {:+.1}% | achieved bandwidth {:.1} GB/s (peak {:.1})",
+            (run.total_read_bytes() as f64 / base.total_read_bytes().max(1) as f64 - 1.0) * 100.0,
+            run.avg_bandwidth_gbps(&machine),
+            machine.peak_gb_per_s()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Sweep the knobs of the analysis on one benchmark: prefetch distance
+//! scaling and the non-temporal hint, against the machine's hardware
+//! prefetcher. Useful for understanding why the paper's cost-benefit and
+//! bypassing decisions look the way they do.
+//!
+//! ```text
+//! cargo run --release --example tune_prefetcher [bench]
+//! ```
+
+use repf::core::{analyze, PrefetchPlan};
+use repf::sampling::{Sampler, SamplerConfig};
+use repf::sim::{amd_phenom_ii, CoreSetup, Policy, Sim};
+use repf::trace::TraceSourceExt;
+use repf::workloads::{build, BenchmarkId, BuildOptions};
+
+fn timed_run(id: BenchmarkId, machine: &repf::sim::MachineConfig, plan: Option<PrefetchPlan>, hw: bool) -> repf::sim::SoloOutcome {
+    let opts = BuildOptions {
+        refs_scale: 0.5,
+        ..Default::default()
+    };
+    let w = build(id, &opts);
+    let base_cpr = w.base_cpr;
+    let target_refs = w.nominal_refs;
+    Sim::run_solo(
+        machine,
+        CoreSetup {
+            source: Box::new(w.cycle()),
+            base_cpr,
+            plan,
+            hw: hw.then(|| machine.make_hw_prefetcher()),
+            target_refs,
+        },
+    )
+}
+
+fn main() {
+    let id = std::env::args()
+        .nth(1)
+        .map(|n| {
+            BenchmarkId::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(&n))
+                .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+        })
+        .unwrap_or(BenchmarkId::Libquantum);
+    let machine = amd_phenom_ii();
+
+    // Profile once.
+    let mut w = build(
+        id,
+        &BuildOptions {
+            refs_scale: 2.5,
+            ..Default::default()
+        },
+    );
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: machine.profile_period,
+        line_bytes: 64,
+        seed: 0x7u64,
+    })
+    .profile(&mut w);
+
+    let base = timed_run(id, &machine, None, false);
+    let hw = timed_run(id, &machine, None, true);
+    println!("{id} on {}: baseline {} cycles", machine.name, base.cycles);
+    println!(
+        "hardware prefetch: {:+.1}% speedup, {:+.1}% traffic",
+        (base.cycles as f64 / hw.cycles as f64 - 1.0) * 100.0,
+        (hw.stats.dram_read_bytes as f64 / base.stats.dram_read_bytes.max(1) as f64 - 1.0) * 100.0
+    );
+
+    println!("\ndistance scale sweep (multiplies every plan distance):");
+    let cfg = machine.analysis_config(6.0);
+    let analysis = analyze(&profile, &cfg);
+    for scale in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let mut plan = analysis.plan.clone();
+        let pcs = plan.pcs();
+        for pc in pcs {
+            let mut d = *plan.get(pc).unwrap();
+            d.distance_bytes = ((d.distance_bytes as f64) * scale) as i64;
+            plan.insert(pc, d);
+        }
+        let out = timed_run(id, &machine, Some(plan), false);
+        println!(
+            "  x{scale:<4} speedup {:+6.1}%  traffic {:+6.1}%",
+            (base.cycles as f64 / out.cycles as f64 - 1.0) * 100.0,
+            (out.stats.dram_read_bytes as f64 / base.stats.dram_read_bytes.max(1) as f64 - 1.0)
+                * 100.0
+        );
+    }
+
+    println!("\nnon-temporal hint ablation:");
+    for (label, plan) in [
+        ("with NT (as analyzed)", analysis.plan.clone()),
+        ("NT stripped", analysis.plan.without_nta()),
+    ] {
+        let out = timed_run(id, &machine, Some(plan), false);
+        println!(
+            "  {label:<22} speedup {:+6.1}%  traffic {:+6.1}%",
+            (base.cycles as f64 / out.cycles as f64 - 1.0) * 100.0,
+            (out.stats.dram_read_bytes as f64 / base.stats.dram_read_bytes.max(1) as f64 - 1.0)
+                * 100.0
+        );
+    }
+    println!(
+        "\n{} directives, {} non-temporal (policy {} would run these)",
+        analysis.plan.len(),
+        analysis.plan.nta_count(),
+        Policy::SoftwareNt
+    );
+}

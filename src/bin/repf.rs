@@ -1,0 +1,244 @@
+//! `repf` — command-line driver for the resource-efficient prefetching
+//! framework.
+//!
+//! ```text
+//! repf list                               # benchmarks and machines
+//! repf profile <bench> [--period N]      # sampling pass summary
+//! repf analyze <bench> [--machine amd|intel]   # MDDLI + plan (+ pseudo-asm)
+//! repf run <bench> [--machine M] [--policy P]  # timed solo run
+//! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
+//! ```
+//!
+//! Everything is deterministic; scales with `--scale <f>` (default 0.5).
+
+use repf::core::asm::render_plan;
+use repf::metrics::weighted_speedup;
+use repf::sampling::{Sampler, SamplerConfig};
+use repf::sim::{
+    amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, MachineConfig, MixSpec,
+    PlanCache, Policy,
+};
+use repf::workloads::{BenchmarkId, BuildOptions, InputSet};
+
+struct Args {
+    positional: Vec<String>,
+    machine: MachineConfig,
+    policy: Policy,
+    period: u64,
+    scale: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repf <list|profile|analyze|run|mix> [args] \
+         [--machine amd|intel] [--policy baseline|hw|sw|swnt|sc|combined] \
+         [--period N] [--scale F]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut machine = amd_phenom_ii();
+    let mut policy = Policy::SoftwareNt;
+    let mut period = 1009;
+    let mut scale = 0.5;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                machine = match it.next().as_deref() {
+                    Some("amd") => amd_phenom_ii(),
+                    Some("intel") => intel_i7_2600k(),
+                    other => {
+                        eprintln!("unknown machine {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--policy" => {
+                policy = match it.next().as_deref() {
+                    Some("baseline") => Policy::Baseline,
+                    Some("hw") => Policy::Hardware,
+                    Some("sw") => Policy::Software,
+                    Some("swnt") => Policy::SoftwareNt,
+                    Some("sc") => Policy::StrideCentric,
+                    Some("combined") => Policy::Combined,
+                    other => {
+                        eprintln!("unknown policy {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--period" => period = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a}");
+                usage()
+            }
+            _ => positional.push(a),
+        }
+    }
+    Args {
+        positional,
+        machine,
+        policy,
+        period,
+        scale,
+    }
+}
+
+fn bench(name: &str) -> BenchmarkId {
+    BenchmarkId::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}'; see `repf list`");
+            std::process::exit(2);
+        })
+}
+
+fn opts(scale: f64) -> BuildOptions {
+    BuildOptions {
+        refs_scale: scale,
+        ..Default::default()
+    }
+}
+
+fn cmd_list() {
+    println!("benchmarks (Table I analogs):");
+    for id in BenchmarkId::all() {
+        println!("  {id}");
+    }
+    println!("\nmachines (Table II):");
+    for m in [amd_phenom_ii(), intel_i7_2600k()] {
+        let h = &m.hierarchy;
+        println!(
+            "  {:<16} L1 {:>3} kB | L2 {:>3} kB | LLC {} MB | {:.1} GHz | peak {:.1} GB/s",
+            m.name,
+            h.l1.size_bytes >> 10,
+            h.l2.size_bytes >> 10,
+            h.llc.size_bytes >> 20,
+            m.freq_ghz,
+            m.peak_gb_per_s()
+        );
+    }
+}
+
+fn cmd_profile(a: &Args) {
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let mut w = repf::workloads::build(id, &opts(a.scale * 5.0));
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: a.period,
+        line_bytes: 64,
+        seed: 0xC11,
+    })
+    .profile(&mut w);
+    println!("{id}: {} references profiled at 1-in-{}", profile.total_refs, a.period);
+    println!(
+        "  {} reuse samples, {} dangling (cold/no-reuse), {} stride samples",
+        profile.reuse.len(),
+        profile.dangling.len(),
+        profile.strides.len()
+    );
+    println!(
+        "  traps: {} (est. runtime overhead {:.1}% at 6000 ref-equivalents/trap)",
+        profile.traps.total(),
+        profile.traps.estimated_overhead(6000.0, profile.total_refs) * 100.0
+    );
+    let mut pcs = profile.sampled_pcs();
+    pcs.truncate(12);
+    println!("  sampled PCs: {pcs:?}");
+}
+
+fn cmd_analyze(a: &Args) {
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let plans = prepare(id, &a.machine, &opts(a.scale));
+    println!(
+        "{id} on {}: Δ = {:.1} cycles/memop, {} delinquent loads",
+        a.machine.name,
+        plans.delta,
+        plans.analysis.delinquent.len()
+    );
+    for d in &plans.analysis.delinquent {
+        println!(
+            "  {}: MR(L1) {:.2} / MR(L2) {:.2} / MR(LLC) {:.2}, latency {:.0} cy",
+            d.pc, d.mr_l1, d.mr_l2, d.mr_llc, d.avg_miss_latency
+        );
+    }
+    println!("\n{}", render_plan(&plans.plan_nt));
+    if !plans.analysis.rejected.is_empty() {
+        println!("rejected: {:?}", plans.analysis.rejected);
+    }
+}
+
+fn cmd_run(a: &Args) {
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let plans = prepare(id, &a.machine, &opts(a.scale));
+    let out = run_policy(id, &a.machine, &plans, a.policy, &opts(a.scale));
+    let base = &plans.baseline;
+    println!("{id} on {} under {}:", a.machine.name, a.policy);
+    println!(
+        "  cycles {} (baseline {}) → speedup {:+.1}%",
+        out.cycles,
+        base.cycles,
+        (base.cycles as f64 / out.cycles as f64 - 1.0) * 100.0
+    );
+    println!(
+        "  off-chip reads {:.1} MB ({:+.1}% vs baseline), bandwidth {:.2} GB/s",
+        out.stats.dram_read_bytes as f64 / 1e6,
+        (out.stats.dram_read_bytes as f64 / base.stats.dram_read_bytes.max(1) as f64 - 1.0)
+            * 100.0,
+        a.machine.gb_per_s(out.stats.dram_total_bytes(), out.cycles)
+    );
+    println!(
+        "  L1 miss ratio {:.3} (baseline {:.3}), {} sw prefetches, accuracy {}",
+        out.stats.l1_miss_ratio(),
+        base.stats.l1_miss_ratio(),
+        out.sw_prefetches,
+        out.stats
+            .prefetch_accuracy()
+            .map(|x| format!("{:.0}%", x * 100.0))
+            .unwrap_or_else(|| "-".into())
+    );
+}
+
+fn cmd_mix(a: &Args) {
+    if a.positional.len() != 5 {
+        usage();
+    }
+    let apps = [
+        bench(&a.positional[1]),
+        bench(&a.positional[2]),
+        bench(&a.positional[3]),
+        bench(&a.positional[4]),
+    ];
+    eprintln!("(building per-benchmark plans once...)");
+    let cache = PlanCache::build(&a.machine, &opts(a.scale));
+    let spec = MixSpec { apps };
+    let base = run_mix(&spec, &a.machine, Policy::Baseline, &cache, [InputSet::Ref; 4], a.scale);
+    let run = run_mix(&spec, &a.machine, a.policy, &cache, [InputSet::Ref; 4], a.scale);
+    let speedups = run.speedups_vs(&base);
+    println!("mix on {} under {}:", a.machine.name, a.policy);
+    for (i, id) in apps.iter().enumerate() {
+        println!("  {:<12} {:+.1}%", id.name(), (speedups[i] - 1.0) * 100.0);
+    }
+    println!(
+        "  throughput {:+.1}% | traffic {:+.1}% | bandwidth {:.1} GB/s",
+        (weighted_speedup(&speedups) - 1.0) * 100.0,
+        (run.total_read_bytes() as f64 / base.total_read_bytes().max(1) as f64 - 1.0) * 100.0,
+        run.avg_bandwidth_gbps(&a.machine)
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("profile") => cmd_profile(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("run") => cmd_run(&args),
+        Some("mix") => cmd_mix(&args),
+        _ => usage(),
+    }
+}

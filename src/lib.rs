@@ -1,0 +1,53 @@
+//! # repf — Resource-Efficient Prefetching for Multicores
+//!
+//! Umbrella crate for the reproduction of *"A Case for Resource Efficient
+//! Prefetching in Multicores"* (Khan, Sandberg & Hagersten, ICPP 2014).
+//!
+//! The paper's pipeline (its Figure 1) maps onto the workspace crates:
+//!
+//! 1. **sampling pass** — [`sampling::Sampler`] records sparse data-reuse,
+//!    per-instruction stride and recurrence samples from a reference
+//!    stream ([`trace::TraceSource`], produced here by the workload
+//!    analogs in [`workloads`]);
+//! 2. **fast cache modeling** — [`statstack::StatStackModel`] turns the
+//!    reuse samples into application and per-instruction miss-ratio
+//!    curves for any cache size;
+//! 3. **delinquent load identification + prefetching analysis** —
+//!    [`core::analyze`] runs the MDDLI cost-benefit filter, the stride
+//!    analysis, the prefetch-distance computation and the cache-bypassing
+//!    test, emitting a [`core::PrefetchPlan`];
+//! 4. **evaluation** — [`sim`] executes workloads on models of the
+//!    paper's two machines (Table II) under five prefetching policies,
+//!    solo or in 4-application mixes, with shared-LLC and shared-DRAM
+//!    contention; [`metrics`] computes weighted/fair speedup and QoS.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use repf::sim::{amd_phenom_ii, prepare, run_policy, Policy};
+//! use repf::workloads::{BenchmarkId, BuildOptions};
+//!
+//! let machine = amd_phenom_ii();
+//! let opts = BuildOptions { refs_scale: 0.02, ..Default::default() };
+//!
+//! // Profile + analyze (steps 1-3), then run with the plan (step 4).
+//! let plans = prepare(BenchmarkId::Libquantum, &machine, &opts);
+//! let out = run_policy(BenchmarkId::Libquantum, &machine, &plans,
+//!                      Policy::SoftwareNt, &opts);
+//! assert!(out.cycles <= plans.baseline.cycles, "prefetching never hurts here");
+//! ```
+//!
+//! See the repository `README.md` for the architecture overview,
+//! `DESIGN.md` for the substitution ledger, and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The `repf-bench` crate regenerates every
+//! table and figure of the paper.
+
+pub use repf_cache as cache;
+pub use repf_core as core;
+pub use repf_hwpf as hwpf;
+pub use repf_metrics as metrics;
+pub use repf_sampling as sampling;
+pub use repf_sim as sim;
+pub use repf_statstack as statstack;
+pub use repf_trace as trace;
+pub use repf_workloads as workloads;

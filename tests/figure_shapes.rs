@@ -1,0 +1,138 @@
+//! Cheap versions of each figure that assert the paper's *qualitative*
+//! claims — the regression net for the reproduction.
+
+use repf::sim::{amd_phenom_ii, intel_i7_2600k, prepare, run_policy, Policy};
+use repf::workloads::{BenchmarkId, BuildOptions};
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        refs_scale: 0.5,
+        ..Default::default()
+    }
+}
+
+fn speedup(
+    id: BenchmarkId,
+    machine: &repf::sim::MachineConfig,
+    plans: &repf::sim::BenchPlans,
+    policy: Policy,
+) -> f64 {
+    let out = run_policy(id, machine, plans, policy, &opts());
+    plans.baseline.cycles as f64 / out.cycles as f64
+}
+
+#[test]
+fn fig4_libquantum_gains_big_from_software_prefetching() {
+    let m = amd_phenom_ii();
+    let plans = prepare(BenchmarkId::Libquantum, &m, &opts());
+    let s = speedup(BenchmarkId::Libquantum, &m, &plans, Policy::SoftwareNt);
+    assert!(s > 1.3, "libquantum SW+NT speedup {s:.2} (paper: up to +62%)");
+}
+
+#[test]
+fn fig4_cigar_slows_under_amd_hardware_prefetch_but_gains_from_software() {
+    let m = amd_phenom_ii();
+    let plans = prepare(BenchmarkId::Cigar, &m, &opts());
+    let hw = speedup(BenchmarkId::Cigar, &m, &plans, Policy::Hardware);
+    let sw = speedup(BenchmarkId::Cigar, &m, &plans, Policy::SoftwareNt);
+    assert!(
+        hw < 1.02,
+        "cigar must not gain from AMD-style hardware prefetch ({hw:.3}; paper: -11%)"
+    );
+    assert!(sw > 1.05, "cigar gains from software prefetch ({sw:.3}; paper: +13%)");
+    assert!(sw > hw, "the paper's headline cigar contrast");
+}
+
+#[test]
+fn fig4_cigar_behaves_differently_on_intel() {
+    // Intel's adjacent-line prefetcher helps cigar (§VII-A).
+    let m = intel_i7_2600k();
+    let plans = prepare(BenchmarkId::Cigar, &m, &opts());
+    let hw = speedup(BenchmarkId::Cigar, &m, &plans, Policy::Hardware);
+    assert!(hw > 1.02, "Intel hardware prefetch benefits cigar ({hw:.3})");
+}
+
+#[test]
+fn fig4_pointer_chasers_gain_little() {
+    let m = amd_phenom_ii();
+    for id in [BenchmarkId::Omnetpp, BenchmarkId::Xalan] {
+        let plans = prepare(id, &m, &opts());
+        let sw = speedup(id, &m, &plans, Policy::SoftwareNt);
+        assert!(
+            sw < 1.30,
+            "{id}: almost nothing to stride-prefetch ({sw:.3})"
+        );
+    }
+}
+
+#[test]
+fn fig4_stride_centric_is_never_materially_better_than_mddli() {
+    let m = amd_phenom_ii();
+    for id in [
+        BenchmarkId::Libquantum,
+        BenchmarkId::Milc,
+        BenchmarkId::Gcc,
+        BenchmarkId::Soplex,
+    ] {
+        let plans = prepare(id, &m, &opts());
+        let sw = speedup(id, &m, &plans, Policy::Software);
+        let sc = speedup(id, &m, &plans, Policy::StrideCentric);
+        assert!(
+            sc <= sw + 0.02,
+            "{id}: stride-centric ({sc:.3}) must not beat the filtered plan ({sw:.3})"
+        );
+    }
+}
+
+#[test]
+fn fig5_nt_cuts_traffic_on_intel_hardware_hotspots() {
+    // mcf/omnetpp/xalan blow up Intel's HW traffic (adjacent-line junk on
+    // pointer chases); SW+NT stays near baseline.
+    let m = intel_i7_2600k();
+    for id in [BenchmarkId::Mcf, BenchmarkId::Omnetpp, BenchmarkId::Xalan] {
+        let plans = prepare(id, &m, &opts());
+        let hw = run_policy(id, &m, &plans, Policy::Hardware, &opts());
+        let sw = run_policy(id, &m, &plans, Policy::SoftwareNt, &opts());
+        let base = plans.baseline.stats.dram_read_bytes.max(1);
+        let hw_inc = hw.stats.dram_read_bytes as f64 / base as f64 - 1.0;
+        let sw_inc = sw.stats.dram_read_bytes as f64 / base as f64 - 1.0;
+        assert!(
+            hw_inc > 0.3,
+            "{id}: Intel HW prefetch wastes traffic ({hw_inc:+.2})"
+        );
+        assert!(
+            sw_inc < 0.15,
+            "{id}: SW+NT stays near baseline traffic ({sw_inc:+.2})"
+        );
+    }
+}
+
+#[test]
+fn fig6_bandwidth_ordering_matches_prefetch_aggressiveness() {
+    let m = intel_i7_2600k();
+    let plans = prepare(BenchmarkId::Mcf, &m, &opts());
+    let base_bw = plans.baseline.stats.dram_total_bytes() as f64 / plans.baseline.cycles as f64;
+    let hw = run_policy(BenchmarkId::Mcf, &m, &plans, Policy::Hardware, &opts());
+    let hw_bw = hw.stats.dram_total_bytes() as f64 / hw.cycles as f64;
+    let sw = run_policy(BenchmarkId::Mcf, &m, &plans, Policy::SoftwareNt, &opts());
+    let sw_bw = sw.stats.dram_total_bytes() as f64 / sw.cycles as f64;
+    assert!(
+        hw_bw > sw_bw && sw_bw > base_bw,
+        "bandwidth ordering HW > SW+NT > baseline ({hw_bw:.3} / {sw_bw:.3} / {base_bw:.3})"
+    );
+}
+
+#[test]
+fn table1_milc_divergence_between_grouped_and_exact_stride_analysis() {
+    // milc's alternating 64/80 stride is regular to the line-grouped
+    // analysis but irregular to the exact-stride stride-centric baseline.
+    let m = amd_phenom_ii();
+    let plans = prepare(BenchmarkId::Milc, &m, &opts());
+    let mddli_pcs = plans.plan_nt.pcs();
+    let sc_pcs = plans.stride_centric.pcs();
+    assert!(
+        mddli_pcs.iter().any(|pc| !sc_pcs.contains(pc)),
+        "MDDLI instruments the alternating-stride load that stride-centric misses \
+         (mddli {mddli_pcs:?} vs sc {sc_pcs:?})"
+    );
+}

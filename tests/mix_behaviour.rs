@@ -1,0 +1,141 @@
+//! Integration tests for the multiprogrammed behaviour that the paper's
+//! §VII-C results rest on: shared-LLC and shared-bandwidth contention,
+//! and the benefit of resource conservation.
+
+use repf::metrics::weighted_speedup;
+use repf::sim::{amd_phenom_ii, generate_mixes, run_mix, MixSpec, PlanCache, Policy};
+use repf::workloads::{BenchmarkId, BuildOptions, InputSet};
+
+fn cache(machine: &repf::sim::MachineConfig) -> PlanCache {
+    PlanCache::build(
+        machine,
+        &BuildOptions {
+            refs_scale: 0.3,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn mixes_are_deterministic_and_traffic_ordered() {
+    let m = amd_phenom_ii();
+    let cache = cache(&m);
+    let spec = MixSpec {
+        apps: [
+            BenchmarkId::Libquantum,
+            BenchmarkId::Lbm,
+            BenchmarkId::Mcf,
+            BenchmarkId::Cigar,
+        ],
+    };
+    let scale = 0.3;
+    let inputs = [InputSet::Ref; 4];
+    let base = run_mix(&spec, &m, Policy::Baseline, &cache, inputs, scale);
+    let base2 = run_mix(&spec, &m, Policy::Baseline, &cache, inputs, scale);
+    for (a, b) in base.per_app.iter().zip(&base2.per_app) {
+        assert_eq!(a.cycles, b.cycles, "mix runs are deterministic");
+    }
+    let hw = run_mix(&spec, &m, Policy::Hardware, &cache, inputs, scale);
+    let sw = run_mix(&spec, &m, Policy::SoftwareNt, &cache, inputs, scale);
+    assert!(
+        sw.total_read_bytes() < hw.total_read_bytes(),
+        "resource-efficient prefetching moves less data ({} vs {})",
+        sw.total_read_bytes(),
+        hw.total_read_bytes()
+    );
+}
+
+#[test]
+fn contention_makes_everyone_slower_than_solo() {
+    let m = amd_phenom_ii();
+    let cache = cache(&m);
+    // Four copies of the most bandwidth-hungry benchmark.
+    let spec = MixSpec {
+        apps: [BenchmarkId::Lbm; 4],
+    };
+    let mix = run_mix(
+        &spec,
+        &m,
+        Policy::Baseline,
+        &cache,
+        [InputSet::Ref; 4],
+        0.3,
+    );
+    let solo = &cache.get(BenchmarkId::Lbm).baseline;
+    // Solo baseline at 0.3 scale would take ~0.3/0.3 of solo cycles — the
+    // cached baseline ran at 0.3 scale too, so compare directly.
+    for app in &mix.per_app {
+        assert!(
+            app.cycles >= solo.cycles,
+            "co-running with three copies of itself cannot be faster than solo"
+        );
+    }
+}
+
+#[test]
+fn software_prefetching_holds_its_own_in_mixes() {
+    // A 6-mix sample of the Figure 7 result. At full scale SW+NT wins the
+    // majority of mixes (see the fig7 binary); this cheap version asserts
+    // the weaker invariants that hold even at reduced run lengths: SW+NT
+    // never tanks a mix, always improves throughput, and its *average*
+    // stays within reach of hardware prefetching while moving less data.
+    let m = amd_phenom_ii();
+    let cache = cache(&m);
+    let specs = generate_mixes(6, 99);
+    let mut sum_sw = 0.0;
+    let mut sum_hw = 0.0;
+    for spec in &specs {
+        let inputs = [InputSet::Ref; 4];
+        let base = run_mix(spec, &m, Policy::Baseline, &cache, inputs, 0.3);
+        let hw = run_mix(spec, &m, Policy::Hardware, &cache, inputs, 0.3);
+        let sw = run_mix(spec, &m, Policy::SoftwareNt, &cache, inputs, 0.3);
+        let ws_hw = weighted_speedup(&hw.speedups_vs(&base));
+        let ws_sw = weighted_speedup(&sw.speedups_vs(&base));
+        assert!(
+            ws_sw > 1.0,
+            "SW+NT improves every mix ({:?}: {ws_sw:.3})",
+            spec.apps
+        );
+        assert!(
+            sw.total_read_bytes() <= hw.total_read_bytes(),
+            "SW+NT moves no more data than HW in any mix"
+        );
+        sum_sw += ws_sw;
+        sum_hw += ws_hw;
+    }
+    assert!(
+        sum_sw > sum_hw - 0.30,
+        "SW+NT average throughput stays close to HW even at reduced scale          ({:.3} vs {:.3})",
+        sum_sw / 6.0,
+        sum_hw / 6.0
+    );
+}
+
+#[test]
+fn alternate_inputs_still_profit_from_reference_plans() {
+    // §VII-D: plans from the reference input applied to different inputs
+    // still speed things up.
+    let m = amd_phenom_ii();
+    let cache = cache(&m);
+    let spec = MixSpec {
+        apps: [
+            BenchmarkId::Libquantum,
+            BenchmarkId::Leslie3d,
+            BenchmarkId::Gcc,
+            BenchmarkId::Milc,
+        ],
+    };
+    let inputs = [
+        InputSet::Alt(0),
+        InputSet::Alt(1),
+        InputSet::Alt(2),
+        InputSet::Alt(3),
+    ];
+    let base = run_mix(&spec, &m, Policy::Baseline, &cache, inputs, 0.3);
+    let sw = run_mix(&spec, &m, Policy::SoftwareNt, &cache, inputs, 0.3);
+    let ws = weighted_speedup(&sw.speedups_vs(&base));
+    assert!(
+        ws > 1.02,
+        "reference-input plans still help on alternate inputs ({ws:.3})"
+    );
+}

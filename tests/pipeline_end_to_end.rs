@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the full Figure-1 pipeline (workload →
+//! sampling → StatStack → MDDLI → plan → timed run) for every benchmark
+//! analog, on both machines.
+
+use repf::sim::{amd_phenom_ii, intel_i7_2600k, prepare, run_policy, Policy};
+use repf::workloads::{BenchmarkId, BuildOptions};
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        refs_scale: 0.25,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_benchmark_flows_through_the_pipeline_on_both_machines() {
+    for machine in [amd_phenom_ii(), intel_i7_2600k()] {
+        for id in BenchmarkId::all() {
+            let plans = prepare(id, &machine, &opts());
+            assert!(
+                plans.profile.sample_count() > 50,
+                "{id}: sampling produced data"
+            );
+            assert!(plans.delta >= 1.0, "{id}: Δ at least one cycle per op");
+            // Every benchmark except the pure pointer-chasers gets at
+            // least one prefetch directive.
+            if !matches!(id, BenchmarkId::Omnetpp | BenchmarkId::Xalan) {
+                assert!(
+                    !plans.plan_nt.is_empty(),
+                    "{id} on {}: plan must not be empty",
+                    machine.name
+                );
+            }
+            let out = run_policy(id, &machine, &plans, Policy::SoftwareNt, &opts());
+            assert_eq!(out.refs, plans.baseline.refs, "{id}: same work");
+        }
+    }
+}
+
+#[test]
+fn software_prefetching_never_collapses_throughput() {
+    // The paper's method "never hurts performance" in mixes; solo, allow
+    // a small margin for the α tax on hard-to-help benchmarks.
+    let machine = amd_phenom_ii();
+    for id in BenchmarkId::all() {
+        let plans = prepare(id, &machine, &opts());
+        let sw = run_policy(id, &machine, &plans, Policy::SoftwareNt, &opts());
+        let speedup = plans.baseline.cycles as f64 / sw.cycles as f64;
+        assert!(
+            speedup > 0.97,
+            "{id}: SW+NT must not slow the program down materially ({speedup:.3})"
+        );
+    }
+}
+
+#[test]
+fn nt_traffic_never_exceeds_hardware_traffic() {
+    // The Figure 5 invariant: the resource-efficient scheme is strictly
+    // better than hardware prefetching on off-chip traffic.
+    for machine in [amd_phenom_ii(), intel_i7_2600k()] {
+        for id in BenchmarkId::all() {
+            let plans = prepare(id, &machine, &opts());
+            let hw = run_policy(id, &machine, &plans, Policy::Hardware, &opts());
+            let sw = run_policy(id, &machine, &plans, Policy::SoftwareNt, &opts());
+            assert!(
+                sw.stats.dram_read_bytes <= hw.stats.dram_read_bytes * 21 / 20,
+                "{id} on {}: SW+NT traffic ({}) must not exceed HW traffic ({}) by more than 5%",
+                machine.name,
+                sw.stats.dram_read_bytes,
+                hw.stats.dram_read_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn plans_are_deterministic_across_preparations() {
+    let machine = intel_i7_2600k();
+    let a = prepare(BenchmarkId::Milc, &machine, &opts());
+    let b = prepare(BenchmarkId::Milc, &machine, &opts());
+    assert_eq!(a.plan_nt.pcs(), b.plan_nt.pcs());
+    assert_eq!(a.baseline.cycles, b.baseline.cycles);
+    for pc in a.plan_nt.pcs() {
+        assert_eq!(a.plan_nt.get(pc), b.plan_nt.get(pc));
+    }
+}
+
+#[test]
+fn one_profile_serves_both_machines() {
+    // §VII: "We optimized for both target architectures using a single
+    // input profile." The profile is machine-independent; the analysis
+    // step takes the machine geometry.
+    use repf::core::analyze;
+    use repf::sampling::{Sampler, SamplerConfig};
+    use repf::workloads::build;
+
+    let mut w = build(BenchmarkId::GemsFdtd, &BuildOptions {
+        refs_scale: 1.0,
+        ..Default::default()
+    });
+    let profile = Sampler::new(SamplerConfig {
+        sample_period: 1009,
+        line_bytes: 64,
+        seed: 0xAB,
+    })
+    .profile(&mut w);
+    let amd = analyze(&profile, &amd_phenom_ii().analysis_config(6.0));
+    let intel = analyze(&profile, &intel_i7_2600k().analysis_config(6.0));
+    assert!(!amd.plan.is_empty());
+    assert!(!intel.plan.is_empty());
+    // The streaming loads are delinquent on both targets.
+    let amd_pcs = amd.plan.pcs();
+    let intel_pcs = intel.plan.pcs();
+    assert!(amd_pcs.iter().any(|pc| intel_pcs.contains(pc)));
+}
