@@ -1,9 +1,12 @@
-//! Criterion benchmarks for the framework's components. The headline is
-//! the StatStack fit/query time — the paper's pitch is that statistical
+//! Component benchmarks (`cargo bench --bench components`). The headline
+//! is the StatStack fit/query time — the paper's pitch is that statistical
 //! modeling replaces "prohibitively slow" cache simulation ("typically
 //! takes less than a minute"; this implementation fits in milliseconds).
+//!
+//! A plain `std::time` harness (`harness = false`): the container has no
+//! external benchmarking crates, and min-of-N wall-clock is enough to
+//! track the order-of-magnitude claims these numbers back.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId as CBid, Criterion, Throughput};
 use repf_cache::{CacheConfig, FunctionalCacheSim, MemorySystem};
 use repf_core::analyze;
 use repf_sampling::{Sampler, SamplerConfig};
@@ -12,8 +15,35 @@ use repf_statstack::StatStackModel;
 use repf_trace::patterns::{StridedStream, StridedStreamCfg};
 use repf_trace::{Pc, TraceSource, TraceSourceExt};
 use repf_workloads::{build, BenchmarkId, BuildOptions};
+use std::time::{Duration, Instant};
 
 const N_REFS: u64 = 200_000;
+
+/// Time `f` (1 warmup + up to 10 samples within a 3 s budget) and print
+/// min/mean, plus per-element throughput when `elems > 0`.
+fn bench<T>(group: &str, name: &str, elems: u64, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times = Vec::new();
+    let budget = Instant::now();
+    while times.len() < 10 && budget.elapsed() < Duration::from_secs(3) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let rate = if elems > 0 && min > 0.0 {
+        format!("  {:8.1} Melem/s", elems as f64 / min / 1e6)
+    } else {
+        String::new()
+    };
+    println!(
+        "{group}/{name}: min {:10.3} ms  mean {:10.3} ms  ({} samples){rate}",
+        min * 1e3,
+        mean * 1e3,
+        times.len()
+    );
+}
 
 fn workload(id: BenchmarkId) -> repf_workloads::Workload {
     build(
@@ -25,44 +55,34 @@ fn workload(id: BenchmarkId) -> repf_workloads::Workload {
     )
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace-generation");
-    g.throughput(Throughput::Elements(N_REFS));
+fn bench_trace_generation() {
     for id in [BenchmarkId::Libquantum, BenchmarkId::Mcf, BenchmarkId::Gcc] {
-        g.bench_with_input(CBid::from_parameter(id.name()), &id, |b, &id| {
-            b.iter(|| {
-                let mut w = workload(id);
-                let mut n = 0u64;
-                while w.next_ref().is_some() {
-                    n += 1;
-                }
-                n
-            })
+        bench("trace-generation", id.name(), N_REFS, || {
+            let mut w = workload(id);
+            let mut n = 0u64;
+            while w.next_ref().is_some() {
+                n += 1;
+            }
+            n
         });
     }
-    g.finish();
 }
 
-fn bench_sampler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sampler");
-    g.throughput(Throughput::Elements(N_REFS));
+fn bench_sampler() {
     for period in [100u64, 1009, 100_000] {
-        g.bench_with_input(CBid::new("period", period), &period, |b, &period| {
-            let sampler = Sampler::new(SamplerConfig {
-                sample_period: period,
-                line_bytes: 64,
-                seed: 1,
-            });
-            b.iter(|| {
-                let mut w = workload(BenchmarkId::Mcf);
-                sampler.profile(&mut w)
-            })
+        let sampler = Sampler::new(SamplerConfig {
+            sample_period: period,
+            line_bytes: 64,
+            seed: 1,
+        });
+        bench("sampler", &format!("period-{period}"), N_REFS, || {
+            let mut w = workload(BenchmarkId::Mcf);
+            sampler.profile(&mut w)
         });
     }
-    g.finish();
 }
 
-fn bench_statstack(c: &mut Criterion) {
+fn bench_statstack() {
     // Fit + full MRC query — the paper's "fast cache modeling" claim.
     let sampler = Sampler::new(SamplerConfig {
         sample_period: 101,
@@ -71,124 +91,102 @@ fn bench_statstack(c: &mut Criterion) {
     });
     let mut w = workload(BenchmarkId::Mcf);
     let profile = sampler.profile(&mut w);
-    let mut g = c.benchmark_group("statstack");
-    g.bench_function("fit", |b| b.iter(|| StatStackModel::from_profile(&profile)));
+    bench("statstack", "fit", 0, || StatStackModel::from_profile(&profile));
     let model = StatStackModel::from_profile(&profile);
-    g.bench_function("application-mrc-11-sizes", |b| {
-        b.iter(|| {
-            repf_statstack::curve::figure3_sizes()
-                .into_iter()
-                .map(|s| model.miss_ratio_bytes(s))
-                .sum::<f64>()
-        })
+    bench("statstack", "application-mrc-11-sizes", 0, || {
+        repf_statstack::curve::figure3_sizes()
+            .into_iter()
+            .map(|s| model.miss_ratio_bytes(s))
+            .sum::<f64>()
     });
-    g.bench_function("full-analysis-pipeline", |b| {
-        let cfg = amd_phenom_ii().analysis_config(6.0);
-        b.iter(|| analyze(&profile, &cfg))
-    });
-    g.finish();
+    let cfg = amd_phenom_ii().analysis_config(6.0);
+    bench("statstack", "full-analysis-pipeline", 0, || analyze(&profile, &cfg));
 }
 
-fn bench_caches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache-simulation");
-    g.throughput(Throughput::Elements(N_REFS));
-    g.bench_function("functional-64k-2way", |b| {
-        b.iter(|| {
-            let mut sim = FunctionalCacheSim::new(CacheConfig::new(64 << 10, 2, 64));
-            let mut w = workload(BenchmarkId::Mcf);
-            sim.run(&mut w);
-            sim.totals().misses
-        })
+fn bench_caches() {
+    bench("cache-simulation", "functional-64k-2way", N_REFS, || {
+        let mut sim = FunctionalCacheSim::new(CacheConfig::new(64 << 10, 2, 64));
+        let mut w = workload(BenchmarkId::Mcf);
+        sim.run(&mut w);
+        sim.totals().misses
     });
-    g.bench_function("memory-system-demand-stream", |b| {
-        b.iter(|| {
-            let m = amd_phenom_ii();
-            let mut mem = MemorySystem::new(1, m.hierarchy);
-            let mut src = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 1 << 30, 64, 1))
-                .take_refs(N_REFS);
-            let mut now = 0u64;
-            while let Some(r) = src.next_ref() {
-                now += 2 + mem.demand_access(0, r, now).latency;
-            }
-            now
-        })
+    bench("cache-simulation", "memory-system-demand-stream", N_REFS, || {
+        let m = amd_phenom_ii();
+        let mut mem = MemorySystem::new(1, m.hierarchy);
+        let mut src =
+            StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 1 << 30, 64, 1)).take_refs(N_REFS);
+        let mut now = 0u64;
+        while let Some(r) = src.next_ref() {
+            now += 2 + mem.demand_access(0, r, now).latency;
+        }
+        now
     });
-    g.finish();
 }
 
-fn bench_timing_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("timing-simulation");
-    g.throughput(Throughput::Elements(N_REFS));
+fn bench_timing_sim() {
     let m = amd_phenom_ii();
-    g.bench_function("solo-baseline", |b| {
-        b.iter(|| {
-            let w = workload(BenchmarkId::Gcc);
-            let base_cpr = w.base_cpr;
-            let target_refs = w.nominal_refs;
-            Sim::run_solo(
-                &m,
+    bench("timing-simulation", "solo-baseline", N_REFS, || {
+        let w = workload(BenchmarkId::Gcc);
+        let base_cpr = w.base_cpr;
+        let target_refs = w.nominal_refs;
+        Sim::run_solo(
+            &m,
+            CoreSetup {
+                source: Box::new(w.cycle()),
+                base_cpr,
+                plan: None,
+                hw: None,
+                target_refs,
+            },
+        )
+        .cycles
+    });
+    bench("timing-simulation", "solo-hardware-prefetch", N_REFS, || {
+        let w = workload(BenchmarkId::Gcc);
+        let base_cpr = w.base_cpr;
+        let target_refs = w.nominal_refs;
+        Sim::run_solo(
+            &m,
+            CoreSetup {
+                source: Box::new(w.cycle()),
+                base_cpr,
+                plan: None,
+                hw: Some(m.make_hw_prefetcher()),
+                target_refs,
+            },
+        )
+        .cycles
+    });
+    bench("timing-simulation", "mix-4core-baseline", N_REFS, || {
+        let setups = (0..4)
+            .map(|i| {
+                let w = build(
+                    BenchmarkId::Lbm,
+                    &BuildOptions {
+                        refs_scale: N_REFS as f64 / 4.0 / 2_000_000.0,
+                        addr_offset: ((i + 1) as u64) << 45,
+                        ..Default::default()
+                    },
+                );
+                let base_cpr = w.base_cpr;
+                let target_refs = w.nominal_refs;
                 CoreSetup {
                     source: Box::new(w.cycle()),
                     base_cpr,
                     plan: None,
                     hw: None,
                     target_refs,
-                },
-            )
-            .cycles
-        })
+                }
+            })
+            .collect();
+        Sim::run_mix(&m, setups).len()
     });
-    g.bench_function("solo-hardware-prefetch", |b| {
-        b.iter(|| {
-            let w = workload(BenchmarkId::Gcc);
-            let base_cpr = w.base_cpr;
-            let target_refs = w.nominal_refs;
-            Sim::run_solo(
-                &m,
-                CoreSetup {
-                    source: Box::new(w.cycle()),
-                    base_cpr,
-                    plan: None,
-                    hw: Some(m.make_hw_prefetcher()),
-                    target_refs,
-                },
-            )
-            .cycles
-        })
-    });
-    g.throughput(Throughput::Elements(4 * N_REFS / 4));
-    g.bench_function("mix-4core-baseline", |b| {
-        b.iter(|| {
-            let setups = (0..4)
-                .map(|i| {
-                    let w = build(
-                        BenchmarkId::Lbm,
-                        &BuildOptions {
-                            refs_scale: N_REFS as f64 / 4.0 / 2_000_000.0,
-                            addr_offset: ((i + 1) as u64) << 45,
-                            ..Default::default()
-                        },
-                    );
-                    let base_cpr = w.base_cpr;
-                    let target_refs = w.nominal_refs;
-                    CoreSetup {
-                        source: Box::new(w.cycle()),
-                        base_cpr,
-                        plan: None,
-                        hw: None,
-                        target_refs,
-                    }
-                })
-                .collect();
-            Sim::run_mix(&m, setups).len()
-        })
-    });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_trace_generation, bench_sampler, bench_statstack, bench_caches, bench_timing_sim
+fn main() {
+    bench_trace_generation();
+    bench_sampler();
+    bench_statstack();
+    bench_caches();
+    bench_timing_sim();
 }
-criterion_main!(benches);

@@ -8,10 +8,31 @@ use repf_sampling::{Sampler, SamplerConfig};
 use repf_sim::amd_phenom_ii;
 use repf_statstack::curve::{figure3_sizes, human_size};
 use repf_statstack::StatStackModel;
+use repf_trace::Pc;
 use repf_workloads::{build, BenchmarkId, BuildOptions};
 
-/// Regenerate Figure 3.
-pub fn run(refs_scale: f64) {
+/// One cache-size point of the figure.
+pub struct Fig3Point {
+    /// Cache size in bytes.
+    pub size_bytes: u64,
+    /// Miss ratio of the hot delinquent load at this size.
+    pub per_instruction: f64,
+    /// Application-average miss ratio at this size.
+    pub average: f64,
+}
+
+/// The figure's data: both curves plus the chosen hot load.
+pub struct Fig3Data {
+    /// The delinquent load whose per-instruction curve is plotted.
+    pub hot_pc: Pc,
+    /// Curve points over [`figure3_sizes`] plus the 6 MB LLC mark.
+    pub points: Vec<Fig3Point>,
+    /// Reuse samples behind the model.
+    pub samples: u64,
+}
+
+/// Compute the Figure 3 curves (mcf on the AMD machine).
+pub fn compute(refs_scale: f64) -> Fig3Data {
     let machine = amd_phenom_ii();
     let mut w = build(
         BenchmarkId::Mcf,
@@ -37,37 +58,47 @@ pub fn run(refs_scale: f64) {
         .max_by_key(|&pc| model.pc_sample_count(pc))
         .expect("mcf has delinquent loads");
 
+    // The paper's x-axis has no 6M point; append the LLC mark.
+    let sizes = figure3_sizes().into_iter().chain([6u64 << 20]);
+    let points = sizes
+        .map(|size| Fig3Point {
+            size_bytes: size,
+            per_instruction: model.pc_miss_ratio_bytes(hot_pc, size).unwrap(),
+            average: model.miss_ratio_bytes(size),
+        })
+        .collect();
+    Fig3Data {
+        hot_pc,
+        points,
+        samples: model.sample_count(),
+    }
+}
+
+/// Regenerate Figure 3.
+pub fn run(refs_scale: f64) {
+    let machine = amd_phenom_ii();
+    let data = compute(refs_scale);
+
     println!("# Figure 3: StatStack miss-ratio curves for mcf (AMD cache sizes marked)");
     println!(
         "# marks: L1$ = 64k, L2$ = 512k, LLC = 6M  |  {} samples, 1-in-{} sampling",
-        model.sample_count(),
-        machine.profile_period
+        data.samples, machine.profile_period
     );
     let mut t = Table::new(vec!["cache size", "per-instruction", "average", ""]);
-    for size in figure3_sizes() {
-        let avg = model.miss_ratio_bytes(size);
-        let pc = model.pc_miss_ratio_bytes(hot_pc, size).unwrap();
-        let mark = match size {
+    for p in &data.points {
+        let mark = match p.size_bytes {
             65_536 => "<- L1$",
             524_288 => "<- L2$",
             6_291_456 => "<- LLC",
             _ => "",
         };
         t.row(vec![
-            human_size(size),
-            format!("{:5.1}%", pc * 100.0),
-            format!("{:5.1}%", avg * 100.0),
+            human_size(p.size_bytes),
+            format!("{:5.1}%", p.per_instruction * 100.0),
+            format!("{:5.1}%", p.average * 100.0),
             mark.to_string(),
         ]);
     }
-    // The paper's x-axis has no 6M point; print the LLC mark separately.
-    let llc = 6 << 20;
-    t.row(vec![
-        human_size(llc),
-        format!("{:5.1}%", model.pc_miss_ratio_bytes(hot_pc, llc).unwrap() * 100.0),
-        format!("{:5.1}%", model.miss_ratio_bytes(llc) * 100.0),
-        "<- LLC".to_string(),
-    ]);
     println!("{}", t.render());
-    println!("(per-instruction curve: {hot_pc}, the hot arc-array load)\n");
+    println!("(per-instruction curve: {}, the hot arc-array load)\n", data.hot_pc);
 }

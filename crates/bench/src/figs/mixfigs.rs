@@ -1,15 +1,85 @@
 //! Figures 7, 9, 10 and 11: all views of the 180-mix studies (original
 //! inputs and alternate inputs), on both machines.
 
-use crate::mixeval::{build_cache, print_distribution_pair, run_study, InputMode, MixStudy};
+use crate::mixeval::{print_distribution_pair, run_study_with, InputMode, MixStudy};
 use crate::machines;
+use crate::obs::{Json, Timings};
 use repf_metrics::Table;
-use repf_sim::MachineConfig;
+use repf_sim::{Exec, MachineConfig, PlanCache};
+use repf_workloads::BuildOptions;
 
 /// The four studies (machine × input mode), computed once.
 pub struct Studies {
     /// (machine, original-input study, different-input study)
     pub per_machine: Vec<(MachineConfig, MixStudy, Option<MixStudy>)>,
+}
+
+/// Wall-clock accounting of one [`run_studies_timed`] call, for the
+/// machine-readable `BENCH_mixstudy.json` summary.
+pub struct StudyReport {
+    /// Worker threads the studies ran on.
+    pub threads: usize,
+    /// Mixes per study.
+    pub n_mixes: usize,
+    /// Phase timings (plan building and each study, per machine).
+    pub timings: Timings,
+}
+
+impl StudyReport {
+    /// Simulation cells (mix × policy runs, incl. baseline) per study.
+    pub fn cells_per_study(&self) -> usize {
+        self.n_mixes * 3
+    }
+
+    /// Render the report plus headline study results as JSON.
+    pub fn to_json(&self, studies: &Studies, mix_scale: f64) -> Json {
+        let study_json = |s: &MixStudy| {
+            Json::obj([
+                ("n_mixes", Json::Num(s.specs.len() as f64)),
+                (
+                    "sw_weighted_speedup_mean",
+                    Json::Num(s.dist(false, |x| x.weighted_speedup).mean()),
+                ),
+                (
+                    "hw_weighted_speedup_mean",
+                    Json::Num(s.dist(true, |x| x.weighted_speedup).mean()),
+                ),
+                (
+                    "sw_fair_speedup_mean",
+                    Json::Num(s.dist(false, |x| x.fair_speedup).mean()),
+                ),
+                (
+                    "sw_traffic_increase_mean",
+                    Json::Num(s.dist(false, |x| x.traffic_increase).mean()),
+                ),
+                ("sw_wins_fraction", Json::Num(s.sw_wins_fraction())),
+            ])
+        };
+        let machines = studies
+            .per_machine
+            .iter()
+            .map(|(m, orig, diff)| {
+                let mut fields = vec![
+                    ("machine".to_string(), Json::str(m.name)),
+                    ("original".to_string(), study_json(orig)),
+                ];
+                if let Some(diff) = diff {
+                    fields.push(("different".to_string(), study_json(diff)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str("repf-bench/mixstudy/v1")),
+            ("threads", Json::Num(self.threads as f64)),
+            ("n_mixes", Json::Num(self.n_mixes as f64)),
+            ("mix_scale", Json::Num(mix_scale)),
+            ("cells_per_study", Json::Num(self.cells_per_study() as f64)),
+            ("phases", self.timings.to_json()),
+            ("total_secs", Json::Num(self.timings.total_secs())),
+            ("machines", Json::Arr(machines)),
+        ])
+    }
 }
 
 /// Run the mixed-workload studies. `with_alt_inputs` also runs the
@@ -20,21 +90,61 @@ pub fn run_studies(
     mix_scale: f64,
     with_alt_inputs: bool,
 ) -> Studies {
+    run_studies_timed(n_mixes, profile_scale, mix_scale, with_alt_inputs, &Exec::from_env()).0
+}
+
+/// [`run_studies`] on an explicit engine, with per-phase wall-clock
+/// accounting and cells/sec progress lines.
+pub fn run_studies_timed(
+    n_mixes: usize,
+    profile_scale: f64,
+    mix_scale: f64,
+    with_alt_inputs: bool,
+    exec: &Exec,
+) -> (Studies, StudyReport) {
+    let mut timings = Timings::new();
+    let cells = n_mixes * 3;
     let mut per_machine = Vec::new();
+    eprintln!(
+        "[mixes] evaluation engine: {} worker thread(s) (REPF_THREADS to override)",
+        exec.threads()
+    );
     for m in machines() {
         eprintln!("[mixes] preparing plans for {} ...", m.name);
-        let cache = build_cache(&m, profile_scale);
-        eprintln!("[mixes] running {n_mixes} mixes (original inputs) on {} ...", m.name);
-        let orig = run_study(&m, &cache, n_mixes, 0xF1697, InputMode::Original, mix_scale);
-        let diff = if with_alt_inputs {
-            eprintln!("[mixes] running {n_mixes} mixes (different inputs) on {} ...", m.name);
-            Some(run_study(&m, &cache, n_mixes, 0xF1699, InputMode::Different, mix_scale))
-        } else {
-            None
+        let cache = timings.time(&format!("{}/plans", m.name), || {
+            PlanCache::build_with(
+                &m,
+                &BuildOptions {
+                    refs_scale: profile_scale,
+                    ..Default::default()
+                },
+                exec,
+            )
+        });
+        let mut study = |label: &str, seed: u64, mode: InputMode| {
+            eprintln!("[mixes] running {n_mixes} mixes ({label} inputs) on {} ...", m.name);
+            let phase = format!("{}/mixes-{label}", m.name);
+            let s = timings.time(&phase, || {
+                run_study_with(&m, &cache, n_mixes, seed, mode, mix_scale, exec)
+            });
+            let secs = timings.secs(&phase).unwrap_or(0.0);
+            if secs > 0.0 {
+                eprintln!("[mixes]   {cells} cells in {secs:.2}s ({:.1} cells/s)", cells as f64 / secs);
+            }
+            s
         };
+        let orig = study("original", 0xF1697, InputMode::Original);
+        let diff = with_alt_inputs.then(|| study("different", 0xF1699, InputMode::Different));
         per_machine.push((m, orig, diff));
     }
-    Studies { per_machine }
+    (
+        Studies { per_machine },
+        StudyReport {
+            threads: exec.threads(),
+            n_mixes,
+            timings,
+        },
+    )
 }
 
 /// Figure 7: sorted distributions of weighted speedup and traffic

@@ -7,7 +7,7 @@
 use repf_cache::{CacheConfig, FunctionalCacheSim};
 use repf_metrics::Table;
 use repf_sampling::{Sampler, SamplerConfig};
-use repf_sim::amd_phenom_ii;
+use repf_sim::{amd_phenom_ii, Exec};
 use repf_statstack::StatStackModel;
 use repf_workloads::{build, BenchmarkId, BuildOptions};
 
@@ -34,7 +34,9 @@ pub fn run(refs_scale: f64) {
     println!("# paper: 88% of misses identified at 64 kB 2-way, 94% at 512 kB\n");
     let mut t = Table::new(vec!["Benchmark", "64 kB 2-way", "512 kB 16-way"]);
     let mut sums = [0.0f64; 2];
-    for id in BenchmarkId::all() {
+    // One cell per benchmark on the evaluation engine's worker pool; each
+    // cell profiles once and checks both cache configurations.
+    let cells = Exec::from_env().map(&BenchmarkId::all(), |_, &id| {
         let opts = BuildOptions {
             refs_scale,
             ..Default::default()
@@ -48,18 +50,20 @@ pub fn run(refs_scale: f64) {
         .profile(&mut w);
         let model = StatStackModel::from_profile(&profile);
 
-        let mut row = vec![id.name().to_string()];
-        for (i, cfg) in [
+        [
             CacheConfig::new(64 * 1024, 2, 64),
             CacheConfig::new(512 * 1024, 16, 64),
         ]
-        .into_iter()
-        .enumerate()
-        {
+        .map(|cfg| {
             let mut sim = FunctionalCacheSim::new(cfg);
             let mut w = build(id, &opts);
             sim.run(&mut w);
-            let c = coverage(&model, &profile, &sim, cfg.size_bytes);
+            coverage(&model, &profile, &sim, cfg.size_bytes)
+        })
+    });
+    for (id, covs) in BenchmarkId::all().into_iter().zip(cells) {
+        let mut row = vec![id.name().to_string()];
+        for (i, c) in covs.into_iter().enumerate() {
             sums[i] += c;
             row.push(format!("{:.1}%", c * 100.0));
         }

@@ -6,29 +6,39 @@
 use crate::soloeval::evaluate_one;
 use repf_cache::{CacheConfig, FunctionalCacheSim};
 use repf_metrics::Table;
-use repf_sim::{amd_phenom_ii, Policy};
+use repf_sim::{amd_phenom_ii, Exec, Policy};
 use repf_workloads::{build, BenchmarkId, BuildOptions};
 
-struct Row {
-    name: &'static str,
-    mddli_cov: f64,
-    mddli_oh: f64,
-    sc_cov: f64,
-    sc_oh: f64,
-    mddli_prefetches: u64,
-    sc_prefetches: u64,
+/// One benchmark's Table I row.
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// MDDLI-filtered miss coverage (fraction of functional-sim L1
+    /// misses attributable to the instrumented loads).
+    pub mddli_cov: f64,
+    /// MDDLI overhead: prefetch instructions per miss removed.
+    pub mddli_oh: f64,
+    /// Stride-centric (prior work) miss coverage.
+    pub sc_cov: f64,
+    /// Stride-centric overhead.
+    pub sc_oh: f64,
+    /// Prefetch instructions executed under the MDDLI plan.
+    pub mddli_prefetches: u64,
+    /// Prefetch instructions executed under the stride-centric plan.
+    pub sc_prefetches: u64,
 }
 
-/// Regenerate Table I (the paper evaluates coverage against the AMD
-/// Phenom II L1 configuration: 64 kB, 2-way, 64 B lines).
-pub fn run(refs_scale: f64) {
-    let machine = amd_phenom_ii();
-    println!("# Table I: Prefetch Coverage & Minimization (AMD L1: 64 kB 2-way)");
-    println!("# cov = fraction of functional-sim L1 misses attributable to instrumented loads");
-    println!("# OH  = prefetch instructions executed per L1 miss removed (lower is better)\n");
+/// Compute Table I on the [`Exec::from_env`] worker pool (one benchmark
+/// per cell; the paper evaluates coverage against the AMD Phenom II L1:
+/// 64 kB, 2-way, 64 B lines).
+pub fn compute(refs_scale: f64) -> Vec<Table1Row> {
+    compute_with(refs_scale, &Exec::from_env())
+}
 
-    let mut rows = Vec::new();
-    for id in BenchmarkId::all() {
+/// [`compute`] with an explicit evaluation engine.
+pub fn compute_with(refs_scale: f64, exec: &Exec) -> Vec<Table1Row> {
+    let machine = amd_phenom_ii();
+    exec.map(&BenchmarkId::all(), |_, &id| {
         let e = evaluate_one(id, &machine, refs_scale);
 
         // Ground truth: exact per-PC miss counts on the paper's reference
@@ -55,7 +65,7 @@ pub fn run(refs_scale: f64) {
         let (mddli_oh, mddli_pf) = oh(Policy::Software);
         let (sc_oh, sc_pf) = oh(Policy::StrideCentric);
 
-        rows.push(Row {
+        Table1Row {
             name: id.name(),
             mddli_cov,
             mddli_oh,
@@ -63,8 +73,17 @@ pub fn run(refs_scale: f64) {
             sc_oh,
             mddli_prefetches: mddli_pf,
             sc_prefetches: sc_pf,
-        });
-    }
+        }
+    })
+}
+
+/// Regenerate Table I.
+pub fn run(refs_scale: f64) {
+    println!("# Table I: Prefetch Coverage & Minimization (AMD L1: 64 kB 2-way)");
+    println!("# cov = fraction of functional-sim L1 misses attributable to instrumented loads");
+    println!("# OH  = prefetch instructions executed per L1 miss removed (lower is better)\n");
+
+    let rows = compute(refs_scale);
 
     let mut t = Table::new(vec![
         "Benchmark",

@@ -28,10 +28,14 @@
 //! * `REPF_MIXES` — number of random mixes (default 180);
 //! * `REPF_MIX_SCALE` — run-length scale for mix experiments (default
 //!   0.5 — four cycled co-runners make mixes ~10× the work of a solo
-//!   run).
+//!   run);
+//! * `REPF_THREADS` — worker threads for the parallel evaluation engine
+//!   (default: all available cores). Results are bit-identical at any
+//!   thread count.
 
 pub mod figs;
 pub mod mixeval;
+pub mod obs;
 pub mod soloeval;
 
 use repf_sim::MachineConfig;

@@ -3,7 +3,9 @@
 //! different views of this data.
 
 use repf_metrics::{fair_speedup, qos, weighted_speedup, Distribution};
-use repf_sim::{generate_mixes, random_inputs, run_mix, MachineConfig, MixSpec, PlanCache, Policy};
+use repf_sim::{
+    generate_mixes, random_inputs, run_mix, Exec, MachineConfig, MixSpec, PlanCache, Policy,
+};
 use repf_workloads::{BuildOptions, InputSet};
 
 /// Per-mix summary for one policy vs the baseline mix.
@@ -59,7 +61,8 @@ pub enum InputMode {
 }
 
 /// Run the mixed-workload study: `n` mixes × {baseline, hardware,
-/// software+NT} on `machine`.
+/// software+NT} on `machine`, fanning the mixes out over the
+/// [`Exec::from_env`] worker pool.
 pub fn run_study(
     machine: &MachineConfig,
     cache: &PlanCache,
@@ -68,31 +71,46 @@ pub fn run_study(
     mode: InputMode,
     refs_scale: f64,
 ) -> MixStudy {
+    run_study_with(machine, cache, n, seed, mode, refs_scale, &Exec::from_env())
+}
+
+/// [`run_study`] with an explicit evaluation engine.
+///
+/// Every mix cell is a pure function of `(spec, seed-derived inputs,
+/// machine, policy)` and results are merged back in mix order, so the
+/// study is bit-identical to the serial path at any thread count (the
+/// determinism suite in `crates/bench/tests/determinism.rs` pins this).
+pub fn run_study_with(
+    machine: &MachineConfig,
+    cache: &PlanCache,
+    n: usize,
+    seed: u64,
+    mode: InputMode,
+    refs_scale: f64,
+    exec: &Exec,
+) -> MixStudy {
     let specs = generate_mixes(n, seed);
-    let mut hardware = Vec::with_capacity(n);
-    let mut software = Vec::with_capacity(n);
-    for (i, spec) in specs.iter().enumerate() {
+    let cells = exec.map(&specs, |i, spec| {
         let inputs = match mode {
             InputMode::Original => [InputSet::Ref; 4],
             InputMode::Different => random_inputs(seed ^ (i as u64) << 17),
         };
         let base = run_mix(spec, machine, Policy::Baseline, cache, inputs, refs_scale);
-        for (policy, out) in [
-            (Policy::Hardware, &mut hardware),
-            (Policy::SoftwareNt, &mut software),
-        ] {
+        let summarize = |policy: Policy| {
             let run = run_mix(spec, machine, policy, cache, inputs, refs_scale);
             let speedups = run.speedups_vs(&base);
-            out.push(MixSummary {
+            MixSummary {
                 weighted_speedup: weighted_speedup(&speedups),
                 fair_speedup: fair_speedup(&speedups),
                 qos: qos(&speedups),
                 traffic_increase: run.total_read_bytes() as f64
                     / base.total_read_bytes().max(1) as f64
                     - 1.0,
-            });
-        }
-    }
+            }
+        };
+        (summarize(Policy::Hardware), summarize(Policy::SoftwareNt))
+    });
+    let (hardware, software) = cells.into_iter().unzip();
     MixStudy {
         specs,
         hardware,

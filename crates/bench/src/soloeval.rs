@@ -2,7 +2,7 @@
 //! policy on one machine. Figures 4, 5, 6 and Table I are different views
 //! of this data.
 
-use repf_sim::{prepare, run_policy, BenchPlans, MachineConfig, Policy, SoloOutcome};
+use repf_sim::{prepare, run_policy, BenchPlans, Exec, MachineConfig, Policy, SoloOutcome};
 use repf_workloads::{BenchmarkId, BuildOptions};
 
 /// All solo results for one benchmark on one machine.
@@ -47,12 +47,20 @@ impl BenchEval {
     }
 }
 
-/// Evaluate all 12 benchmarks under all 5 policies on `machine`.
+/// Evaluate all 12 benchmarks under all 5 policies on `machine`, one
+/// benchmark per cell on the [`Exec::from_env`] worker pool.
 pub fn evaluate_all(machine: &MachineConfig, refs_scale: f64) -> Vec<BenchEval> {
-    BenchmarkId::all()
-        .into_iter()
-        .map(|id| evaluate_one(id, machine, refs_scale))
-        .collect()
+    evaluate_all_with(machine, refs_scale, &Exec::from_env())
+}
+
+/// [`evaluate_all`] with an explicit evaluation engine. Each benchmark's
+/// profile→plan→run pipeline is independent of the others, so the result
+/// vector (in [`BenchmarkId::all`] order) is identical at any thread
+/// count.
+pub fn evaluate_all_with(machine: &MachineConfig, refs_scale: f64, exec: &Exec) -> Vec<BenchEval> {
+    exec.map(&BenchmarkId::all(), |_, &id| {
+        evaluate_one(id, machine, refs_scale)
+    })
 }
 
 /// Evaluate one benchmark under all 5 policies on `machine`.

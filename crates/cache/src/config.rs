@@ -1,9 +1,8 @@
 //! Cache geometry configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,

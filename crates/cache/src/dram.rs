@@ -8,10 +8,9 @@
 //! co-runners — the central mechanism of the paper's §VII-C results.
 
 use crate::stats::DramStats;
-use serde::{Deserialize, Serialize};
 
 /// DRAM channel parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DramConfig {
     /// Core cycles from request issue to first data, unloaded.
     pub latency_cycles: u64,

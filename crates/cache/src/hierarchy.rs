@@ -33,11 +33,10 @@ use crate::set_assoc::SetAssocCache;
 use crate::stats::{CoreStats, DramStats};
 use repf_trace::hash::FxHashMap;
 use repf_trace::{AccessKind, MemRef};
-use serde::{Deserialize, Serialize};
 
 /// Full memory-system configuration (per-machine values live in
 /// `repf-sim::machine`).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HierarchyConfig {
     /// Private first-level data cache.
     pub l1: CacheConfig,
@@ -63,7 +62,7 @@ impl HierarchyConfig {
 }
 
 /// Where a demand access was satisfied.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HitLevel {
     /// First-level hit (latency folded into the core's base CPI).
     L1,

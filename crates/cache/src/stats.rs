@@ -2,10 +2,9 @@
 //! hardware performance counters the paper reads (off-chip traffic, misses
 //! per level, prefetch usefulness).
 
-use serde::{Deserialize, Serialize};
 
 /// Per-core demand/prefetch counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Demand loads + stores issued.
     pub demand_accesses: u64,
@@ -51,7 +50,7 @@ impl CoreStats {
 }
 
 /// Shared-channel counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Line reads served.
     pub reads: u64,

@@ -1,12 +1,16 @@
 //! Property tests for the cache substrate: LRU laws, hierarchy
 //! conservation rules and DRAM channel arithmetic under arbitrary access
 //! sequences.
+//!
+//! Cases are generated from seeded xorshift streams (the same generator
+//! the workloads use) instead of an external property-testing framework,
+//! so the suite stays deterministic and dependency-free.
 
-use proptest::prelude::*;
 use repf_cache::{
     CacheConfig, Dram, DramConfig, FunctionalCacheSim, HierarchyConfig, HitLevel, MemorySystem,
     PrefetchTarget, SetAssocCache,
 };
+use repf_trace::rng::XorShift64Star;
 use repf_trace::{MemRef, Pc};
 
 fn tiny_hierarchy() -> HierarchyConfig {
@@ -24,90 +28,117 @@ fn tiny_hierarchy() -> HierarchyConfig {
     }
 }
 
-/// Arbitrary access sequences over a small line space (so sets collide).
-fn accesses() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0u64..64, any::<bool>()), 1..400)
+/// Arbitrary access sequence over a small line space (so sets collide).
+fn accesses(rng: &mut XorShift64Star) -> Vec<(u64, bool)> {
+    let n = 1 + rng.below(399) as usize;
+    (0..n)
+        .map(|_| (rng.below(64), rng.next_u64() & 1 == 1))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// A line just filled must be present; occupancy never exceeds
-    /// capacity; invalidate removes exactly the target.
-    #[test]
-    fn set_assoc_laws(lines in prop::collection::vec(0u64..64, 1..200)) {
+#[test]
+fn set_assoc_laws() {
+    // A line just filled must be present; occupancy never exceeds
+    // capacity; invalidate removes exactly the target.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xCAC4E ^ case);
+        let lines: Vec<u64> = (0..1 + rng.below(199)).map(|_| rng.below(64)).collect();
         let mut c = SetAssocCache::new(CacheConfig::new(1024, 4, 64));
         for &l in &lines {
             c.fill(l, false, false, false);
-            prop_assert!(c.probe(l), "just-filled line present");
-            prop_assert!(c.occupancy() <= 16);
+            assert!(c.probe(l), "just-filled line present (case {case})");
+            assert!(c.occupancy() <= 16);
         }
         let victim = lines[0];
         if c.probe(victim) {
             c.invalidate(victim);
-            prop_assert!(!c.probe(victim));
+            assert!(!c.probe(victim), "case {case}");
         }
     }
+}
 
-    /// Accessing the same trace twice through a fresh functional sim
-    /// yields identical counters (pure function of the trace).
-    #[test]
-    fn functional_sim_pure(seq in accesses()) {
+#[test]
+fn functional_sim_pure() {
+    // Accessing the same trace twice through a fresh functional sim
+    // yields identical counters (pure function of the trace).
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xF1 ^ case << 8);
+        let seq = accesses(&mut rng);
         let run = || {
             let mut sim = FunctionalCacheSim::new(CacheConfig::new(512, 2, 64));
             for &(l, store) in &seq {
-                let r = if store { MemRef::store(Pc((l % 7) as u32), l * 64) }
-                        else { MemRef::load(Pc((l % 7) as u32), l * 64) };
+                let r = if store {
+                    MemRef::store(Pc((l % 7) as u32), l * 64)
+                } else {
+                    MemRef::load(Pc((l % 7) as u32), l * 64)
+                };
                 sim.step(r);
             }
             (sim.totals(), sim.all_pcs())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    /// Hierarchy conservation: per-level misses are nested
-    /// (L1 ≥ L2 ≥ LLC misses), every DRAM read is 64 bytes accounted,
-    /// and a repeat access directly after always hits L1.
-    #[test]
-    fn hierarchy_conservation(seq in accesses()) {
+#[test]
+fn hierarchy_conservation() {
+    // Per-level misses are nested (L1 ≥ L2 ≥ LLC misses), every DRAM read
+    // is 64 bytes accounted, and a repeat access directly after always
+    // hits L1.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x41E7 ^ case << 8);
+        let seq = accesses(&mut rng);
         let mut m = MemorySystem::new(1, tiny_hierarchy());
         let mut now = 0u64;
         for &(l, store) in &seq {
-            let r = if store { MemRef::store(Pc(0), l * 64) } else { MemRef::load(Pc(0), l * 64) };
+            let r = if store {
+                MemRef::store(Pc(0), l * 64)
+            } else {
+                MemRef::load(Pc(0), l * 64)
+            };
             let res = m.demand_access(0, r, now);
             now += 2 + res.latency;
             let res2 = m.demand_access(0, MemRef::load(Pc(0), l * 64), now);
-            prop_assert_eq!(res2.level, HitLevel::L1, "immediate re-access hits L1");
+            assert_eq!(res2.level, HitLevel::L1, "immediate re-access hits L1");
             now += 2;
         }
         let s = m.core_stats(0);
-        prop_assert!(s.l1_misses >= s.l2_misses);
-        prop_assert!(s.l2_misses >= s.llc_misses);
-        prop_assert!(s.l1_misses <= s.demand_accesses);
-        prop_assert_eq!(s.dram_read_bytes % 64, 0);
-        prop_assert_eq!(s.dram_read_bytes / 64, m.dram_stats().reads);
+        assert!(s.l1_misses >= s.l2_misses, "case {case}");
+        assert!(s.l2_misses >= s.llc_misses, "case {case}");
+        assert!(s.l1_misses <= s.demand_accesses, "case {case}");
+        assert_eq!(s.dram_read_bytes % 64, 0);
+        assert_eq!(s.dram_read_bytes / 64, m.dram_stats().reads);
     }
+}
 
-    /// Prefetching never changes demand counts, and issuing the same
-    /// prefetch twice is idempotent on traffic.
-    #[test]
-    fn prefetch_idempotence(lines in prop::collection::vec(0u64..64, 1..100),
-                            target in prop::sample::select(vec![
-                                PrefetchTarget::L1, PrefetchTarget::L2, PrefetchTarget::Nta])) {
+#[test]
+fn prefetch_idempotence() {
+    // Prefetching never changes demand counts, and issuing the same
+    // prefetch twice is idempotent on traffic.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x1DE3 ^ case << 8);
+        let target = [PrefetchTarget::L1, PrefetchTarget::L2, PrefetchTarget::Nta]
+            [rng.below(3) as usize];
+        let lines: Vec<u64> = (0..1 + rng.below(99)).map(|_| rng.below(64)).collect();
         let mut m = MemorySystem::new(1, tiny_hierarchy());
         for &l in &lines {
             m.prefetch(0, l * 64, target, 0);
             let reads = m.dram_stats().reads;
             m.prefetch(0, l * 64, target, 10);
-            prop_assert_eq!(m.dram_stats().reads, reads, "second prefetch is free");
+            assert_eq!(m.dram_stats().reads, reads, "second prefetch is free");
         }
-        prop_assert_eq!(m.core_stats(0).demand_accesses, 0);
-        prop_assert_eq!(m.core_stats(0).prefetches_issued as usize, lines.len() * 2);
+        assert_eq!(m.core_stats(0).demand_accesses, 0);
+        assert_eq!(m.core_stats(0).prefetches_issued as usize, lines.len() * 2);
     }
+}
 
-    /// NTA prefetches never put lines into the shared LLC.
-    #[test]
-    fn nta_never_touches_llc(lines in prop::collection::vec(0u64..512, 1..200)) {
+#[test]
+fn nta_never_touches_llc() {
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x7A ^ case << 8);
+        let lines: Vec<u64> = (0..1 + rng.below(199)).map(|_| rng.below(512)).collect();
         let mut m = MemorySystem::new(1, tiny_hierarchy());
         for &l in &lines {
             m.prefetch(0, l * 64, PrefetchTarget::Nta, 0);
@@ -120,22 +151,34 @@ proptest! {
             m.demand_access(0, MemRef::load(Pc(1), addr), 1_000_000);
             fresh.demand_access(0, MemRef::load(Pc(1), addr), 1_000_000);
         }
-        prop_assert_eq!(m.core_stats(0).llc_misses, fresh.core_stats(0).llc_misses);
+        assert_eq!(
+            m.core_stats(0).llc_misses,
+            fresh.core_stats(0).llc_misses,
+            "case {case}"
+        );
     }
+}
 
-    /// DRAM channel: total busy time equals transfers × service time, and
-    /// latency is bounded below by the unloaded value.
-    #[test]
-    fn dram_channel_arithmetic(gaps in prop::collection::vec(0u64..64, 1..200)) {
-        let cfg = DramConfig { latency_cycles: 100, service_cycles: 16, line_bytes: 64 };
+#[test]
+fn dram_channel_arithmetic() {
+    // Total busy time equals transfers × service time, and latency is
+    // bounded below by the unloaded value.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xD3A ^ case << 8);
+        let gaps: Vec<u64> = (0..1 + rng.below(199)).map(|_| rng.below(64)).collect();
+        let cfg = DramConfig {
+            latency_cycles: 100,
+            service_cycles: 16,
+            line_bytes: 64,
+        };
         let mut d = Dram::new(cfg);
         let mut now = 0u64;
         for &g in &gaps {
             now += g;
             let lat = d.read(now);
-            prop_assert!(lat >= 116, "latency at least unloaded value");
+            assert!(lat >= 116, "latency at least unloaded value");
         }
-        prop_assert_eq!(d.stats().busy_cycles, gaps.len() as u64 * 16);
-        prop_assert_eq!(d.stats().reads, gaps.len() as u64);
+        assert_eq!(d.stats().busy_cycles, gaps.len() as u64 * 16);
+        assert_eq!(d.stats().reads, gaps.len() as u64);
     }
 }

@@ -1,14 +1,13 @@
 //! Analysis parameters: target cache geometry, latencies and the paper's
 //! tunables.
 
-use serde::{Deserialize, Serialize};
 
 /// Everything the prefetching analysis needs to know about the target
 /// machine and the profiled application.
 ///
 /// One profile can be analyzed for several targets — the paper optimizes
 /// for both AMD and Intel "using a single input profile" (§VII).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AnalysisConfig {
     /// Target L1 data cache capacity in bytes.
     pub l1_bytes: u64,

@@ -18,10 +18,9 @@ use crate::config::AnalysisConfig;
 use repf_sampling::Profile;
 use repf_statstack::StatStackModel;
 use repf_trace::Pc;
-use serde::{Deserialize, Serialize};
 
 /// A load that passed the MDDLI cost-benefit filter.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DelinquentLoad {
     /// The load instruction.
     pub pc: Pc,

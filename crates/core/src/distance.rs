@@ -11,10 +11,9 @@
 //! and always `P ≤ R/2` in iterations, so a short loop is not flooded
 //! with prefetches that outrun it.
 
-use serde::{Deserialize, Serialize};
 
 /// Inputs for the distance computation, gathered by the pipeline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DistanceInputs {
     /// Selected stride in bytes (non-zero; sign = direction).
     pub stride: i64,

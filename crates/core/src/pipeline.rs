@@ -11,10 +11,9 @@ use crate::strides::analyze_strides;
 use repf_sampling::Profile;
 use repf_statstack::StatStackModel;
 use repf_trace::Pc;
-use serde::{Deserialize, Serialize};
 
 /// Why a sampled load did not make it into the plan.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectReason {
     /// Failed the MDDLI cost-benefit test (§V) — prefetching it would
     /// cost more cycles than it saves.
@@ -28,7 +27,7 @@ pub enum RejectReason {
 }
 
 /// Full analysis output.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Analysis {
     /// Loads that passed MDDLI, ordered by estimated miss volume.
     pub delinquent: Vec<DelinquentLoad>,

@@ -3,11 +3,10 @@
 
 use repf_trace::hash::FxHashMap;
 use repf_trace::Pc;
-use serde::{Deserialize, Serialize};
 
 /// One inserted prefetch: `prefetch[nta] distance(base)` right after the
 /// load (§VI-C).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PrefetchDirective {
     /// Lookahead in bytes relative to the load's current address
     /// (negative for downward walks).
@@ -19,7 +18,7 @@ pub struct PrefetchDirective {
 }
 
 /// Per-PC prefetch directives.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PrefetchPlan {
     directives: FxHashMap<Pc, PrefetchDirective>,
 }

@@ -7,10 +7,9 @@
 
 use repf_sampling::StrideSample;
 use repf_trace::hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Result of the stride analysis for one load.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StrideAnalysis {
     /// Most frequent stride within the dominant group, in bytes.
     pub dominant_stride: i64,

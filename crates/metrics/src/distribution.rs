@@ -1,11 +1,10 @@
 //! Sorted distribution functions — the presentation of Figures 7 and 9:
 //! "in 60 % of the mixes, our method improves throughput by at least 14 %".
 
-use serde::{Deserialize, Serialize};
 
 /// A collection of per-run values with distribution queries. Values are
 /// kept sorted ascending.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Distribution {
     sorted: Vec<f64>,
 }

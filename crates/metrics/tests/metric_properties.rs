@@ -1,62 +1,82 @@
 //! Property tests for the multiprogrammed metrics: the algebraic
-//! relations the paper's Figures 7/10/11 rely on.
+//! relations the paper's Figures 7/10/11 rely on, checked over seeded
+//! random speedup vectors.
 
-use proptest::prelude::*;
 use repf_metrics::{fair_speedup, qos, speedup, weighted_speedup, Distribution};
+use repf_trace::rng::XorShift64Star;
 
-fn speedups() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.2f64..4.0, 1..12)
+fn speedups(rng: &mut XorShift64Star) -> Vec<f64> {
+    let n = 1 + rng.below(11) as usize;
+    (0..n).map(|_| 0.2 + rng.unit_f64() * 3.8).collect()
 }
 
-proptest! {
-    /// Harmonic mean ≤ arithmetic mean, with equality iff all equal.
-    #[test]
-    fn fair_never_exceeds_weighted(s in speedups()) {
+const CASES: u64 = 256;
+
+#[test]
+fn fair_never_exceeds_weighted() {
+    // Harmonic mean ≤ arithmetic mean.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xFA13 ^ case << 8);
+        let s = speedups(&mut rng);
         let fs = fair_speedup(&s);
         let ws = weighted_speedup(&s);
-        prop_assert!(fs <= ws + 1e-12);
-        prop_assert!(fs > 0.0);
+        assert!(fs <= ws + 1e-12, "case {case}: {fs} vs {ws}");
+        assert!(fs > 0.0);
     }
+}
 
-    /// QoS is non-positive, zero iff nothing slowed down, and monotone:
-    /// improving any single app never worsens QoS.
-    #[test]
-    fn qos_laws(s in speedups(), ix in any::<prop::sample::Index>()) {
+#[test]
+fn qos_laws() {
+    // QoS is non-positive, zero iff nothing slowed down, and monotone:
+    // improving any single app never worsens QoS.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x905 ^ case << 8);
+        let s = speedups(&mut rng);
         let q = qos(&s);
-        prop_assert!(q <= 0.0);
+        assert!(q <= 0.0, "case {case}");
         if s.iter().all(|&x| x >= 1.0) {
-            prop_assert_eq!(q, 0.0);
+            assert_eq!(q, 0.0, "case {case}");
         }
         let mut better = s.clone();
-        let i = ix.index(better.len());
+        let i = rng.below(better.len() as u64) as usize;
         better[i] += 0.5;
-        prop_assert!(qos(&better) >= q - 1e-12);
+        assert!(qos(&better) >= q - 1e-12, "case {case}");
     }
+}
 
-    /// Scaling every app's cycles by the same factor scales speedups
-    /// uniformly, so weighted/fair speedups scale too.
-    #[test]
-    fn speedup_scale_invariance(base in 1_000u64..1_000_000, k in 2u64..10) {
+#[test]
+fn speedup_scale_invariance() {
+    // Scaling every app's cycles by the same factor scales speedups
+    // uniformly.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x5CA1E ^ case << 8);
+        let base = 1_000 + rng.below(999_000);
+        let k = 2 + rng.below(8);
         let s1 = speedup(base * k, base);
-        prop_assert!((s1 - k as f64).abs() < 1e-9);
+        assert!((s1 - k as f64).abs() < 1e-9, "case {case}: {s1} vs {k}");
     }
+}
 
-    /// Distribution quantiles are monotone and bracketed by min/max, and
-    /// fraction_at_least is a proper complementary CDF.
-    #[test]
-    fn distribution_laws(vals in prop::collection::vec(-10.0f64..10.0, 1..100),
-                         t in -10.0f64..10.0) {
+#[test]
+fn distribution_laws() {
+    // Quantiles are monotone and bracketed by min/max, and
+    // fraction_at_least is a proper complementary CDF.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xD157 ^ case << 8);
+        let n = 1 + rng.below(99) as usize;
+        let vals: Vec<f64> = (0..n).map(|_| rng.unit_f64() * 20.0 - 10.0).collect();
+        let t = rng.unit_f64() * 20.0 - 10.0;
         let d = Distribution::new(vals.clone());
-        prop_assert!(d.quantile(0.0) <= d.quantile(0.5));
-        prop_assert!(d.quantile(0.5) <= d.quantile(1.0));
-        prop_assert_eq!(d.quantile(0.0), d.min());
-        prop_assert_eq!(d.quantile(1.0), d.max());
+        assert!(d.quantile(0.0) <= d.quantile(0.5));
+        assert!(d.quantile(0.5) <= d.quantile(1.0));
+        assert_eq!(d.quantile(0.0), d.min());
+        assert_eq!(d.quantile(1.0), d.max());
         let f = d.fraction_at_least(t);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         let exact = vals.iter().filter(|&&v| v >= t).count() as f64 / vals.len() as f64;
-        prop_assert!((f - exact).abs() < 1e-12);
+        assert!((f - exact).abs() < 1e-12, "case {case}");
         // at_least + at_most may double-count exact matches; they always
         // cover everything.
-        prop_assert!(f + d.fraction_at_most(t) >= 1.0 - 1e-12);
+        assert!(f + d.fraction_at_most(t) >= 1.0 - 1e-12, "case {case}");
     }
 }

@@ -3,11 +3,10 @@
 
 use repf_trace::hash::FxHashMap;
 use repf_trace::{AccessKind, Pc};
-use serde::{Deserialize, Serialize};
 
 /// A completed data-reuse sample: two consecutive accesses to the same
 /// cache line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReuseSample {
     /// Instruction whose access armed the watchpoint.
     pub start_pc: Pc,
@@ -30,7 +29,7 @@ pub struct ReuseSample {
 /// A watchpoint that never fired: the line was not re-accessed before the
 /// end of the run. Modelled as an infinite reuse distance (a miss at every
 /// cache size).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DanglingSample {
     /// Instruction whose access armed the watchpoint.
     pub pc: Pc,
@@ -42,7 +41,7 @@ pub struct DanglingSample {
 
 /// A completed per-instruction stride sample: two consecutive executions
 /// of the same instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StrideSample {
     /// The sampled instruction.
     pub pc: Pc,
@@ -58,7 +57,7 @@ pub struct StrideSample {
 /// Trap counts of a sampling pass — the basis of the overhead model
 /// (the paper's framework keeps runtime overhead below ~30 %: reuse
 /// sampling alone below 20 %, §III).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrapCounts {
     /// Samples armed (counter-overflow interrupt + watchpoint/breakpoint
     /// setup).
@@ -87,7 +86,7 @@ impl TrapCounts {
 }
 
 /// Everything one sampling pass produces.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Profile {
     /// Total references in the profiled run.
     pub total_refs: u64,

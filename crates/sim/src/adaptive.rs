@@ -145,6 +145,24 @@ pub fn run_adaptive(
     out
 }
 
+/// Run several adaptive configurations over the same program on the
+/// evaluation engine's worker pool. `make_source` builds a fresh copy of
+/// the program for each cell (adaptive runs consume their source), so
+/// every cell is independent and the outcomes are identical to running
+/// the configurations one after another.
+pub fn run_adaptive_many<F>(
+    machine: &MachineConfig,
+    cfgs: &[AdaptiveConfig],
+    make_source: F,
+    base_cpr: f64,
+    exec: &crate::exec::Exec,
+) -> Vec<AdaptiveOutcome>
+where
+    F: Fn() -> Box<dyn TraceSource> + Sync,
+{
+    exec.map(cfgs, |_, cfg| run_adaptive(machine, make_source(), base_cpr, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,168 @@
+//! The parallel evaluation engine: a deterministic fan-out scheduler for
+//! independent simulation cells (solo runs, mix × policy cells, profiling
+//! passes).
+//!
+//! Every unit of work the harness fans out is a pure function of its
+//! inputs — a mix spec, a seed, a machine config and a shared, read-only
+//! [`PlanCache`](crate::PlanCache) — so running cells on a worker pool
+//! changes *nothing* about their results: outputs are collected by index
+//! and returned in submission order, bit-identical to the serial path
+//! regardless of thread count. The only shared mutable state anywhere in
+//! the fan-out is the compute-once plan cache, which guarantees
+//! exactly-one initialization per (benchmark, machine) key.
+//!
+//! Thread count is taken from `REPF_THREADS` (default: all available
+//! cores); `REPF_THREADS=1` recovers the fully serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-pool handle. Cheap to construct; holds no threads between
+/// calls (workers are scoped to each [`Exec::map`] invocation).
+#[derive(Clone, Copy, Debug)]
+pub struct Exec {
+    threads: usize,
+}
+
+impl Exec {
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Exec {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An engine sized by `REPF_THREADS`, defaulting to the machine's
+    /// available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("REPF_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Exec::new(threads)
+    }
+
+    /// A single-threaded engine: the reference serial path.
+    pub fn serial() -> Self {
+        Exec::new(1)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate `f(i, &items[i])` for every item on the worker pool and
+    /// return the results in item order.
+    ///
+    /// Work is handed out through a shared atomic cursor, so thread
+    /// scheduling decides only *which worker* computes a cell, never what
+    /// the cell computes — each result is a pure function of `(i, item)`.
+    /// With one worker (or one item) no threads are spawned at all.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, f(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                indexed.extend(h.join().expect("evaluation worker panicked"));
+            }
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Evaluate a fixed set of heterogeneous jobs concurrently and return
+    /// their results in job order. Convenience wrapper over [`Exec::map`]
+    /// for "run these N closures" call sites.
+    pub fn run_jobs<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        // FnOnce jobs can't go through `map` (it borrows items), so hand
+        // each job its own slot via the same cursor pattern.
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let slots: Vec<std::sync::Mutex<Option<F>>> = jobs
+            .into_iter()
+            .map(|j| std::sync::Mutex::new(Some(j)))
+            .collect();
+        let results = self.map(&slots, |_, slot| {
+            let job = slot.lock().unwrap().take().expect("job taken twice");
+            job()
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Exec::new(threads).map(&items, |_, &x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_matching_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = Exec::new(4).map(&items, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let e = Exec::new(8);
+        assert_eq!(e.map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(e.map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(Exec::new(0).threads(), 1);
+        assert!(Exec::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn run_jobs_in_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * 3) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = Exec::new(4).run_jobs(jobs);
+        assert_eq!(got, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`solo`] — profile → analyze → plan → run pipelines for
 //!   single-benchmark experiments (Figures 4–6, Table I);
 //! * [`mixes`] — the 180 random 4-application mixed workloads (Figures
-//!   7–11) and parallel workloads (Figure 12).
+//!   7–11) and parallel workloads (Figure 12);
+//! * [`exec`] — the parallel evaluation engine: a deterministic worker
+//!   pool (`REPF_THREADS`) that fans independent simulation cells out
+//!   across cores with results bit-identical to the serial path.
 //!
 //! ## Timing model
 //!
@@ -29,13 +32,15 @@
 //! results hinge on — emerge naturally.
 
 pub mod adaptive;
+pub mod exec;
 pub mod machine;
 pub mod mixes;
 pub mod policy;
 pub mod runner;
 pub mod solo;
 
-pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutcome};
+pub use adaptive::{run_adaptive, run_adaptive_many, AdaptiveConfig, AdaptiveOutcome};
+pub use exec::Exec;
 pub use machine::{amd_phenom_ii, intel_i7_2600k, HwPfKind, MachineConfig};
 pub use mixes::{generate_mixes, random_inputs, run_mix, MixOutcome, MixSpec, PlanCache};
 pub use policy::Policy;

@@ -3,10 +3,9 @@
 use repf_cache::{CacheConfig, DramConfig, HierarchyConfig};
 use repf_core::AnalysisConfig;
 use repf_hwpf::{amd_phenom_ii_prefetcher, intel_sandybridge_prefetcher, HwPrefetcher};
-use serde::{Deserialize, Serialize};
 
 /// Which hardware-prefetcher preset a machine uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HwPfKind {
     /// Stride + streamer (no adjacent-line), AMD Family 10h style.
     Amd,
@@ -15,7 +14,7 @@ pub enum HwPfKind {
 }
 
 /// A modelled machine.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MachineConfig {
     /// Display name (matches the paper's Table II).
     pub name: &'static str,

@@ -5,14 +5,15 @@ use crate::machine::MachineConfig;
 use crate::policy::Policy;
 use crate::runner::{CoreSetup, Sim, SoloOutcome};
 use crate::solo::{prepare, BenchPlans};
+use crate::exec::Exec;
 use repf_trace::rng::XorShift64Star;
 use repf_trace::TraceSourceExt;
 use repf_workloads::{build, BenchmarkId, BuildOptions, InputSet};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// One 4-application mix.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MixSpec {
     /// The four co-running benchmarks (duplicates allowed, as in random
     /// selection with replacement).
@@ -37,23 +38,70 @@ pub fn generate_mixes(n: usize, seed: u64) -> Vec<MixSpec> {
 
 /// Profiles + plans for every benchmark on one machine, computed once and
 /// shared across all mixes (the paper gathers one profile per benchmark).
+///
+/// The cache is safe to share across the evaluation engine's worker
+/// threads: each (benchmark, machine) slot is a compute-once cell, so a
+/// plan is profiled and analyzed exactly once no matter how many workers
+/// ask for it concurrently, and every reader sees the same plan.
 pub struct PlanCache {
-    plans: HashMap<BenchmarkId, BenchPlans>,
+    machine: MachineConfig,
+    opts: BuildOptions,
+    slots: Vec<OnceLock<BenchPlans>>,
+    computed: AtomicUsize,
 }
 
 impl PlanCache {
-    /// Profile and analyze all 12 benchmarks for `machine`.
-    pub fn build(machine: &MachineConfig, opts: &BuildOptions) -> Self {
-        let mut plans = HashMap::new();
-        for id in BenchmarkId::all() {
-            plans.insert(id, prepare(id, machine, opts));
+    /// An empty cache for `machine`: plans are profiled and analyzed on
+    /// first use (exactly once per benchmark, even under contention).
+    pub fn lazy(machine: &MachineConfig, opts: &BuildOptions) -> Self {
+        PlanCache {
+            machine: *machine,
+            opts: *opts,
+            slots: BenchmarkId::all().iter().map(|_| OnceLock::new()).collect(),
+            computed: AtomicUsize::new(0),
         }
-        PlanCache { plans }
     }
 
-    /// Plans for one benchmark.
+    /// Profile and analyze all 12 benchmarks for `machine`, fanning the
+    /// profiling passes out over the [`Exec::from_env`] worker pool.
+    pub fn build(machine: &MachineConfig, opts: &BuildOptions) -> Self {
+        Self::build_with(machine, opts, &Exec::from_env())
+    }
+
+    /// [`PlanCache::build`] with an explicit engine.
+    pub fn build_with(machine: &MachineConfig, opts: &BuildOptions, exec: &Exec) -> Self {
+        let cache = Self::lazy(machine, opts);
+        exec.map(&BenchmarkId::all(), |_, &id| {
+            cache.get(id);
+        });
+        cache
+    }
+
+    fn slot(&self, id: BenchmarkId) -> &OnceLock<BenchPlans> {
+        let ix = BenchmarkId::all()
+            .iter()
+            .position(|&b| b == id)
+            .expect("benchmark in pool");
+        &self.slots[ix]
+    }
+
+    /// Plans for one benchmark, computing them on first use.
     pub fn get(&self, id: BenchmarkId) -> &BenchPlans {
-        &self.plans[&id]
+        self.slot(id).get_or_init(|| {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            prepare(id, &self.machine, &self.opts)
+        })
+    }
+
+    /// How many plans have been computed (used by the concurrency suite to
+    /// prove the compute-once guarantee).
+    pub fn computed_count(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// The machine this cache profiles for.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
     }
 }
 

@@ -1,9 +1,8 @@
 //! The five prefetch policies of the evaluation (Figures 4–7).
 
-use serde::{Deserialize, Serialize};
 
 /// Prefetching policy for a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Original program, hardware prefetching off — the paper's baseline
     /// for every experiment (§VII).

@@ -1,0 +1,98 @@
+//! Concurrency suite for the shared [`PlanCache`]: many threads hammer a
+//! lazy cache at once, and each (benchmark, machine) plan must be
+//! profiled and analyzed **exactly once**, with every reader seeing the
+//! same plan (pointer-identical — the compute-once slot hands out one
+//! value, it never re-derives).
+
+use repf_sim::{amd_phenom_ii, prepare, PlanCache};
+use repf_workloads::{BenchmarkId, BuildOptions};
+use std::thread;
+
+const SCALE: f64 = 0.01;
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        refs_scale: SCALE,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn plans_compute_exactly_once_under_contention() {
+    let machine = amd_phenom_ii();
+    let cache = PlanCache::lazy(&machine, &opts());
+    let ids = BenchmarkId::all();
+
+    // 16 threads × all benchmarks × several rounds, all racing get().
+    // Each thread records the plan addresses it observed.
+    let per_thread: Vec<Vec<usize>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut seen = Vec::new();
+                    for _round in 0..3 {
+                        for &id in &ids {
+                            seen.push(cache.get(id) as *const _ as usize);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one computation per benchmark, no matter how many callers
+    // raced.
+    assert_eq!(cache.computed_count(), ids.len());
+
+    // Every reader saw the same plan for each benchmark, in every round.
+    let reference = &per_thread[0][..ids.len()];
+    for (t, seen) in per_thread.iter().enumerate() {
+        for (k, addr) in seen.iter().enumerate() {
+            assert_eq!(
+                *addr,
+                reference[k % ids.len()],
+                "thread {t} observed a different plan for {:?}",
+                ids[k % ids.len()]
+            );
+        }
+    }
+}
+
+#[test]
+fn contended_plans_match_a_fresh_serial_preparation() {
+    let machine = amd_phenom_ii();
+    let cache = PlanCache::lazy(&machine, &opts());
+    let ids = BenchmarkId::all();
+
+    // Warm the cache from many threads at once...
+    thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for &id in &ids {
+                    cache.get(id);
+                }
+            });
+        }
+    });
+
+    // ...then check the winning values against an uncontended pipeline.
+    for &id in &ids {
+        let fresh = prepare(id, &machine, &opts());
+        let cached = cache.get(id);
+        assert_eq!(cached.plan_nt.pcs(), fresh.plan_nt.pcs(), "{id}");
+        assert_eq!(cached.baseline.cycles, fresh.baseline.cycles, "{id}");
+    }
+    assert_eq!(cache.computed_count(), ids.len());
+}
+
+#[test]
+fn lazy_cache_only_computes_what_is_asked_for() {
+    let machine = amd_phenom_ii();
+    let cache = PlanCache::lazy(&machine, &opts());
+    assert_eq!(cache.computed_count(), 0);
+    cache.get(BenchmarkId::Mcf);
+    cache.get(BenchmarkId::Mcf);
+    assert_eq!(cache.computed_count(), 1);
+}

@@ -2,11 +2,10 @@
 //! paper's Figure 3, with helpers the delinquent-load and cache-bypassing
 //! analyses need.
 
-use serde::{Deserialize, Serialize};
 
 /// A sampled miss-ratio curve: `ratios[i]` is the miss ratio at cache
 /// capacity `sizes_bytes[i]`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MissRatioCurve {
     sizes_bytes: Vec<u64>,
     ratios: Vec<f64>,

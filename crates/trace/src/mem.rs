@@ -1,6 +1,5 @@
 //! Core memory-reference types shared by every crate in the workspace.
 
-use serde::{Deserialize, Serialize};
 
 /// Default cache-line size used throughout the reproduction (both machines
 /// in the paper use 64 B lines).
@@ -14,7 +13,7 @@ pub const LINE_BYTES: u64 = 64;
 /// patterns so per-instruction analyses (stride profiling, per-PC miss-ratio
 /// curves, prefetch insertion) can distinguish them.
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default,
 )]
 pub struct Pc(pub u32);
 
@@ -33,7 +32,7 @@ impl std::fmt::Display for Pc {
 }
 
 /// Whether a reference reads or writes memory.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A demand load. Only loads are candidates for software prefetching.
     Load,
@@ -51,7 +50,7 @@ impl AccessKind {
 
 /// A single dynamic memory reference: *instruction* [`Pc`] touching byte
 /// address `addr`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MemRef {
     /// Static instruction that issued the access.
     pub pc: Pc,

@@ -10,7 +10,11 @@ use crate::mem::MemRef;
 /// replayed (profiling pass, then baseline run, then each policy run).
 ///
 /// [`reset`]: TraceSource::reset
-pub trait TraceSource {
+/// `Send` is a supertrait so boxed sources (and everything built from
+/// them — workloads, core setups, whole simulation cells) can be shipped
+/// to the parallel evaluation engine's worker threads. Every generator in
+/// this crate is plain owned data, so the bound costs nothing.
+pub trait TraceSource: Send {
     /// Produce the next reference, or `None` at program end.
     fn next_ref(&mut self) -> Option<MemRef>;
 

@@ -1,9 +1,8 @@
 //! Benchmark identifiers and build options.
 
-use serde::{Deserialize, Serialize};
 
 /// The 12 single-threaded benchmarks of Table I.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BenchmarkId {
     /// SPEC 403.gcc — mixed behaviour.
     Gcc,
@@ -67,7 +66,7 @@ impl std::fmt::Display for BenchmarkId {
 }
 
 /// The parallel benchmarks of Figure 12.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ParallelId {
     /// SPEC OMP swim — bandwidth-hungry 2D stencil (marked * in Fig 12).
     Swim,
@@ -104,7 +103,7 @@ impl std::fmt::Display for ParallelId {
 
 /// Which input the workload runs: the profiled reference input or an
 /// alternate one (different sizes and seeds, same structure).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InputSet {
     /// The input the profile was gathered on.
     Ref,

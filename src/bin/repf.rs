@@ -10,12 +10,14 @@
 //! ```
 //!
 //! Everything is deterministic; scales with `--scale <f>` (default 0.5).
+//! `--threads N` sizes the parallel evaluation engine (default:
+//! `REPF_THREADS` or all cores) — results are identical at any count.
 
 use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
 use repf::sim::{
-    amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, MachineConfig, MixSpec,
+    amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
     PlanCache, Policy,
 };
 use repf::workloads::{BenchmarkId, BuildOptions, InputSet};
@@ -26,13 +28,14 @@ struct Args {
     policy: Policy,
     period: u64,
     scale: f64,
+    exec: Exec,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: repf <list|profile|analyze|run|mix> [args] \
          [--machine amd|intel] [--policy baseline|hw|sw|swnt|sc|combined] \
-         [--period N] [--scale F]"
+         [--period N] [--scale F] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +46,7 @@ fn parse_args() -> Args {
     let mut policy = Policy::SoftwareNt;
     let mut period = 1009;
     let mut scale = 0.5;
+    let mut exec = Exec::from_env();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,6 +76,9 @@ fn parse_args() -> Args {
             }
             "--period" => period = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--scale" => scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--threads" => {
+                exec = Exec::new(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
                 usage()
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
         policy,
         period,
         scale,
+        exec,
     }
 }
 
@@ -213,8 +221,11 @@ fn cmd_mix(a: &Args) {
         bench(&a.positional[3]),
         bench(&a.positional[4]),
     ];
-    eprintln!("(building per-benchmark plans once...)");
-    let cache = PlanCache::build(&a.machine, &opts(a.scale));
+    eprintln!(
+        "(building per-benchmark plans once on {} worker thread(s)...)",
+        a.exec.threads()
+    );
+    let cache = PlanCache::build_with(&a.machine, &opts(a.scale), &a.exec);
     let spec = MixSpec { apps };
     let base = run_mix(&spec, &a.machine, Policy::Baseline, &cache, [InputSet::Ref; 4], a.scale);
     let run = run_mix(&spec, &a.machine, a.policy, &cache, [InputSet::Ref; 4], a.scale);
@@ -233,6 +244,7 @@ fn cmd_mix(a: &Args) {
 
 fn main() {
     let args = parse_args();
+    let start = std::time::Instant::now();
     match args.positional.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("profile") => cmd_profile(&args),
@@ -241,4 +253,5 @@ fn main() {
         Some("mix") => cmd_mix(&args),
         _ => usage(),
     }
+    eprintln!("[time] total: {:.2}s", start.elapsed().as_secs_f64());
 }

@@ -1,57 +1,56 @@
-//! Cross-crate property tests (proptest): the invariants that hold for
-//! *any* workload and configuration, not just the calibrated analogs.
+//! Cross-crate property tests: the invariants that hold for *any*
+//! workload and configuration, not just the calibrated analogs. Cases are
+//! drawn from seeded xorshift streams so the suite is deterministic.
 
-use proptest::prelude::*;
 use repf::cache::{CacheConfig, FunctionalCacheSim};
 use repf::core::distance::{prefetch_distance, DistanceInputs};
 use repf::sampling::{Sampler, SamplerConfig};
 use repf::statstack::StatStackModel;
 use repf::trace::patterns::{PointerChase, PointerChaseCfg, StridedStream, StridedStreamCfg};
+use repf::trace::rng::XorShift64Star;
 use repf::trace::{MemRef, Pc, TraceSourceExt};
 
 /// An arbitrary small synthetic trace: a few strided streams plus a chase.
-fn arb_trace() -> impl Strategy<Value = Vec<MemRef>> {
-    (
-        2u64..6,       // streams
-        1u64..5,       // stride in units of 16 bytes
-        64u32..512,    // chase nodes
-        0u64..u64::MAX, // seed
-    )
-        .prop_map(|(streams, stride16, nodes, seed)| {
-            let mut refs = Vec::new();
-            for s in 0..streams {
-                let mut st = StridedStream::new(StridedStreamCfg::loads(
-                    Pc(s as u32),
-                    s << 30,
-                    1 << 16,
-                    (stride16 * 16) as i64,
-                    2,
-                ));
-                refs.extend(st.collect_refs(2000));
-            }
-            let mut ch = PointerChase::new(PointerChaseCfg {
-                chase_pc: Pc(100),
-                payload_pcs: vec![],
-                base: 1 << 40,
-                node_bytes: 64,
-                nodes,
-                steps_per_pass: nodes as u64,
-                passes: 3,
-                seed,
-                run_len: 1,
-            });
-            refs.extend(ch.collect_refs(5000));
-            refs
-        })
+fn arb_trace(case: u64) -> Vec<MemRef> {
+    let mut rng = XorShift64Star::new(0x7ACE ^ case << 8);
+    let streams = 2 + rng.below(4);
+    let stride16 = 1 + rng.below(4);
+    let nodes = 64 + rng.below(448) as u32;
+    let seed = rng.next_u64();
+    let mut refs = Vec::new();
+    for s in 0..streams {
+        let mut st = StridedStream::new(StridedStreamCfg::loads(
+            Pc(s as u32),
+            s << 30,
+            1 << 16,
+            (stride16 * 16) as i64,
+            2,
+        ));
+        refs.extend(st.collect_refs(2000));
+    }
+    let mut ch = PointerChase::new(PointerChaseCfg {
+        chase_pc: Pc(100),
+        payload_pcs: vec![],
+        base: 1 << 40,
+        node_bytes: 64,
+        nodes,
+        steps_per_pass: nodes as u64,
+        passes: 3,
+        seed,
+        run_len: 1,
+    });
+    refs.extend(ch.collect_refs(5000));
+    refs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// LRU inclusion property: a bigger cache of the same geometry never
-    /// misses more, for any trace.
-    #[test]
-    fn bigger_caches_never_miss_more(refs in arb_trace()) {
+#[test]
+fn bigger_caches_never_miss_more() {
+    // LRU inclusion property: a bigger cache of the same geometry never
+    // misses more, for any trace.
+    for case in 0..CASES {
+        let refs = arb_trace(case);
         let mut misses = Vec::new();
         for size_kb in [16u64, 64, 256] {
             let mut sim = FunctionalCacheSim::new(CacheConfig::new(size_kb << 10, 8, 64));
@@ -60,81 +59,103 @@ proptest! {
             }
             misses.push(sim.totals().misses);
         }
-        prop_assert!(misses[0] >= misses[1] && misses[1] >= misses[2],
-            "miss counts {misses:?} must be non-increasing in size");
+        assert!(
+            misses[0] >= misses[1] && misses[1] >= misses[2],
+            "case {case}: miss counts {misses:?} must be non-increasing in size"
+        );
     }
+}
 
-    /// StatStack's stack-distance estimate is monotone in the reuse
-    /// distance and never exceeds it, for any sampled trace.
-    #[test]
-    fn statstack_stack_distance_bounds(refs in arb_trace(), period in 1u64..64) {
-        let mut src = repf::trace::source::Recorded::new(refs);
+#[test]
+fn statstack_stack_distance_bounds() {
+    // StatStack's stack-distance estimate is monotone in the reuse
+    // distance and never exceeds it, for any sampled trace.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x5D15 ^ case << 8);
+        let period = 1 + rng.below(63);
+        let mut src = repf::trace::source::Recorded::new(arb_trace(case));
         let profile = Sampler::new(SamplerConfig {
             sample_period: period,
             line_bytes: 64,
             seed: 5,
-        }).profile(&mut src);
+        })
+        .profile(&mut src);
         let model = StatStackModel::from_profile(&profile);
         let mut prev = 0.0f64;
         for d in [0u64, 1, 3, 9, 81, 729, 6561] {
             let s = model.stack_distance(d);
-            prop_assert!(s + 1e-9 >= prev, "monotone in d");
-            prop_assert!(s <= d as f64 + 1e-9, "S(d) ≤ d");
+            assert!(s + 1e-9 >= prev, "case {case}: monotone in d");
+            assert!(s <= d as f64 + 1e-9, "case {case}: S(d) ≤ d");
             prev = s;
         }
     }
+}
 
-    /// StatStack miss-ratio curves are non-increasing in cache size.
-    #[test]
-    fn statstack_mrc_monotone(refs in arb_trace(), period in 1u64..64) {
-        let mut src = repf::trace::source::Recorded::new(refs);
+#[test]
+fn statstack_mrc_monotone() {
+    // StatStack miss-ratio curves are non-increasing in cache size.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0x3C0 ^ case << 8);
+        let period = 1 + rng.below(63);
+        let mut src = repf::trace::source::Recorded::new(arb_trace(case));
         let profile = Sampler::new(SamplerConfig {
             sample_period: period,
             line_bytes: 64,
             seed: 11,
-        }).profile(&mut src);
+        })
+        .profile(&mut src);
         let model = StatStackModel::from_profile(&profile);
         let mut prev = f64::INFINITY;
         for lines in [1u64, 16, 256, 4096, 65536] {
             let mr = model.miss_ratio(lines);
-            prop_assert!((0.0..=1.0).contains(&mr));
-            prop_assert!(mr <= prev + 1e-9);
+            assert!((0.0..=1.0).contains(&mr), "case {case}");
+            assert!(mr <= prev + 1e-9, "case {case}");
             prev = mr;
         }
     }
+}
 
-    /// Sampling is lossless bookkeeping: every sample's indices are
-    /// consistent with the trace length, and distances fit the window.
-    #[test]
-    fn sampler_accounting(refs in arb_trace(), period in 1u64..128) {
+#[test]
+fn sampler_accounting() {
+    // Sampling is lossless bookkeeping: every sample's indices are
+    // consistent with the trace length, and distances fit the window.
+    for case in 0..CASES {
+        let mut rng = XorShift64Star::new(0xACC7 ^ case << 8);
+        let period = 1 + rng.below(127);
+        let refs = arb_trace(case);
         let n = refs.len() as u64;
         let mut src = repf::trace::source::Recorded::new(refs);
         let profile = Sampler::new(SamplerConfig {
             sample_period: period,
             line_bytes: 64,
             seed: 3,
-        }).profile(&mut src);
-        prop_assert_eq!(profile.total_refs, n);
+        })
+        .profile(&mut src);
+        assert_eq!(profile.total_refs, n);
         for r in &profile.reuse {
-            prop_assert!(r.start_index < n);
-            prop_assert!(r.start_index + r.distance + 1 < n,
-                "reuse fits inside the trace");
+            assert!(r.start_index < n);
+            assert!(
+                r.start_index + r.distance + 1 < n,
+                "case {case}: reuse fits inside the trace"
+            );
         }
         for s in &profile.strides {
-            prop_assert!(s.recurrence < n);
+            assert!(s.recurrence < n, "case {case}");
         }
     }
+}
 
-    /// The prefetch-distance formula respects its contract: direction
-    /// follows the stride sign, magnitude at least one stride/line and
-    /// bounded by the trip-count cap.
-    #[test]
-    fn distance_contract(
-        stride in prop::sample::select(vec![-512i64, -64, -16, 8, 16, 64, 192, 1024]),
-        recurrence in 0u64..200,
-        latency in 1.0f64..500.0,
-        execs in 4u64..1_000_000,
-    ) {
+#[test]
+fn distance_contract() {
+    // The prefetch-distance formula respects its contract: direction
+    // follows the stride sign, magnitude at least one stride/line and
+    // bounded by the trip-count cap.
+    for case in 0..1000u64 {
+        let mut rng = XorShift64Star::new(0xD157A ^ case << 8);
+        let stride = [-512i64, -64, -16, 8, 16, 64, 192, 1024][rng.below(8) as usize];
+        let recurrence = rng.below(200);
+        let latency = 1.0 + rng.unit_f64() * 499.0;
+        let execs = 4 + rng.below(1_000_000 - 4);
         let inp = DistanceInputs {
             stride,
             recurrence,
@@ -144,35 +165,45 @@ proptest! {
             est_execs: execs,
         };
         if let Some(d) = prefetch_distance(&inp) {
-            prop_assert_eq!(d.signum(), stride.signum());
-            prop_assert!(d.unsigned_abs() >= stride.unsigned_abs().min(64));
-            prop_assert!(d.unsigned_abs() <= (execs / 2) * stride.unsigned_abs());
+            assert_eq!(d.signum(), stride.signum(), "case {case}");
+            assert!(d.unsigned_abs() >= stride.unsigned_abs().min(64), "case {case}");
+            assert!(
+                d.unsigned_abs() <= (execs / 2) * stride.unsigned_abs(),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The timing simulator conserves work: cycles strictly increase with
-    /// reference count, and stats add up.
-    #[test]
-    fn sim_work_conservation(extra in 1u64..5000) {
-        use repf::sim::{amd_phenom_ii, CoreSetup, Sim};
-        let m = amd_phenom_ii();
-        let run = |n: u64| {
-            let src = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 1 << 26, 64, 1))
-                .take_refs(n)
-                .cycle();
-            Sim::run_solo(&m, CoreSetup {
+#[test]
+fn sim_work_conservation() {
+    // The timing simulator conserves work: cycles strictly increase with
+    // reference count, and stats add up.
+    use repf::sim::{amd_phenom_ii, CoreSetup, Sim};
+    let m = amd_phenom_ii();
+    let run = |n: u64| {
+        let src = StridedStream::new(StridedStreamCfg::loads(Pc(0), 0, 1 << 26, 64, 1))
+            .take_refs(n)
+            .cycle();
+        Sim::run_solo(
+            &m,
+            CoreSetup {
                 source: Box::new(src),
                 base_cpr: 2.0,
                 plan: None,
                 hw: None,
                 target_refs: n,
-            })
-        };
-        let a = run(1000);
+            },
+        )
+    };
+    let a = run(1000);
+    for case in 0..8u64 {
+        let mut rng = XorShift64Star::new(0xC035 ^ case << 8);
+        let extra = 1 + rng.below(4999);
         let b = run(1000 + extra);
-        prop_assert!(b.cycles > a.cycles);
-        prop_assert_eq!(a.stats.demand_accesses, 1000);
-        prop_assert_eq!(b.stats.demand_accesses, 1000 + extra);
-        prop_assert!(a.stats.l1_misses <= a.stats.demand_accesses);
+        assert!(b.cycles > a.cycles, "case {case}");
+        assert_eq!(a.stats.demand_accesses, 1000);
+        assert_eq!(b.stats.demand_accesses, 1000 + extra);
+        assert!(a.stats.l1_misses <= a.stats.demand_accesses);
     }
 }
