@@ -1,0 +1,7 @@
+//! Loopback throughput/latency benchmark for the profiling daemon.
+//! Writes `BENCH_serve.json`; see `repf_bench::servebench` for knobs.
+
+fn main() {
+    repf_bench::print_header("repf-serve: loopback throughput and latency");
+    repf_bench::servebench::run();
+}

@@ -36,6 +36,7 @@
 pub mod figs;
 pub mod mixeval;
 pub mod obs;
+pub mod servebench;
 pub mod soloeval;
 
 use repf_sim::MachineConfig;

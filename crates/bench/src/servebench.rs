@@ -1,0 +1,195 @@
+//! Loopback throughput/latency benchmark for the `repf-serve` daemon:
+//! concurrent clients hammer MRC and plan queries over real TCP and the
+//! run is summarized (client-side req/s, server-side p50/p99) into
+//! `BENCH_serve.json`.
+//!
+//! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200)
+//! and `REPF_SERVE_CLIENTS` (concurrent clients, default 4).
+
+use crate::obs::Json;
+use repf_sampling::{Profile, ReuseSample, StrideSample};
+use repf_serve::{start, Client, MachineId, ServeConfig, Target};
+use repf_sim::Exec;
+use repf_trace::{AccessKind, Pc};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A profile representative of a real sampling pass: a few thousand
+/// samples over a handful of PCs, one of them a delinquent strided load.
+fn bench_profile() -> Profile {
+    let mut p = Profile {
+        total_refs: 10_000_000,
+        sample_period: 1009,
+        line_bytes: 64,
+        ..Profile::default()
+    };
+    for i in 0..3000u64 {
+        let pc = Pc(100 + (i % 6) as u32);
+        p.reuse.push(ReuseSample {
+            start_pc: pc,
+            start_kind: AccessKind::Load,
+            end_pc: pc,
+            end_kind: AccessKind::Load,
+            // Two hot PCs miss everywhere, the rest mostly hit.
+            distance: if i % 6 < 2 { 800_000 + i * 100 } else { 5 + i % 40 },
+            start_index: i * 3000,
+        });
+        p.strides.push(StrideSample {
+            pc,
+            kind: AccessKind::Load,
+            stride: if i % 6 < 2 { 64 } else { 8 },
+            recurrence: 12,
+        });
+    }
+    p
+}
+
+const SIZES: [u64; 6] = [32 << 10, 128 << 10, 512 << 10, 1 << 20, 4 << 20, 8 << 20];
+const DELTA: f64 = 4.0;
+
+struct ClassResult {
+    reqs: u64,
+    secs: f64,
+}
+
+impl ClassResult {
+    fn req_per_s(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.reqs as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `iters` queries of one class from each of `clients` concurrent
+/// connections; returns aggregate request count and wall time.
+fn hammer(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    iters: usize,
+    query: impl Fn(&mut Client, &Target) + Send + Sync + Copy + 'static,
+) -> ClassResult {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let target = Target::Session("bench".into());
+                for _ in 0..iters {
+                    query(&mut c, &target);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("bench client");
+    }
+    ClassResult {
+        reqs: (clients * iters) as u64,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the loopback benchmark and write `BENCH_serve.json`.
+pub fn run() {
+    let iters = env_usize("REPF_SERVE_ITERS", 200);
+    let clients = env_usize("REPF_SERVE_CLIENTS", 4);
+    let threads = Exec::from_env().threads();
+    let handle = start(ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let addr = handle.addr();
+
+    let mut seed = Client::connect(addr).expect("connect");
+    seed.submit_profile("bench", &bench_profile()).expect("submit");
+
+    let mrc = hammer(addr, clients, iters, |c, t| {
+        c.query_mrc(t.clone(), SIZES.to_vec()).expect("mrc");
+    });
+    let plan = hammer(addr, clients, iters, |c, t| {
+        c.query_plan(t.clone(), MachineId::Amd, DELTA).expect("plan");
+    });
+
+    let stats = seed.stats().expect("stats");
+    let stat = |k: &str| {
+        stats
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "serve loopback: {} threads, {} clients x {} iters",
+        threads, clients, iters
+    );
+    println!(
+        "  mrc : {:>8.0} req/s  (server p50 {:>6.0} us, p99 {:>6.0} us)",
+        mrc.req_per_s(),
+        stat("latency.mrc.p50_us"),
+        stat("latency.mrc.p99_us"),
+    );
+    println!(
+        "  plan: {:>8.0} req/s  (server p50 {:>6.0} us, p99 {:>6.0} us)",
+        plan.req_per_s(),
+        stat("latency.plan.p50_us"),
+        stat("latency.plan.p99_us"),
+    );
+
+    let class_json = |r: &ClassResult, label: &str| {
+        (
+            label.to_string(),
+            Json::obj([
+                ("requests", Json::Num(r.reqs as f64)),
+                ("secs", Json::Num(r.secs)),
+                ("req_per_s", Json::Num(r.req_per_s())),
+                (
+                    "server_p50_us",
+                    Json::Num(stat(&format!("latency.{label}.p50_us"))),
+                ),
+                (
+                    "server_p99_us",
+                    Json::Num(stat(&format!("latency.{label}.p99_us"))),
+                ),
+                (
+                    "server_mean_us",
+                    Json::Num(stat(&format!("latency.{label}.mean_us"))),
+                ),
+            ]),
+        )
+    };
+    let json = Json::Obj(vec![
+        (
+            "config".into(),
+            Json::obj([
+                ("server_threads", Json::Num(threads as f64)),
+                ("clients", Json::Num(clients as f64)),
+                ("iters_per_client", Json::Num(iters as f64)),
+                ("mrc_sizes", Json::Num(SIZES.len() as f64)),
+            ]),
+        ),
+        class_json(&mrc, "mrc"),
+        class_json(&plan, "plan"),
+        (
+            "server_stats".into(),
+            Json::Obj(
+                stats
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    crate::obs::write_json("BENCH_serve.json", &json);
+
+    seed.shutdown_server().expect("shutdown");
+    handle.join();
+}

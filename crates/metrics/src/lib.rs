@@ -15,10 +15,12 @@
 
 pub mod ci;
 pub mod distribution;
+pub mod json;
 pub mod table;
 
 pub use ci::{bootstrap_mean_ci, ConfidenceInterval};
 pub use distribution::Distribution;
+pub use json::{write_json, Json};
 pub use table::Table;
 
 /// Speedup of a run against its baseline: `base_time / policy_time`

@@ -1,0 +1,196 @@
+//! A blocking client for the serve protocol: one TCP connection, one
+//! in-flight request at a time (responses arrive in request order).
+
+use crate::proto::{
+    self, ErrorCode, FrameReadError, MachineId, PlanWire, ProtoError, Request, Response,
+    SampleBatch, Target,
+};
+use repf_sampling::Profile;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Proto(ProtoError),
+    /// The server answered [`Response::Busy`] — back off and retry.
+    Busy,
+    /// The server answered an error response.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server closed the connection mid-call.
+    Disconnected,
+    /// The response type did not match the request.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Set a read timeout for responses (`None` blocks indefinitely).
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(t)?;
+        self.stream.set_write_timeout(t)?;
+        Ok(())
+    }
+
+    /// Send `req` and wait for its response. Surfaces `Busy` and server
+    /// errors as [`ClientError`] variants; protocol-level responses
+    /// (`Pong`, `Mrc`, ...) are returned for the caller to match.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        let body = match proto::read_frame(&mut self.stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Err(ClientError::Disconnected),
+            Err(FrameReadError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameReadError::Proto(e)) => return Err(ClientError::Proto(e)),
+        };
+        match Response::decode(&body).map_err(ClientError::Proto)? {
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("want Pong")),
+        }
+    }
+
+    /// Submit a whole sampling profile to a named session. Returns
+    /// `(store_bytes, evicted)`.
+    pub fn submit_profile(
+        &mut self,
+        session: &str,
+        profile: &Profile,
+    ) -> Result<(u64, u32), ClientError> {
+        self.submit_batch(session, SampleBatch::from_profile(profile))
+    }
+
+    /// Submit one batch to a named session.
+    pub fn submit_batch(
+        &mut self,
+        session: &str,
+        batch: SampleBatch,
+    ) -> Result<(u64, u32), ClientError> {
+        match self.call(&Request::Submit {
+            session: session.to_string(),
+            batch,
+        })? {
+            Response::Accepted {
+                store_bytes,
+                evicted,
+            } => Ok((store_bytes, evicted)),
+            _ => Err(ClientError::Unexpected("want Accepted")),
+        }
+    }
+
+    /// Application miss ratios of `target` at `sizes_bytes`.
+    pub fn query_mrc(
+        &mut self,
+        target: Target,
+        sizes_bytes: Vec<u64>,
+    ) -> Result<Vec<f64>, ClientError> {
+        match self.call(&Request::QueryMrc {
+            target,
+            sizes_bytes,
+        })? {
+            Response::Mrc { ratios } => Ok(ratios),
+            _ => Err(ClientError::Unexpected("want Mrc")),
+        }
+    }
+
+    /// Per-PC miss ratios (`None` when the PC has no samples).
+    pub fn query_pc_mrc(
+        &mut self,
+        target: Target,
+        pc: u32,
+        sizes_bytes: Vec<u64>,
+    ) -> Result<Option<Vec<f64>>, ClientError> {
+        match self.call(&Request::QueryPcMrc {
+            target,
+            pc,
+            sizes_bytes,
+        })? {
+            Response::PcMrc { ratios } => Ok(ratios),
+            _ => Err(ClientError::Unexpected("want PcMrc")),
+        }
+    }
+
+    /// Full prefetch plan for `target` analyzed for `machine`.
+    pub fn query_plan(
+        &mut self,
+        target: Target,
+        machine: MachineId,
+        delta: f64,
+    ) -> Result<PlanWire, ClientError> {
+        match self.call(&Request::QueryPlan {
+            target,
+            machine,
+            delta,
+        })? {
+            Response::Plan(p) => Ok(p),
+            _ => Err(ClientError::Unexpected("want Plan")),
+        }
+    }
+
+    /// Server metrics snapshot.
+    pub fn stats(&mut self) -> Result<Vec<(String, f64)>, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            _ => Err(ClientError::Unexpected("want Stats")),
+        }
+    }
+
+    /// Send the shutdown control message; the server acknowledges, then
+    /// drains in-flight work and exits.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("want ShuttingDown")),
+        }
+    }
+}

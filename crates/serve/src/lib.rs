@@ -1,0 +1,38 @@
+//! `repf-serve` — profiling-as-a-service over a binary wire protocol.
+//!
+//! A small, dependency-free TCP daemon that serves the repo's cache
+//! models on demand: clients submit sparse sampling profiles
+//! ([`SampleBatch`]) into named sessions, then query application or
+//! per-PC miss-ratio curves at arbitrary cache sizes and full prefetch
+//! plans (MDDLI delinquent-load selection + stride + distance + bypass)
+//! for either their own sessions or the built-in benchmark pool.
+//!
+//! Layout:
+//!
+//! * [`proto`] — the versioned, length-prefixed frame format and every
+//!   request/response type, with exact-consumption decoding.
+//! * [`session`] — the LRU-evicting per-session profile store with a
+//!   hard byte budget.
+//! * [`server`] — the acceptor + worker-pool daemon: bounded request
+//!   queue with `Busy` shedding, per-connection timeouts, malformed
+//!   input rejection that never kills the process, and a drain-then-exit
+//!   shutdown control message.
+//! * [`client`] — a blocking client with typed helpers for every
+//!   request.
+//! * [`metrics`] — the lock-free server metrics registry behind the
+//!   `Stats` request and `BENCH_serve.json`.
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use metrics::{LatencyHisto, Metrics};
+pub use proto::{
+    ErrorCode, MachineId, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
+    PROTO_VERSION,
+};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use session::{SessionStore, SubmitOutcome, SubmitRejected};

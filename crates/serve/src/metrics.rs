@@ -1,0 +1,227 @@
+//! The server-side metrics registry: request/error/busy counters,
+//! per-query-class latency histograms, plan-cache hit/miss and session
+//! eviction counts — `bench/src/obs.rs`-style observability for the
+//! daemon, exposed through the `Stats` request and dumped into
+//! `BENCH_serve.json` by the loopback benchmark.
+//!
+//! Everything is lock-free atomics so the request workers never contend
+//! on telemetry.
+
+use repf_metrics::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request classes tracked separately (indexes into the counter arrays).
+pub const REQUEST_KINDS: [&str; 7] =
+    ["ping", "submit", "mrc", "pc_mrc", "plan", "stats", "shutdown"];
+
+fn kind_index(kind: &str) -> usize {
+    REQUEST_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(REQUEST_KINDS.len() - 1)
+}
+
+/// A power-of-two-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 also takes
+/// sub-microsecond samples), so 40 buckets span sub-µs to ~12 days.
+/// Quantiles are read as the lower edge of the bucket holding the
+/// requested rank — a ≤ 2× overestimate-free approximation, plenty for
+/// p50/p99 trend tracking.
+pub struct LatencyHisto {
+    buckets: [AtomicU64; 40],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Record one sample.
+    pub fn record_us(&self, us: u64) {
+        let b = (64 - us.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in µs: the lower edge of
+    /// the bucket containing the rank-`⌈q·n⌉` sample.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+            }
+        }
+        0.0
+    }
+}
+
+/// The daemon's metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; REQUEST_KINDS.len()],
+    /// Error responses sent (any code).
+    pub errors: AtomicU64,
+    /// Busy responses sent (queue full).
+    pub busy: AtomicU64,
+    /// Malformed frames / payloads rejected.
+    pub malformed: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Sessions evicted from the store.
+    pub evictions: AtomicU64,
+    /// Session-store bytes (gauge, updated after each submit).
+    pub store_bytes: AtomicU64,
+    /// Benchmark plan queries answered from an already-computed plan.
+    pub plan_hits: AtomicU64,
+    /// Benchmark plan queries that forced a profile + analysis.
+    pub plan_misses: AtomicU64,
+    /// Latency of MRC-class queries (application and per-PC).
+    pub mrc_latency: LatencyHisto,
+    /// Latency of plan queries.
+    pub plan_latency: LatencyHisto,
+    /// Latency of submits.
+    pub submit_latency: LatencyHisto,
+}
+
+impl Metrics {
+    /// Fresh registry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one request of `kind` (a [`Request::kind_name`] label).
+    ///
+    /// [`Request::kind_name`]: crate::proto::Request::kind_name
+    pub fn count_request(&self, kind: &str) {
+        self.requests[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests seen for `kind`.
+    pub fn requests_of(&self, kind: &str) -> u64 {
+        self.requests[kind_index(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Total requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot as ordered `(name, value)` pairs — the `Stats` response
+    /// payload. Latencies report count/mean/p50/p99 per query class.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (i, kind) in REQUEST_KINDS.iter().enumerate() {
+            out.push((
+                format!("requests.{kind}"),
+                self.requests[i].load(Ordering::Relaxed) as f64,
+            ));
+        }
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        out.push(("errors".into(), g(&self.errors)));
+        out.push(("busy".into(), g(&self.busy)));
+        out.push(("malformed".into(), g(&self.malformed)));
+        out.push(("connections".into(), g(&self.connections)));
+        out.push(("sessions.evictions".into(), g(&self.evictions)));
+        out.push(("sessions.store_bytes".into(), g(&self.store_bytes)));
+        out.push(("plan_cache.hits".into(), g(&self.plan_hits)));
+        out.push(("plan_cache.misses".into(), g(&self.plan_misses)));
+        for (label, h) in [
+            ("mrc", &self.mrc_latency),
+            ("plan", &self.plan_latency),
+            ("submit", &self.submit_latency),
+        ] {
+            out.push((format!("latency.{label}.count"), h.count() as f64));
+            out.push((format!("latency.{label}.mean_us"), h.mean_us()));
+            out.push((format!("latency.{label}.p50_us"), h.quantile_us(0.50)));
+            out.push((format!("latency.{label}.p99_us"), h.quantile_us(0.99)));
+        }
+        out
+    }
+
+    /// The snapshot as a JSON object (for `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.snapshot()
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHisto::default();
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.mean_us() > 100.0 && h.mean_us() < 110.0);
+        assert_eq!(h.quantile_us(0.5), 0.0, "p50 sits in the first bucket");
+        // p99 rank = ceil(0.99*10) = 10 → the 1000 µs sample's bucket
+        // [512, 1024) → lower edge 512.
+        assert_eq!(h.quantile_us(0.99), 512.0);
+        assert_eq!(LatencyHisto::default().quantile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn request_counters_by_kind() {
+        let m = Metrics::new();
+        m.count_request("ping");
+        m.count_request("plan");
+        m.count_request("plan");
+        assert_eq!(m.requests_of("plan"), 2);
+        assert_eq!(m.requests_of("ping"), 1);
+        assert_eq!(m.total_requests(), 3);
+        let snap = m.snapshot();
+        let plan = snap.iter().find(|(k, _)| k == "requests.plan").unwrap();
+        assert_eq!(plan.1, 2.0);
+    }
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let m = Metrics::new();
+        m.errors.fetch_add(1, Ordering::Relaxed);
+        let s = m.to_json().render();
+        assert!(s.contains("\"errors\":1"));
+        assert!(s.contains("\"latency.mrc.p99_us\""));
+    }
+}

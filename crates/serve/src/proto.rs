@@ -1,0 +1,1088 @@
+//! The wire protocol: a versioned, length-prefixed binary framing with
+//! typed request/response payloads.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! [ len: u32 LE ] [ version: u8 = 1 ] [ type: u8 ] [ payload ... ]
+//! ```
+//!
+//! `len` counts everything after itself (version + type + payload) and is
+//! capped at [`MAX_FRAME_BYTES`]; oversized, truncated or garbage frames
+//! are rejected with a typed [`ProtoError`], never a panic. All integers
+//! are little-endian; `f64` travels as its IEEE-754 bit pattern
+//! ([`f64::to_bits`]), so a miss ratio computed on the server is
+//! **bit-identical** after the round trip; strings are `u16` length +
+//! UTF-8; vectors are `u32` count + elements.
+//!
+//! Every decoder checks that the payload is *exactly* consumed — trailing
+//! bytes are as malformed as missing ones.
+
+use repf_sampling::{DanglingSample, ReuseSample, StrideSample};
+use repf_trace::{AccessKind, Pc};
+use repf_workloads::BenchmarkId;
+use std::io::{Read, Write};
+
+/// Protocol version this build speaks (the frame's third byte).
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard cap on one frame's `len` field (16 MiB): a submit batch larger
+/// than this must be split by the client; anything bigger on the wire is
+/// a protocol error, not an allocation.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Why a frame or payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length prefix was below the 2-byte (version + type) minimum.
+    TooShort,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    BadType(u8),
+    /// Payload ended before a field, or a field was out of range.
+    Malformed(&'static str),
+    /// Payload had bytes left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::TooShort => write!(f, "frame shorter than version+type"),
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadType(t) => write!(f, "unknown message type {t:#04x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Machine-readable error category carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Frame or payload did not decode.
+    Malformed,
+    /// Named session does not exist.
+    UnknownSession,
+    /// Benchmark index out of range.
+    UnknownBenchmark,
+    /// Submitted batch disagrees with the session's line size.
+    InconsistentBatch,
+    /// Request understood but refused (e.g. empty size list).
+    Unsupported,
+    /// Server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::UnknownSession => 2,
+            ErrorCode::UnknownBenchmark => 3,
+            ErrorCode::InconsistentBatch => 4,
+            ErrorCode::Unsupported => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, ProtoError> {
+        Ok(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownSession,
+            3 => ErrorCode::UnknownBenchmark,
+            4 => ErrorCode::InconsistentBatch,
+            5 => ErrorCode::Unsupported,
+            6 => ErrorCode::Internal,
+            _ => return Err(ProtoError::Malformed("error code")),
+        })
+    }
+}
+
+/// What a query addresses: a client-submitted session or a built-in
+/// benchmark (profiled server-side, shared through the plan cache).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// A named session populated by [`Request::Submit`].
+    Session(String),
+    /// One of the 12 built-in Table I benchmarks.
+    Benchmark(BenchmarkId),
+}
+
+/// Which Table II machine a plan query analyzes for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineId {
+    /// AMD Phenom II X4.
+    Amd,
+    /// Intel Core i7-2600K.
+    Intel,
+}
+
+/// One batch of sparse-sampler output submitted to a session. Mirrors the
+/// fields of [`repf_sampling::Profile`] so a profile can be shipped
+/// losslessly (possibly split over several batches).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleBatch {
+    /// References covered by this batch (accumulates on the session).
+    pub total_refs: u64,
+    /// Mean sampling period the batch was gathered at.
+    pub sample_period: u64,
+    /// Cache-line size the watchpoints used (must match across batches).
+    pub line_bytes: u64,
+    /// Completed reuse samples.
+    pub reuse: Vec<ReuseSample>,
+    /// Never-reused samples.
+    pub dangling: Vec<DanglingSample>,
+    /// Completed stride samples.
+    pub strides: Vec<StrideSample>,
+}
+
+impl SampleBatch {
+    /// A batch carrying one whole profile.
+    pub fn from_profile(p: &repf_sampling::Profile) -> Self {
+        SampleBatch {
+            total_refs: p.total_refs,
+            sample_period: p.sample_period,
+            line_bytes: p.line_bytes,
+            reuse: p.reuse.clone(),
+            dangling: p.dangling.clone(),
+            strides: p.strides.clone(),
+        }
+    }
+}
+
+/// One prefetch directive on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectiveWire {
+    /// Instrumented load.
+    pub pc: u32,
+    /// Lookahead in bytes.
+    pub distance_bytes: i64,
+    /// Stride the distance was computed from.
+    pub stride: i64,
+    /// Non-temporal hint.
+    pub nta: bool,
+}
+
+/// A prefetch plan on the wire: directives in ascending PC order plus the
+/// Δ the distances were computed with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanWire {
+    /// Cycles-per-memop Δ used for the distance computation.
+    pub delta: f64,
+    /// Directives, sorted by PC.
+    pub directives: Vec<DirectiveWire>,
+}
+
+impl PlanWire {
+    /// Wire form of a library plan (directives in sorted-PC order).
+    pub fn from_plan(plan: &repf_core::PrefetchPlan, delta: f64) -> Self {
+        PlanWire {
+            delta,
+            directives: plan
+                .iter_sorted()
+                .map(|(pc, d)| DirectiveWire {
+                    pc: pc.0,
+                    distance_bytes: d.distance_bytes,
+                    stride: d.stride,
+                    nta: d.nta,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the library plan this wire form describes.
+    pub fn to_plan(&self) -> repf_core::PrefetchPlan {
+        let mut plan = repf_core::PrefetchPlan::empty();
+        for d in &self.directives {
+            plan.insert(
+                Pc(d.pc),
+                repf_core::PrefetchDirective {
+                    distance_bytes: d.distance_bytes,
+                    nta: d.nta,
+                    stride: d.stride,
+                },
+            );
+        }
+        plan
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Append a sample batch to the named session (created on first use).
+    Submit {
+        /// Session name (client-chosen key).
+        session: String,
+        /// The samples.
+        batch: SampleBatch,
+    },
+    /// Application miss ratios at the given cache sizes (bytes).
+    QueryMrc {
+        /// Session or benchmark to model.
+        target: Target,
+        /// Cache sizes in bytes.
+        sizes_bytes: Vec<u64>,
+    },
+    /// Per-PC miss ratios at the given cache sizes (bytes).
+    QueryPcMrc {
+        /// Session or benchmark to model.
+        target: Target,
+        /// The load instruction.
+        pc: u32,
+        /// Cache sizes in bytes.
+        sizes_bytes: Vec<u64>,
+    },
+    /// Full prefetch plan (MDDLI + stride + distance + bypass).
+    QueryPlan {
+        /// Session or benchmark to analyze.
+        target: Target,
+        /// Machine whose hierarchy/latencies the analysis targets.
+        machine: MachineId,
+        /// Δ (cycles per memop) for session targets; benchmark targets
+        /// use the server's measured Δ and ignore this.
+        delta: f64,
+    },
+    /// Server metrics snapshot.
+    Stats,
+    /// Control message: stop accepting, drain in-flight work, exit.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Batch accepted.
+    Accepted {
+        /// Bytes the session store holds after the submit.
+        store_bytes: u64,
+        /// Sessions evicted to make room.
+        evicted: u32,
+    },
+    /// Application miss ratios, one per requested size.
+    Mrc {
+        /// Miss ratios (bit-exact f64s).
+        ratios: Vec<f64>,
+    },
+    /// Per-PC miss ratios; `None` when the PC has no samples.
+    PcMrc {
+        /// Ratios, or `None` for an unsampled PC.
+        ratios: Option<Vec<f64>>,
+    },
+    /// A prefetch plan.
+    Plan(PlanWire),
+    /// Metrics snapshot: `(name, value)` pairs in registry order.
+    Stats(Vec<(String, f64)>),
+    /// Acknowledges [`Request::Shutdown`]; the server drains and exits.
+    ShuttingDown,
+    /// The bounded request queue is full — retry later.
+    Busy,
+    /// The request failed.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// --- message type bytes ---
+const T_PING: u8 = 0x01;
+const T_SUBMIT: u8 = 0x02;
+const T_QUERY_MRC: u8 = 0x03;
+const T_QUERY_PC_MRC: u8 = 0x04;
+const T_QUERY_PLAN: u8 = 0x05;
+const T_STATS: u8 = 0x06;
+const T_SHUTDOWN: u8 = 0x07;
+const T_PONG: u8 = 0x81;
+const T_ACCEPTED: u8 = 0x82;
+const T_MRC: u8 = 0x83;
+const T_PC_MRC: u8 = 0x84;
+const T_PLAN: u8 = 0x85;
+const T_STATS_REPLY: u8 = 0x86;
+const T_SHUTTING_DOWN: u8 = 0x87;
+const T_BUSY: u8 = 0xE0;
+const T_ERROR: u8 = 0xE1;
+
+// --- encoding primitives ---
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn string(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.u16(s.len() as u16);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn kind(&mut self, k: AccessKind) {
+        self.u8(match k {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+        });
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Malformed("field past end of payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed("non-utf8 string"))
+    }
+    fn kind(&mut self) -> Result<AccessKind, ProtoError> {
+        match self.u8()? {
+            0 => Ok(AccessKind::Load),
+            1 => Ok(AccessKind::Store),
+            _ => Err(ProtoError::Malformed("access kind")),
+        }
+    }
+
+    /// Element count for a vector of at-least-`min_elem_bytes` elements.
+    /// Bounding by the remaining payload keeps a hostile count from
+    /// pre-allocating gigabytes.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(ProtoError::Malformed("count larger than payload"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(left))
+        }
+    }
+}
+
+fn enc_target(e: &mut Enc, t: &Target) {
+    match t {
+        Target::Session(name) => {
+            e.u8(0);
+            e.string(name);
+        }
+        Target::Benchmark(id) => {
+            e.u8(1);
+            let ix = BenchmarkId::all().iter().position(|b| b == id).unwrap();
+            e.u8(ix as u8);
+        }
+    }
+}
+
+fn dec_target(d: &mut Dec) -> Result<Target, ProtoError> {
+    match d.u8()? {
+        0 => Ok(Target::Session(d.string()?)),
+        1 => {
+            let ix = d.u8()? as usize;
+            BenchmarkId::all()
+                .get(ix)
+                .copied()
+                .map(Target::Benchmark)
+                .ok_or(ProtoError::Malformed("benchmark index"))
+        }
+        _ => Err(ProtoError::Malformed("target tag")),
+    }
+}
+
+fn enc_batch(e: &mut Enc, b: &SampleBatch) {
+    e.u64(b.total_refs);
+    e.u64(b.sample_period);
+    e.u64(b.line_bytes);
+    e.u32(b.reuse.len() as u32);
+    for r in &b.reuse {
+        e.u32(r.start_pc.0);
+        e.kind(r.start_kind);
+        e.u32(r.end_pc.0);
+        e.kind(r.end_kind);
+        e.u64(r.distance);
+        e.u64(r.start_index);
+    }
+    e.u32(b.dangling.len() as u32);
+    for s in &b.dangling {
+        e.u32(s.pc.0);
+        e.kind(s.kind);
+        e.u64(s.start_index);
+    }
+    e.u32(b.strides.len() as u32);
+    for s in &b.strides {
+        e.u32(s.pc.0);
+        e.kind(s.kind);
+        e.i64(s.stride);
+        e.u64(s.recurrence);
+    }
+}
+
+fn dec_batch(d: &mut Dec) -> Result<SampleBatch, ProtoError> {
+    let total_refs = d.u64()?;
+    let sample_period = d.u64()?;
+    let line_bytes = d.u64()?;
+    let n = d.count(26)?;
+    let mut reuse = Vec::with_capacity(n);
+    for _ in 0..n {
+        reuse.push(ReuseSample {
+            start_pc: Pc(d.u32()?),
+            start_kind: d.kind()?,
+            end_pc: Pc(d.u32()?),
+            end_kind: d.kind()?,
+            distance: d.u64()?,
+            start_index: d.u64()?,
+        });
+    }
+    let n = d.count(13)?;
+    let mut dangling = Vec::with_capacity(n);
+    for _ in 0..n {
+        dangling.push(DanglingSample {
+            pc: Pc(d.u32()?),
+            kind: d.kind()?,
+            start_index: d.u64()?,
+        });
+    }
+    let n = d.count(21)?;
+    let mut strides = Vec::with_capacity(n);
+    for _ in 0..n {
+        strides.push(StrideSample {
+            pc: Pc(d.u32()?),
+            kind: d.kind()?,
+            stride: d.i64()?,
+            recurrence: d.u64()?,
+        });
+    }
+    Ok(SampleBatch {
+        total_refs,
+        sample_period,
+        line_bytes,
+        reuse,
+        dangling,
+        strides,
+    })
+}
+
+fn enc_sizes(e: &mut Enc, sizes: &[u64]) {
+    e.u32(sizes.len() as u32);
+    for &s in sizes {
+        e.u64(s);
+    }
+}
+
+fn dec_sizes(d: &mut Dec) -> Result<Vec<u64>, ProtoError> {
+    let n = d.count(8)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.u64()?);
+    }
+    Ok(v)
+}
+
+impl Request {
+    /// Serialize into a full frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        match self {
+            Request::Ping => e.u8(T_PING),
+            Request::Submit { session, batch } => {
+                e.u8(T_SUBMIT);
+                e.string(session);
+                enc_batch(&mut e, batch);
+            }
+            Request::QueryMrc {
+                target,
+                sizes_bytes,
+            } => {
+                e.u8(T_QUERY_MRC);
+                enc_target(&mut e, target);
+                enc_sizes(&mut e, sizes_bytes);
+            }
+            Request::QueryPcMrc {
+                target,
+                pc,
+                sizes_bytes,
+            } => {
+                e.u8(T_QUERY_PC_MRC);
+                enc_target(&mut e, target);
+                e.u32(*pc);
+                enc_sizes(&mut e, sizes_bytes);
+            }
+            Request::QueryPlan {
+                target,
+                machine,
+                delta,
+            } => {
+                e.u8(T_QUERY_PLAN);
+                enc_target(&mut e, target);
+                e.u8(match machine {
+                    MachineId::Amd => 0,
+                    MachineId::Intel => 1,
+                });
+                e.f64(*delta);
+            }
+            Request::Stats => e.u8(T_STATS),
+            Request::Shutdown => e.u8(T_SHUTDOWN),
+        }
+        frame(e.0)
+    }
+
+    /// Decode a frame body (version + type + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut d = Dec::new(body);
+        check_version(&mut d)?;
+        let t = d.u8()?;
+        let req = match t {
+            T_PING => Request::Ping,
+            T_SUBMIT => Request::Submit {
+                session: d.string()?,
+                batch: dec_batch(&mut d)?,
+            },
+            T_QUERY_MRC => Request::QueryMrc {
+                target: dec_target(&mut d)?,
+                sizes_bytes: dec_sizes(&mut d)?,
+            },
+            T_QUERY_PC_MRC => Request::QueryPcMrc {
+                target: dec_target(&mut d)?,
+                pc: d.u32()?,
+                sizes_bytes: dec_sizes(&mut d)?,
+            },
+            T_QUERY_PLAN => Request::QueryPlan {
+                target: dec_target(&mut d)?,
+                machine: match d.u8()? {
+                    0 => MachineId::Amd,
+                    1 => MachineId::Intel,
+                    _ => return Err(ProtoError::Malformed("machine id")),
+                },
+                delta: d.f64()?,
+            },
+            T_STATS => Request::Stats,
+            T_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::BadType(other)),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+
+    /// The metrics label for this request type.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Submit { .. } => "submit",
+            Request::QueryMrc { .. } => "mrc",
+            Request::QueryPcMrc { .. } => "pc_mrc",
+            Request::QueryPlan { .. } => "plan",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Response {
+    /// Serialize into a full frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        match self {
+            Response::Pong => e.u8(T_PONG),
+            Response::Accepted {
+                store_bytes,
+                evicted,
+            } => {
+                e.u8(T_ACCEPTED);
+                e.u64(*store_bytes);
+                e.u32(*evicted);
+            }
+            Response::Mrc { ratios } => {
+                e.u8(T_MRC);
+                e.u32(ratios.len() as u32);
+                for &r in ratios {
+                    e.f64(r);
+                }
+            }
+            Response::PcMrc { ratios } => {
+                e.u8(T_PC_MRC);
+                match ratios {
+                    None => e.u8(0),
+                    Some(rs) => {
+                        e.u8(1);
+                        e.u32(rs.len() as u32);
+                        for &r in rs {
+                            e.f64(r);
+                        }
+                    }
+                }
+            }
+            Response::Plan(p) => {
+                e.u8(T_PLAN);
+                e.f64(p.delta);
+                e.u32(p.directives.len() as u32);
+                for d in &p.directives {
+                    e.u32(d.pc);
+                    e.i64(d.distance_bytes);
+                    e.i64(d.stride);
+                    e.u8(d.nta as u8);
+                }
+            }
+            Response::Stats(pairs) => {
+                e.u8(T_STATS_REPLY);
+                e.u32(pairs.len() as u32);
+                for (k, v) in pairs {
+                    e.string(k);
+                    e.f64(*v);
+                }
+            }
+            Response::ShuttingDown => e.u8(T_SHUTTING_DOWN),
+            Response::Busy => e.u8(T_BUSY),
+            Response::Error { code, message } => {
+                e.u8(T_ERROR);
+                e.u16(code.to_u16());
+                e.string(message);
+            }
+        }
+        frame(e.0)
+    }
+
+    /// Decode a frame body (version + type + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut d = Dec::new(body);
+        check_version(&mut d)?;
+        let t = d.u8()?;
+        let resp = match t {
+            T_PONG => Response::Pong,
+            T_ACCEPTED => Response::Accepted {
+                store_bytes: d.u64()?,
+                evicted: d.u32()?,
+            },
+            T_MRC => {
+                let n = d.count(8)?;
+                let mut ratios = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ratios.push(d.f64()?);
+                }
+                Response::Mrc { ratios }
+            }
+            T_PC_MRC => {
+                let present = d.u8()?;
+                let ratios = match present {
+                    0 => None,
+                    1 => {
+                        let n = d.count(8)?;
+                        let mut rs = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            rs.push(d.f64()?);
+                        }
+                        Some(rs)
+                    }
+                    _ => return Err(ProtoError::Malformed("option tag")),
+                };
+                Response::PcMrc { ratios }
+            }
+            T_PLAN => {
+                let delta = d.f64()?;
+                let n = d.count(21)?;
+                let mut directives = Vec::with_capacity(n);
+                for _ in 0..n {
+                    directives.push(DirectiveWire {
+                        pc: d.u32()?,
+                        distance_bytes: d.i64()?,
+                        stride: d.i64()?,
+                        nta: match d.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(ProtoError::Malformed("nta flag")),
+                        },
+                    });
+                }
+                Response::Plan(PlanWire { delta, directives })
+            }
+            T_STATS_REPLY => {
+                let n = d.count(10)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = d.string()?;
+                    let v = d.f64()?;
+                    pairs.push((k, v));
+                }
+                Response::Stats(pairs)
+            }
+            T_SHUTTING_DOWN => Response::ShuttingDown,
+            T_BUSY => Response::Busy,
+            T_ERROR => Response::Error {
+                code: ErrorCode::from_u16(d.u16()?)?,
+                message: d.string()?,
+            },
+            other => return Err(ProtoError::BadType(other)),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+fn check_version(d: &mut Dec) -> Result<(), ProtoError> {
+    match d.u8() {
+        Ok(PROTO_VERSION) => Ok(()),
+        Ok(v) => Err(ProtoError::BadVersion(v)),
+        Err(_) => Err(ProtoError::TooShort),
+    }
+}
+
+/// Prepend the length prefix to a frame body.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Read one frame body from `r`. Returns:
+///
+/// * `Ok(Some(body))` — a frame arrived (body = version + type + payload);
+/// * `Ok(None)` — clean EOF at a frame boundary;
+/// * `Err(FrameReadError::Proto)` — length prefix violated the protocol
+///   (the stream is now unsynchronized and should be closed after an
+///   error response);
+/// * `Err(FrameReadError::Io)` — transport error / timeout / mid-frame EOF.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameReadError> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len < 2 {
+        return Err(FrameReadError::Proto(ProtoError::TooShort));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameReadError::Proto(ProtoError::Oversized(len)));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
+    Ok(Some(body))
+}
+
+/// Why [`read_frame`] failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Transport error (including timeouts and mid-frame EOF).
+    Io(std::io::Error),
+    /// The length prefix itself was invalid.
+    Proto(ProtoError),
+}
+
+impl From<std::io::Error> for FrameReadError {
+    fn from(e: std::io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+/// `read_exact` that distinguishes clean EOF before the first byte
+/// (`Ok(false)`) from a mid-buffer EOF (error).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, FrameReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameReadError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Write a fully-encoded frame to `w` and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_is_len_version_type() {
+        let f = Request::Ping.encode();
+        assert_eq!(&f[0..4], &2u32.to_le_bytes());
+        assert_eq!(f[4], PROTO_VERSION);
+        assert_eq!(f[5], T_PING);
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    fn request_roundtrip_all_types() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Submit {
+                session: "s1".into(),
+                batch: SampleBatch {
+                    total_refs: 10,
+                    sample_period: 3,
+                    line_bytes: 64,
+                    reuse: vec![ReuseSample {
+                        start_pc: Pc(1),
+                        start_kind: AccessKind::Load,
+                        end_pc: Pc(2),
+                        end_kind: AccessKind::Store,
+                        distance: 5,
+                        start_index: 7,
+                    }],
+                    dangling: vec![DanglingSample {
+                        pc: Pc(3),
+                        kind: AccessKind::Load,
+                        start_index: 9,
+                    }],
+                    strides: vec![StrideSample {
+                        pc: Pc(4),
+                        kind: AccessKind::Load,
+                        stride: -64,
+                        recurrence: 11,
+                    }],
+                },
+            },
+            Request::QueryMrc {
+                target: Target::Session("abc".into()),
+                sizes_bytes: vec![1024, 65536],
+            },
+            Request::QueryPcMrc {
+                target: Target::Benchmark(BenchmarkId::Mcf),
+                pc: 42,
+                sizes_bytes: vec![32768],
+            },
+            Request::QueryPlan {
+                target: Target::Benchmark(BenchmarkId::Libquantum),
+                machine: MachineId::Intel,
+                delta: 2.25,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let f = req.encode();
+            let body = &f[4..];
+            assert_eq!(Request::decode(body).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_types() {
+        let resps = vec![
+            Response::Pong,
+            Response::Accepted {
+                store_bytes: 1 << 20,
+                evicted: 3,
+            },
+            Response::Mrc {
+                ratios: vec![0.5, 0.25, f64::MIN_POSITIVE],
+            },
+            Response::PcMrc { ratios: None },
+            Response::PcMrc {
+                ratios: Some(vec![1.0, 0.0]),
+            },
+            Response::Plan(PlanWire {
+                delta: 1.5,
+                directives: vec![DirectiveWire {
+                    pc: 9,
+                    distance_bytes: -4096,
+                    stride: -64,
+                    nta: true,
+                }],
+            }),
+            Response::Stats(vec![("req.ping".into(), 2.0)]),
+            Response::ShuttingDown,
+            Response::Busy,
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: "no such session".into(),
+            },
+        ];
+        for resp in resps {
+            let f = resp.encode();
+            assert_eq!(Response::decode(&f[4..]).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for v in [0.1, 1.0 / 3.0, f64::MAX, -0.0, f64::NAN] {
+            let f = Response::Mrc { ratios: vec![v] }.encode();
+            let Response::Mrc { ratios } = Response::decode(&f[4..]).unwrap() else {
+                panic!()
+            };
+            assert_eq!(ratios[0].to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_malformed_not_panic() {
+        let f = Request::QueryMrc {
+            target: Target::Session("abcdef".into()),
+            sizes_bytes: vec![1, 2, 3],
+        }
+        .encode();
+        let body = &f[4..];
+        for cut in 0..body.len() {
+            let r = Request::decode(&body[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut f = Request::Ping.encode();
+        f.push(0xFF); // extra byte past the payload
+        assert_eq!(
+            Request::decode(&f[4..]),
+            Err(ProtoError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_version_and_type() {
+        assert_eq!(Request::decode(&[9, T_PING]), Err(ProtoError::BadVersion(9)));
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION, 0x7F]),
+            Err(ProtoError::BadType(0x7F))
+        );
+        assert_eq!(Request::decode(&[]), Err(ProtoError::TooShort));
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // A QueryMrc claiming u32::MAX sizes in a tiny payload.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_QUERY_MRC);
+        e.u8(0);
+        e.string("s");
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Request::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_and_short() {
+        let mut over = Vec::new();
+        over.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut over.as_slice()),
+            Err(FrameReadError::Proto(ProtoError::Oversized(_)))
+        ));
+        let mut short = Vec::new();
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(PROTO_VERSION);
+        assert!(matches!(
+            read_frame(&mut short.as_slice()),
+            Err(FrameReadError::Proto(ProtoError::TooShort))
+        ));
+        // Clean EOF at a boundary.
+        assert!(read_frame(&mut (&[] as &[u8])).unwrap().is_none());
+        // EOF mid-header.
+        assert!(matches!(
+            read_frame(&mut (&[1u8, 0][..])),
+            Err(FrameReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn plan_wire_roundtrips_library_plan() {
+        let mut plan = repf_core::PrefetchPlan::empty();
+        plan.insert(
+            Pc(5),
+            repf_core::PrefetchDirective {
+                distance_bytes: 512,
+                nta: true,
+                stride: 64,
+            },
+        );
+        plan.insert(
+            Pc(2),
+            repf_core::PrefetchDirective {
+                distance_bytes: -128,
+                nta: false,
+                stride: -16,
+            },
+        );
+        let wire = PlanWire::from_plan(&plan, 2.0);
+        assert_eq!(wire.directives[0].pc, 2, "sorted by pc");
+        let back = wire.to_plan();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(Pc(5)).unwrap().distance_bytes, 512);
+        assert!(back.get(Pc(5)).unwrap().nta);
+    }
+}

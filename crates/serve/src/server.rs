@@ -1,0 +1,553 @@
+//! The TCP daemon: a connection acceptor plus a bounded request worker
+//! pool built on [`repf_sim::WorkerPool`].
+//!
+//! Degradation-first design, in order of what can go wrong:
+//!
+//! * **overload** — requests flow through the pool's bounded queue; when
+//!   it is full the connection answers [`Response::Busy`] immediately
+//!   instead of buffering without bound;
+//! * **malformed input** — framing violations get a
+//!   [`Response::Error`] and close only that connection; payload-level
+//!   decode errors get an error response and the connection lives on;
+//!   the process never dies on client bytes;
+//! * **stuck peers** — per-connection read *and* write timeouts; an idle
+//!   connection is dropped after `idle_timeout`;
+//! * **shutdown** — the `Shutdown` control message (or
+//!   [`ServerHandle::shutdown`]) stops the acceptor, lets every
+//!   connection finish its in-flight request, drains the worker queue,
+//!   and joins all threads.
+
+use crate::metrics::Metrics;
+use crate::proto::{self, ErrorCode, MachineId, Request, Response, SampleBatch, Target};
+use crate::session::{SessionStore, SubmitRejected};
+use repf_core::analyze;
+use repf_sim::{amd_phenom_ii, intel_i7_2600k, Exec, PlanCache, SubmitError, WorkerPool};
+use repf_statstack::StatStackModel;
+use repf_workloads::BuildOptions;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Request worker threads (0 → the evaluation engine's default).
+    pub threads: usize,
+    /// Bounded request-queue depth; a full queue answers `Busy`.
+    pub queue_depth: usize,
+    /// Session-store byte budget (LRU eviction above it).
+    pub session_budget_bytes: usize,
+    /// Drop a connection after this long without a complete frame.
+    pub idle_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Run-length scale for server-side benchmark profiling (the
+    /// `BuildOptions::refs_scale` behind `Target::Benchmark` queries).
+    pub refs_scale: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            queue_depth: 64,
+            session_budget_bytes: 64 << 20,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            refs_scale: 0.05,
+        }
+    }
+}
+
+/// Shared server state: sessions, per-machine plan caches, metrics.
+pub(crate) struct ServeState {
+    sessions: Mutex<SessionStore>,
+    /// Lazy plan caches for the two Table II machines; compute-once
+    /// across concurrent clients via [`PlanCache`]'s per-slot cells.
+    plans_amd: PlanCache,
+    plans_intel: PlanCache,
+    /// Server metrics, readable through the `Stats` request.
+    pub metrics: Metrics,
+    shutting_down: AtomicBool,
+}
+
+impl ServeState {
+    fn new(cfg: &ServeConfig) -> Self {
+        let opts = BuildOptions {
+            refs_scale: cfg.refs_scale,
+            ..Default::default()
+        };
+        ServeState {
+            sessions: Mutex::new(SessionStore::new(cfg.session_budget_bytes)),
+            plans_amd: PlanCache::lazy(&amd_phenom_ii(), &opts),
+            plans_intel: PlanCache::lazy(&intel_i7_2600k(), &opts),
+            metrics: Metrics::new(),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    fn cache_for(&self, machine: MachineId) -> &PlanCache {
+        match machine {
+            MachineId::Amd => &self.plans_amd,
+            MachineId::Intel => &self.plans_intel,
+        }
+    }
+
+    fn machine_config(machine: MachineId) -> repf_sim::MachineConfig {
+        match machine {
+            MachineId::Amd => amd_phenom_ii(),
+            MachineId::Intel => intel_i7_2600k(),
+        }
+    }
+
+    /// Execute one request against the shared state. Pure
+    /// request-in/response-out — called on a worker thread.
+    pub(crate) fn handle(&self, req: &Request) -> Response {
+        self.metrics.count_request(req.kind_name());
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Submit { session, batch } => self.handle_submit(session, batch),
+            Request::QueryMrc {
+                target,
+                sizes_bytes,
+            } => self.timed_mrc(|| self.handle_mrc(target, sizes_bytes)),
+            Request::QueryPcMrc {
+                target,
+                pc,
+                sizes_bytes,
+            } => self.timed_mrc(|| self.handle_pc_mrc(target, *pc, sizes_bytes)),
+            Request::QueryPlan {
+                target,
+                machine,
+                delta,
+            } => {
+                let start = Instant::now();
+                let resp = self.handle_plan(target, *machine, *delta);
+                self.metrics
+                    .plan_latency
+                    .record_us(start.elapsed().as_micros() as u64);
+                resp
+            }
+            Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Shutdown => {
+                self.shutting_down.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn timed_mrc(&self, f: impl FnOnce() -> Response) -> Response {
+        let start = Instant::now();
+        let resp = f();
+        self.metrics
+            .mrc_latency
+            .record_us(start.elapsed().as_micros() as u64);
+        resp
+    }
+
+    fn handle_submit(&self, session: &str, batch: &SampleBatch) -> Response {
+        let start = Instant::now();
+        let out = self
+            .sessions
+            .lock()
+            .unwrap()
+            .submit(session, batch.clone());
+        self.metrics
+            .submit_latency
+            .record_us(start.elapsed().as_micros() as u64);
+        match out {
+            Ok(o) => {
+                self.metrics
+                    .evictions
+                    .fetch_add(o.evicted as u64, Ordering::Relaxed);
+                self.metrics
+                    .store_bytes
+                    .store(o.store_bytes, Ordering::Relaxed);
+                Response::Accepted {
+                    store_bytes: o.store_bytes,
+                    evicted: o.evicted,
+                }
+            }
+            Err(SubmitRejected::InconsistentLineBytes) => Response::Error {
+                code: ErrorCode::InconsistentBatch,
+                message: "line_bytes differs from the session's earlier batches".into(),
+            },
+        }
+    }
+
+    /// Fit a model over the target's profile and hand it to `f`.
+    ///
+    /// Session models are fitted per query under the store lock — session
+    /// profiles mutate on every submit, so a cached fit would need
+    /// invalidation; benchmark models come from the plan cache's
+    /// compute-once slot and are shared by all queries.
+    fn with_model(&self, target: &Target, f: impl FnOnce(&StatStackModel) -> Response) -> Response {
+        match target {
+            Target::Session(name) => {
+                let mut sessions = self.sessions.lock().unwrap();
+                match sessions.get(name) {
+                    None => Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        message: format!("unknown session '{name}'"),
+                    },
+                    Some(profile) => f(&StatStackModel::from_profile(profile)),
+                }
+            }
+            Target::Benchmark(id) => f(self.plans_amd.model(*id)),
+        }
+    }
+
+    fn handle_mrc(&self, target: &Target, sizes: &[u64]) -> Response {
+        if sizes.is_empty() {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "empty size list".into(),
+            };
+        }
+        self.with_model(target, |m| Response::Mrc {
+            ratios: sizes.iter().map(|&b| m.miss_ratio_bytes(b)).collect(),
+        })
+    }
+
+    fn handle_pc_mrc(&self, target: &Target, pc: u32, sizes: &[u64]) -> Response {
+        if sizes.is_empty() {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "empty size list".into(),
+            };
+        }
+        self.with_model(target, |m| Response::PcMrc {
+            ratios: m
+                .pc_mrc_bytes(repf_trace::Pc(pc), sizes)
+                .map(|curve| curve.ratios().to_vec()),
+        })
+    }
+
+    fn handle_plan(&self, target: &Target, machine: MachineId, delta: f64) -> Response {
+        match target {
+            Target::Benchmark(id) => {
+                let cache = self.cache_for(machine);
+                if cache.peek(*id).is_some() {
+                    self.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let plans = cache.get(*id);
+                Response::Plan(proto::PlanWire::from_plan(&plans.plan_nt, plans.delta))
+            }
+            Target::Session(name) => {
+                if !delta.is_finite() || delta <= 0.0 {
+                    return Response::Error {
+                        code: ErrorCode::Unsupported,
+                        message: "session plan queries need a positive finite delta".into(),
+                    };
+                }
+                let mut sessions = self.sessions.lock().unwrap();
+                let Some(profile) = sessions.get(name) else {
+                    return Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        message: format!("unknown session '{name}'"),
+                    };
+                };
+                let cfg = Self::machine_config(machine).analysis_config(delta);
+                let analysis = analyze(profile, &cfg);
+                Response::Plan(proto::PlanWire::from_plan(&analysis.plan, delta))
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; use
+/// [`shutdown`](Self::shutdown) or send the `Shutdown` control message.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a shutdown has been requested (control message or
+    /// [`shutdown`](Self::shutdown)).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and wait for the drain to finish.
+    pub fn shutdown(mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        self.join_inner();
+    }
+
+    /// Block until the server exits (e.g. on a client `Shutdown` control
+    /// message).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            // Wake the acceptor if it is parked in `accept`.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+            h.join().expect("acceptor thread panicked");
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() && self.is_shutting_down() {
+            self.join_inner();
+        }
+    }
+}
+
+/// Bind and start the daemon; returns once the listener is live.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServeState::new(&cfg));
+    let threads = if cfg.threads == 0 {
+        Exec::from_env().threads()
+    } else {
+        cfg.threads
+    };
+    let pool_cfg = cfg.clone();
+    let accept_state = Arc::clone(&state);
+    let acceptor = std::thread::spawn(move || {
+        accept_loop(listener, accept_state, pool_cfg, threads);
+    });
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, threads: usize) {
+    let pool = WorkerPool::new(threads, cfg.queue_depth);
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let pool = Arc::new(pool);
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let (stream, _peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => continue,
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up connection from `join_inner`
+        }
+        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let st = Arc::clone(&state);
+        let po = Arc::clone(&pool);
+        let c = cfg.clone();
+        conns.push(std::thread::spawn(move || {
+            let _ = serve_connection(stream, st, po, c);
+        }));
+        // Reap finished connection threads so the vec stays small on
+        // long-running servers.
+        conns.retain(|h| !h.is_finished());
+    }
+    // Drain: join live connections (their reads time out on the poll
+    // interval and observe the flag), then the worker queue.
+    for h in conns {
+        let _ = h.join();
+    }
+    if let Ok(pool) = Arc::try_unwrap(pool) {
+        pool.shutdown();
+    }
+}
+
+/// Poll interval for the blocking frame reads — bounds how long a
+/// connection takes to notice a shutdown, independent of `idle_timeout`.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// What one polling frame read produced.
+enum ReadOutcome {
+    /// A complete frame body (version + type + payload).
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// No frame started within the idle timeout, or a started frame
+    /// stalled past it (slow-loris guard), or shutdown was requested.
+    Stop,
+    /// The length prefix violated the protocol.
+    Proto(proto::ProtoError),
+    /// Transport failure.
+    Io,
+}
+
+/// Read one frame with `READ_POLL`-granularity timeouts, so the
+/// connection notices shutdown promptly, never desynchronizes on a
+/// mid-frame timeout, and drops peers that stall a frame for longer than
+/// `idle_timeout`.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    state: &ServeState,
+    idle_timeout: Duration,
+) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::new(); // header, then body
+    let mut need = 4usize; // length prefix first
+    let mut body_len: Option<usize> = None;
+    let deadline = Instant::now() + idle_timeout;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) && body_len.is_none() && buf.is_empty() {
+            return ReadOutcome::Stop;
+        }
+        if Instant::now() >= deadline {
+            return ReadOutcome::Stop;
+        }
+        let want = (need - buf.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                // EOF: clean only on a frame boundary.
+                return if buf.is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Io
+                };
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() == need {
+                    match body_len {
+                        None => {
+                            let len =
+                                u32::from_le_bytes(buf[..4].try_into().unwrap());
+                            if len < 2 {
+                                return ReadOutcome::Proto(proto::ProtoError::TooShort);
+                            }
+                            if len > proto::MAX_FRAME_BYTES {
+                                return ReadOutcome::Proto(proto::ProtoError::Oversized(len));
+                            }
+                            body_len = Some(len as usize);
+                            need = len as usize;
+                            buf.clear();
+                        }
+                        Some(_) => return ReadOutcome::Frame(buf),
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Io,
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: Arc<ServeState>,
+    pool: Arc<WorkerPool>,
+    cfg: ServeConfig,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        match read_frame_polling(&mut reader, &state, cfg.idle_timeout) {
+            ReadOutcome::Eof | ReadOutcome::Stop | ReadOutcome::Io => return Ok(()),
+            ReadOutcome::Frame(body) => {
+                match Request::decode(&body) {
+                    Ok(Request::Shutdown) => {
+                        // Handled inline: must work even when the queue is
+                        // saturated — it is the pressure-release valve.
+                        let resp = state.handle(&Request::Shutdown);
+                        send(&mut writer, &resp)?;
+                        // Wake the acceptor out of its blocking `accept`
+                        // so the drain starts now.
+                        if let Ok(addr) = writer.local_addr() {
+                            let _ =
+                                TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+                        }
+                        return Ok(());
+                    }
+                    Ok(req) => {
+                        let resp = dispatch(&state, &pool, req);
+                        send(&mut writer, &resp)?;
+                    }
+                    Err(e) => {
+                        // Payload decode failure: frame boundaries are
+                        // still sound, so answer and keep the connection.
+                        state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        send(
+                            &mut writer,
+                            &Response::Error {
+                                code: ErrorCode::Malformed,
+                                message: e.to_string(),
+                            },
+                        )?;
+                    }
+                }
+            }
+            ReadOutcome::Proto(e) => {
+                // The stream is unsynchronized: answer, then drop it.
+                state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Run `req` on the worker pool, answering `Busy` when the bounded queue
+/// is full. The connection thread blocks on the reply channel — request
+/// order per connection is preserved.
+fn dispatch(state: &Arc<ServeState>, pool: &WorkerPool, req: Request) -> Response {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let st = Arc::clone(state);
+    let job = Box::new(move || {
+        let resp = st.handle(&req);
+        let _ = tx.send(resp);
+    });
+    match pool.try_submit(job) {
+        Ok(()) => match rx.recv() {
+            Ok(resp) => {
+                if matches!(resp, Response::Error { .. }) {
+                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                resp
+            }
+            Err(_) => Response::Error {
+                code: ErrorCode::Internal,
+                message: "worker dropped the request".into(),
+            },
+        },
+        Err(SubmitError::Busy) | Err(SubmitError::Closed) => {
+            state.metrics.busy.fetch_add(1, Ordering::Relaxed);
+            Response::Busy
+        }
+    }
+}
+
+fn send(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    proto::write_frame(w, &resp.encode())
+}

@@ -1,0 +1,261 @@
+//! The per-session profile store: named, client-submitted sampling
+//! profiles held under a configurable byte budget with least-recently-used
+//! eviction — the server's only unboundedly-client-driven memory, so it is
+//! the one place that must degrade instead of grow.
+
+use crate::proto::SampleBatch;
+use repf_sampling::{DanglingSample, Profile, ReuseSample, StrideSample};
+
+/// Fixed per-session bookkeeping charge (name, map entry, vec headers).
+const SESSION_OVERHEAD_BYTES: usize = 256;
+
+/// Approximate heap footprint of a profile's sample vectors.
+fn profile_bytes(p: &Profile) -> usize {
+    p.reuse.len() * std::mem::size_of::<ReuseSample>()
+        + p.dangling.len() * std::mem::size_of::<DanglingSample>()
+        + p.strides.len() * std::mem::size_of::<StrideSample>()
+}
+
+struct SessionEntry {
+    name: String,
+    profile: Profile,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Outcome of a successful submit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Store-wide bytes after the submit (≤ the budget).
+    pub store_bytes: u64,
+    /// Sessions evicted to fit the budget.
+    pub evicted: u32,
+}
+
+/// Why a submit was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitRejected {
+    /// The batch's `line_bytes` disagrees with earlier batches of the
+    /// same session — mixing them would corrupt the model.
+    InconsistentLineBytes,
+}
+
+/// An LRU-evicting session store with a hard byte budget.
+///
+/// Eviction happens on submit: after a batch is appended, least-recently
+/// *used* sessions (submits and queries both refresh recency) are dropped
+/// until the store fits the budget again. The session just written is
+/// evicted only if it alone exceeds the whole budget, so the invariant
+/// `bytes() ≤ budget` holds unconditionally after every operation.
+pub struct SessionStore {
+    budget_bytes: usize,
+    entries: Vec<SessionEntry>,
+    clock: u64,
+    bytes: usize,
+    evictions: u64,
+}
+
+impl SessionStore {
+    /// An empty store with the given byte budget (clamped to ≥ 1 so a
+    /// zero budget means "keep nothing", not "unbounded").
+    pub fn new(budget_bytes: usize) -> Self {
+        SessionStore {
+            budget_bytes: budget_bytes.max(1),
+            entries: Vec::new(),
+            clock: 0,
+            bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// Append a batch to `name`'s profile, creating the session on first
+    /// use, then evict LRU sessions until the store fits its budget.
+    pub fn submit(
+        &mut self,
+        name: &str,
+        batch: SampleBatch,
+    ) -> Result<SubmitOutcome, SubmitRejected> {
+        let now = self.tick();
+        let ix = match self.index_of(name) {
+            Some(ix) => ix,
+            None => {
+                self.entries.push(SessionEntry {
+                    name: name.to_string(),
+                    profile: Profile {
+                        sample_period: batch.sample_period,
+                        line_bytes: batch.line_bytes,
+                        ..Profile::default()
+                    },
+                    bytes: SESSION_OVERHEAD_BYTES + name.len(),
+                    last_used: now,
+                });
+                self.bytes += SESSION_OVERHEAD_BYTES + name.len();
+                self.entries.len() - 1
+            }
+        };
+        let entry = &mut self.entries[ix];
+        if entry.profile.line_bytes != batch.line_bytes {
+            return Err(SubmitRejected::InconsistentLineBytes);
+        }
+        let before = profile_bytes(&entry.profile);
+        entry.profile.total_refs += batch.total_refs;
+        entry.profile.sample_period = batch.sample_period;
+        entry.profile.reuse.extend(batch.reuse);
+        entry.profile.dangling.extend(batch.dangling);
+        entry.profile.strides.extend(batch.strides);
+        let grown = profile_bytes(&entry.profile) - before;
+        entry.bytes += grown;
+        entry.last_used = now;
+        self.bytes += grown;
+
+        let mut evicted = 0u32;
+        while self.bytes > self.budget_bytes && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .unwrap();
+            let e = self.entries.swap_remove(victim);
+            self.bytes -= e.bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        Ok(SubmitOutcome {
+            store_bytes: self.bytes as u64,
+            evicted,
+        })
+    }
+
+    /// The profile of `name`, refreshing its recency. `None` when the
+    /// session does not exist (never created, or evicted).
+    pub fn get(&mut self, name: &str) -> Option<&Profile> {
+        let now = self.tick();
+        let ix = self.index_of(name)?;
+        self.entries[ix].last_used = now;
+        Some(&self.entries[ix].profile)
+    }
+
+    /// Current bytes held (always ≤ the budget).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no session is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total sessions evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_trace::{AccessKind, Pc};
+
+    fn batch(n_reuse: usize) -> SampleBatch {
+        SampleBatch {
+            total_refs: 100,
+            sample_period: 10,
+            line_bytes: 64,
+            reuse: (0..n_reuse)
+                .map(|i| ReuseSample {
+                    start_pc: Pc(1),
+                    start_kind: AccessKind::Load,
+                    end_pc: Pc(2),
+                    end_kind: AccessKind::Load,
+                    distance: i as u64,
+                    start_index: i as u64,
+                })
+                .collect(),
+            dangling: vec![],
+            strides: vec![],
+        }
+    }
+
+    #[test]
+    fn submit_accumulates_and_get_refreshes() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("a", batch(10)).unwrap();
+        s.submit("a", batch(5)).unwrap();
+        let p = s.get("a").unwrap();
+        assert_eq!(p.reuse.len(), 15);
+        assert_eq!(p.total_refs, 200);
+        assert!(s.get("missing").is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced_with_lru_eviction() {
+        // Each 100-reuse batch is ~4 kB(+overhead); budget fits ~3.
+        let mut s = SessionStore::new(16 << 10);
+        for name in ["a", "b", "c", "d", "e"] {
+            s.submit(name, batch(100)).unwrap();
+            assert!(s.bytes() <= s.budget_bytes(), "invariant after {name}");
+        }
+        assert!(s.evictions() > 0, "pressure must evict");
+        // "a" was least recently used → gone; "e" just written → alive.
+        assert!(s.get("a").is_none());
+        assert!(s.get("e").is_some());
+    }
+
+    #[test]
+    fn recency_from_queries_protects_sessions() {
+        let mut s = SessionStore::new(16 << 10);
+        s.submit("old", batch(100)).unwrap();
+        s.submit("mid", batch(100)).unwrap();
+        s.get("old"); // refresh: now "mid" is the LRU
+        loop {
+            s.submit("new", batch(100)).unwrap();
+            if s.get("mid").is_none() || s.get("old").is_none() {
+                break;
+            }
+        }
+        assert!(s.get("old").is_some(), "refreshed session outlives mid");
+    }
+
+    #[test]
+    fn single_session_over_budget_is_evicted_too() {
+        let mut s = SessionStore::new(1 << 10);
+        let out = s.submit("huge", batch(1000)).unwrap();
+        assert_eq!(out.store_bytes, 0, "store never exceeds budget");
+        assert!(s.get("huge").is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn line_bytes_mismatch_is_rejected() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("a", batch(1)).unwrap();
+        let mut b = batch(1);
+        b.line_bytes = 128;
+        assert_eq!(
+            s.submit("a", b),
+            Err(SubmitRejected::InconsistentLineBytes)
+        );
+    }
+}

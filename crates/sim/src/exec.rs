@@ -15,6 +15,8 @@
 //! cores); `REPF_THREADS=1` recovers the fully serial path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 
 /// Worker-pool handle. Cheap to construct; holds no threads between
 /// calls (workers are scoped to each [`Exec::map`] invocation).
@@ -123,6 +125,105 @@ impl Exec {
     }
 }
 
+/// A boxed unit of work for the long-lived [`WorkerPool`].
+pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job could not be enqueued on a [`WorkerPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — the caller should shed load (e.g.
+    /// answer `Busy`) rather than block or buffer unboundedly.
+    Busy,
+    /// The pool has been shut down and accepts no further work.
+    Closed,
+}
+
+/// A long-lived worker pool with a *bounded* job queue — the daemon-side
+/// counterpart of [`Exec::map`] (which scopes its workers to one call).
+///
+/// Jobs are `FnOnce` closures handed out to `threads` workers through a
+/// `sync_channel` of depth `queue_depth`. [`try_submit`](Self::try_submit)
+/// never blocks: when the queue is full it returns [`SubmitError::Busy`]
+/// so callers can degrade gracefully instead of growing memory without
+/// bound. Dropping the pool (or calling [`shutdown`](Self::shutdown))
+/// closes the queue and joins the workers after they *drain* all jobs
+/// already accepted.
+pub struct WorkerPool {
+    tx: Option<SyncSender<PoolJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` workers (clamped to ≥ 1) and a queue holding
+    /// at most `queue_depth` pending jobs (clamped to ≥ 1).
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = sync_channel::<PoolJob>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while dequeuing, never while
+                    // running a job.
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(j) => j,
+                        Err(_) => break, // queue closed and drained
+                    };
+                    job();
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            threads,
+        }
+    }
+
+    /// A pool sized like `exec` (one worker per engine thread).
+    pub fn sized_by(exec: &Exec, queue_depth: usize) -> Self {
+        Self::new(exec.threads(), queue_depth)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueue `job` without blocking.
+    pub fn try_submit(&self, job: PoolJob) -> Result<(), SubmitError> {
+        match &self.tx {
+            None => Err(SubmitError::Closed),
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(SubmitError::Busy),
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+            },
+        }
+    }
+
+    /// Close the queue and join every worker after the already-accepted
+    /// jobs finish (drain semantics). Idempotent via `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            h.join().expect("worker-pool thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +256,60 @@ mod tests {
     fn thread_count_is_clamped() {
         assert_eq!(Exec::new(0).threads(), 1);
         assert!(Exec::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_drains_on_shutdown() {
+        use std::sync::atomic::AtomicU64;
+        let pool = WorkerPool::new(3, 64);
+        assert_eq!(pool.threads(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=50u64 {
+            let sum = Arc::clone(&sum);
+            pool.try_submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }))
+            .expect("queue has room");
+        }
+        pool.shutdown(); // joins after draining every accepted job
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
+    }
+
+    #[test]
+    fn worker_pool_sheds_load_when_queue_is_full() {
+        // One worker blocked on a gate; queue depth 1: the first job
+        // occupies the worker, the second fills the queue, the third must
+        // be refused with `Busy`.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let pool = WorkerPool::new(1, 1);
+        let g = Arc::clone(&gate);
+        pool.try_submit(Box::new(move || {
+            g.wait();
+        }))
+        .unwrap();
+        // Wait until the worker has *dequeued* the gated job, otherwise
+        // this submit may race for the queue slot.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match pool.try_submit(Box::new(|| {})) {
+                Ok(()) => break,
+                Err(SubmitError::Busy) if std::time::Instant::now() < deadline => {
+                    std::thread::yield_now()
+                }
+                Err(e) => panic!("submit failed: {e:?}"),
+            }
+        }
+        let overflow = pool.try_submit(Box::new(|| {}));
+        assert_eq!(overflow, Err(SubmitError::Busy));
+        gate.wait();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_clamps_sizes() {
+        let pool = WorkerPool::new(0, 0);
+        assert_eq!(pool.threads(), 1);
+        pool.try_submit(Box::new(|| {})).unwrap();
     }
 
     #[test]

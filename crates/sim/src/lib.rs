@@ -40,7 +40,7 @@ pub mod runner;
 pub mod solo;
 
 pub use adaptive::{run_adaptive, run_adaptive_many, AdaptiveConfig, AdaptiveOutcome};
-pub use exec::Exec;
+pub use exec::{Exec, PoolJob, SubmitError, WorkerPool};
 pub use machine::{amd_phenom_ii, intel_i7_2600k, HwPfKind, MachineConfig};
 pub use mixes::{generate_mixes, random_inputs, run_mix, MixOutcome, MixSpec, PlanCache};
 pub use policy::Policy;

@@ -47,6 +47,10 @@ pub struct PlanCache {
     machine: MachineConfig,
     opts: BuildOptions,
     slots: Vec<OnceLock<BenchPlans>>,
+    /// Per-benchmark StatStack fits over the cached profiles, computed on
+    /// first MRC query (the serving layer's hook — plan computation alone
+    /// never needs them).
+    models: Vec<OnceLock<repf_statstack::StatStackModel>>,
     computed: AtomicUsize,
 }
 
@@ -58,6 +62,7 @@ impl PlanCache {
             machine: *machine,
             opts: *opts,
             slots: BenchmarkId::all().iter().map(|_| OnceLock::new()).collect(),
+            models: BenchmarkId::all().iter().map(|_| OnceLock::new()).collect(),
             computed: AtomicUsize::new(0),
         }
     }
@@ -91,6 +96,26 @@ impl PlanCache {
             self.computed.fetch_add(1, Ordering::Relaxed);
             prepare(id, &self.machine, &self.opts)
         })
+    }
+
+    /// Plans for one benchmark if they are already computed — a
+    /// non-forcing [`get`](Self::get), so callers (e.g. the serve daemon's
+    /// metrics) can distinguish cache hits from first-time computes.
+    pub fn peek(&self, id: BenchmarkId) -> Option<&BenchPlans> {
+        self.slot(id).get()
+    }
+
+    /// A StatStack model fitted over `id`'s cached profile, computed once
+    /// on first use (forces the plans if needed). This is the hook the
+    /// serve daemon answers benchmark-target MRC queries through: the fit
+    /// is shared across all concurrent queries of the same benchmark.
+    pub fn model(&self, id: BenchmarkId) -> &repf_statstack::StatStackModel {
+        let ix = BenchmarkId::all()
+            .iter()
+            .position(|&b| b == id)
+            .expect("benchmark in pool");
+        self.models[ix]
+            .get_or_init(|| repf_statstack::StatStackModel::from_profile(&self.get(id).profile))
     }
 
     /// How many plans have been computed (used by the concurrency suite to

@@ -7,56 +7,171 @@
 //! repf analyze <bench> [--machine amd|intel]   # MDDLI + plan (+ pseudo-asm)
 //! repf run <bench> [--machine M] [--policy P]  # timed solo run
 //! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
+//! repf serve [--addr H:P]                # profiling-as-a-service daemon
+//! repf query <what> --addr H:P           # query a running daemon
 //! ```
 //!
-//! Everything is deterministic; scales with `--scale <f>` (default 0.5).
-//! `--threads N` sizes the parallel evaluation engine (default:
-//! `REPF_THREADS` or all cores) — results are identical at any count.
+//! `repf <cmd> --help` prints the command's own usage and exits 0; bad
+//! flags exit non-zero. Everything is deterministic; scales with
+//! `--scale <f>` (default 0.5). `--threads N` sizes the parallel
+//! evaluation engine (default: `REPF_THREADS` or all cores) — results
+//! are identical at any count.
 
 use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
+use repf::serve::{Client, ClientError, MachineId, ServeConfig, Target};
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
     PlanCache, Policy,
 };
 use repf::workloads::{BenchmarkId, BuildOptions, InputSet};
+use std::io::Write as _;
 
 struct Args {
     positional: Vec<String>,
     machine: MachineConfig,
+    machine_id: MachineId,
     policy: Policy,
     period: u64,
     scale: f64,
     exec: Exec,
+    addr: Option<String>,
+    sizes: Vec<u64>,
+    delta: f64,
+    queue: usize,
+    budget_mb: usize,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: repf <list|profile|analyze|run|mix> [args] \
-         [--machine amd|intel] [--policy baseline|hw|sw|swnt|sc|combined] \
-         [--period N] [--scale F] [--threads N]"
-    );
+const GENERAL_USAGE: &str = "\
+usage: repf <command> [args] [flags]
+
+commands:
+  list       benchmarks and machines
+  profile    sampling-pass summary for one benchmark
+  analyze    MDDLI + prefetch plan for one benchmark
+  run        timed solo run under a policy
+  mix        4-application contention run
+  serve      profiling-as-a-service daemon (binary wire protocol)
+  query      query a running daemon
+
+`repf <command> --help` shows that command's flags.";
+
+fn usage_text(cmd: Option<&str>) -> &'static str {
+    match cmd {
+        Some("list") => "usage: repf list\n\nPrint the benchmark pool (Table I analogs) and machine models (Table II).",
+        Some("profile") => "\
+usage: repf profile <bench> [--period N] [--scale F]
+
+Run the sparse sampling pass and print sample counts and the estimated
+runtime overhead.\n
+  --period N   mean sampling period in references (default 1009)
+  --scale F    run-length scale (default 0.5)",
+        Some("analyze") => "\
+usage: repf analyze <bench> [--machine amd|intel] [--scale F]
+
+Profile, model and analyze one benchmark: delinquent loads, the full
+prefetch plan as pseudo-assembly, and the rejected candidates.",
+        Some("run") => "\
+usage: repf run <bench> [--machine amd|intel] [--policy P] [--scale F]
+
+Timed solo run under a policy (baseline|hw|sw|swnt|sc|combined),
+reporting speedup, off-chip traffic and prefetch accuracy.",
+        Some("mix") => "\
+usage: repf mix <b1> <b2> <b3> <b4> [--machine amd|intel] [--policy P]
+                [--scale F] [--threads N]
+
+Run a 4-application mix with shared-LLC and shared-DRAM contention and
+report per-app speedups, throughput and traffic deltas.",
+        Some("serve") => "\
+usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
+                  [--budget-mb N] [--scale F]
+
+Start the profiling daemon and block until a client sends the Shutdown
+control message. The bound address is printed on the first stdout line
+(port 0 picks an ephemeral port).\n
+  --addr H:P     bind address (default 127.0.0.1:4590)
+  --threads N    request worker threads (default: REPF_THREADS or cores)
+  --queue N      bounded request queue depth; full => Busy (default 64)
+  --budget-mb N  session-store byte budget in MiB (default 64)
+  --scale F      refs scale for server-side benchmark profiling (default 0.05)",
+        Some("query") => "\
+usage: repf query <what> [args] --addr HOST:PORT
+
+what:
+  ping                         liveness probe
+  mrc   <target> [--sizes L]   application miss-ratio curve
+  pcmrc <target> <pc> [--sizes L]  per-PC miss-ratio curve
+  plan  <target> [--machine amd|intel] [--delta F]  full prefetch plan
+  stats                        server metrics snapshot
+  shutdown                     ask the daemon to drain and exit
+
+A <target> is a benchmark name (see `repf list`) or `session:NAME` for a
+profile submitted over the wire. Sizes are comma-separated with k/m
+suffixes (default 32k,256k,1m,8m). `--delta F` is required for session
+plan queries (cycles per memop once stalls are removed).",
+        _ => GENERAL_USAGE,
+    }
+}
+
+/// Print `cmd`'s usage to stderr and exit 2 (flag/argument error).
+fn usage_err(cmd: Option<&str>) -> ! {
+    eprintln!("{}", usage_text(cmd));
     std::process::exit(2);
 }
 
+fn parse_sizes(spec: &str) -> Option<Vec<u64>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let (digits, mult) = match part.as_bytes().last()? {
+            b'k' | b'K' => (&part[..part.len() - 1], 1u64 << 10),
+            b'm' | b'M' => (&part[..part.len() - 1], 1u64 << 20),
+            b'g' | b'G' => (&part[..part.len() - 1], 1u64 << 30),
+            _ => (part, 1),
+        };
+        out.push(digits.parse::<u64>().ok()?.checked_mul(mult)?);
+    }
+    (!out.is_empty()).then_some(out)
+}
+
 fn parse_args() -> Args {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cmd_of = |args: &[String]| {
+        args.iter()
+            .find(|a| !a.starts_with('-'))
+            .map(|s| s.to_string())
+    };
+    // --help / -h anywhere: print the subcommand's usage and exit 0.
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_text(cmd_of(&raw).as_deref()));
+        std::process::exit(0);
+    }
+    let cmd = cmd_of(&raw);
+    let cmd = cmd.as_deref();
+
     let mut positional = Vec::new();
     let mut machine = amd_phenom_ii();
+    let mut machine_id = MachineId::Amd;
     let mut policy = Policy::SoftwareNt;
     let mut period = 1009;
-    let mut scale = 0.5;
+    let mut scale = f64::NAN; // resolved per command below
     let mut exec = Exec::from_env();
-    let mut it = std::env::args().skip(1);
+    let mut addr = None;
+    let mut sizes = vec![32 << 10, 256 << 10, 1 << 20, 8 << 20];
+    let mut delta = f64::NAN;
+    let mut queue = 64;
+    let mut budget_mb = 64;
+    let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--machine" => {
-                machine = match it.next().as_deref() {
-                    Some("amd") => amd_phenom_ii(),
-                    Some("intel") => intel_i7_2600k(),
+                (machine, machine_id) = match it.next().as_deref() {
+                    Some("amd") => (amd_phenom_ii(), MachineId::Amd),
+                    Some("intel") => (intel_i7_2600k(), MachineId::Intel),
                     other => {
                         eprintln!("unknown machine {other:?}");
-                        usage()
+                        usage_err(cmd)
                     }
                 }
             }
@@ -70,29 +185,62 @@ fn parse_args() -> Args {
                     Some("combined") => Policy::Combined,
                     other => {
                         eprintln!("unknown policy {other:?}");
-                        usage()
+                        usage_err(cmd)
                     }
                 }
             }
-            "--period" => period = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
-            "--scale" => scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--period" => {
+                period = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--scale" => {
+                scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
             "--threads" => {
-                exec = Exec::new(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                exec = Exec::new(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
+            "--sizes" => {
+                sizes = it
+                    .next()
+                    .as_deref()
+                    .and_then(parse_sizes)
+                    .unwrap_or_else(|| usage_err(cmd))
+            }
+            "--delta" => {
+                delta = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--queue" => {
+                queue = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--budget-mb" => {
+                budget_mb =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
             }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
-                usage()
+                usage_err(cmd)
             }
             _ => positional.push(a),
         }
     }
+    if scale.is_nan() {
+        scale = if cmd == Some("serve") { 0.05 } else { 0.5 };
+    }
     Args {
         positional,
         machine,
+        machine_id,
         policy,
         period,
         scale,
         exec,
+        addr,
+        sizes,
+        delta,
+        queue,
+        budget_mb,
     }
 }
 
@@ -134,7 +282,7 @@ fn cmd_list() {
 }
 
 fn cmd_profile(a: &Args) {
-    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage_err(Some("profile"))));
     let mut w = repf::workloads::build(id, &opts(a.scale * 5.0));
     let profile = Sampler::new(SamplerConfig {
         sample_period: a.period,
@@ -160,7 +308,7 @@ fn cmd_profile(a: &Args) {
 }
 
 fn cmd_analyze(a: &Args) {
-    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage_err(Some("analyze"))));
     let plans = prepare(id, &a.machine, &opts(a.scale));
     println!(
         "{id} on {}: Δ = {:.1} cycles/memop, {} delinquent loads",
@@ -181,7 +329,7 @@ fn cmd_analyze(a: &Args) {
 }
 
 fn cmd_run(a: &Args) {
-    let id = bench(a.positional.get(1).unwrap_or_else(|| usage()));
+    let id = bench(a.positional.get(1).unwrap_or_else(|| usage_err(Some("run"))));
     let plans = prepare(id, &a.machine, &opts(a.scale));
     let out = run_policy(id, &a.machine, &plans, a.policy, &opts(a.scale));
     let base = &plans.baseline;
@@ -213,7 +361,7 @@ fn cmd_run(a: &Args) {
 
 fn cmd_mix(a: &Args) {
     if a.positional.len() != 5 {
-        usage();
+        usage_err(Some("mix"));
     }
     let apps = [
         bench(&a.positional[1]),
@@ -242,6 +390,111 @@ fn cmd_mix(a: &Args) {
     );
 }
 
+fn cmd_serve(a: &Args) {
+    let cfg = ServeConfig {
+        addr: a.addr.clone().unwrap_or_else(|| "127.0.0.1:4590".into()),
+        threads: a.exec.threads(),
+        queue_depth: a.queue,
+        session_budget_bytes: a.budget_mb << 20,
+        refs_scale: a.scale,
+        ..ServeConfig::default()
+    };
+    let handle = repf::serve::start(cfg).unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    // First stdout line is machine-readable: scripts parse the port.
+    println!("repf-serve listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+    eprintln!("repf-serve: drained and stopped");
+}
+
+fn query_target(spec: &str) -> Target {
+    match spec.strip_prefix("session:") {
+        Some(name) => Target::Session(name.to_string()),
+        None => Target::Benchmark(bench(spec)),
+    }
+}
+
+fn cmd_query(a: &Args) {
+    let addr = a.addr.as_deref().unwrap_or_else(|| {
+        eprintln!("query needs --addr HOST:PORT");
+        usage_err(Some("query"))
+    });
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    let fail = |e: ClientError| -> ! {
+        eprintln!("query failed: {e}");
+        std::process::exit(1);
+    };
+    let what = a.positional.get(1).map(String::as_str);
+    match what {
+        Some("ping") => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        Some("mrc") => {
+            let target =
+                query_target(a.positional.get(2).unwrap_or_else(|| usage_err(Some("query"))));
+            let ratios =
+                client.query_mrc(target, a.sizes.clone()).unwrap_or_else(|e| fail(e));
+            for (size, r) in a.sizes.iter().zip(&ratios) {
+                println!("{:>12} B  miss ratio {:.6}", size, r);
+            }
+        }
+        Some("pcmrc") => {
+            let target =
+                query_target(a.positional.get(2).unwrap_or_else(|| usage_err(Some("query"))));
+            let pc: u32 = a
+                .positional
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage_err(Some("query")));
+            match client
+                .query_pc_mrc(target, pc, a.sizes.clone())
+                .unwrap_or_else(|e| fail(e))
+            {
+                None => println!("pc {pc}: no samples"),
+                Some(ratios) => {
+                    for (size, r) in a.sizes.iter().zip(&ratios) {
+                        println!("pc {pc} {:>12} B  miss ratio {:.6}", size, r);
+                    }
+                }
+            }
+        }
+        Some("plan") => {
+            let target =
+                query_target(a.positional.get(2).unwrap_or_else(|| usage_err(Some("query"))));
+            let plan = client
+                .query_plan(target, a.machine_id, a.delta)
+                .unwrap_or_else(|e| fail(e));
+            println!("delta {:.3} cycles/memop, {} directives", plan.delta, plan.directives.len());
+            for d in &plan.directives {
+                println!(
+                    "  pc {:>6}  stride {:>6}  distance {:>8} B  {}",
+                    d.pc,
+                    d.stride,
+                    d.distance_bytes,
+                    if d.nta { "non-temporal" } else { "temporal" }
+                );
+            }
+        }
+        Some("stats") => {
+            for (k, v) in client.stats().unwrap_or_else(|e| fail(e)) {
+                println!("{k} = {v}");
+            }
+        }
+        Some("shutdown") => {
+            client.shutdown_server().unwrap_or_else(|e| fail(e));
+            println!("server is shutting down");
+        }
+        _ => usage_err(Some("query")),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let start = std::time::Instant::now();
@@ -251,7 +504,9 @@ fn main() {
         Some("analyze") => cmd_analyze(&args),
         Some("run") => cmd_run(&args),
         Some("mix") => cmd_mix(&args),
-        _ => usage(),
+        Some("serve") => cmd_serve(&args),
+        Some("query") => cmd_query(&args),
+        other => usage_err(other),
     }
     eprintln!("[time] total: {:.2}s", start.elapsed().as_secs_f64());
 }

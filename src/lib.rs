@@ -47,6 +47,7 @@ pub use repf_core as core;
 pub use repf_hwpf as hwpf;
 pub use repf_metrics as metrics;
 pub use repf_sampling as sampling;
+pub use repf_serve as serve;
 pub use repf_sim as sim;
 pub use repf_statstack as statstack;
 pub use repf_trace as trace;

@@ -1,0 +1,90 @@
+//! CLI contract tests: help exits 0 with per-subcommand usage, bad flags
+//! exit non-zero, and the serve/query pair works end to end as processes.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+fn repf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repf"))
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = repf().arg("--help").output().unwrap();
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: repf <command>"));
+    assert!(text.contains("serve"));
+    assert!(text.contains("query"));
+}
+
+#[test]
+fn per_subcommand_help_exits_zero() {
+    for (cmd, marker) in [
+        ("list", "usage: repf list"),
+        ("profile", "--period"),
+        ("analyze", "usage: repf analyze"),
+        ("run", "baseline|hw|sw|swnt|sc|combined"),
+        ("mix", "usage: repf mix"),
+        ("serve", "--budget-mb"),
+        ("query", "session:NAME"),
+    ] {
+        let out = repf().args([cmd, "--help"]).output().unwrap();
+        assert!(out.status.success(), "{cmd} --help must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(marker), "{cmd} help must mention {marker}: {text}");
+    }
+}
+
+#[test]
+fn bad_flags_exit_nonzero() {
+    for args in [
+        vec!["--bogus"],
+        vec!["run", "--policy", "warp-speed"],
+        vec!["run", "--machine", "marvin"],
+        vec!["query", "mrc", "gcc"], // missing --addr
+        vec!["serve", "--queue", "not-a-number"],
+        vec![], // no command at all
+    ] {
+        let out = repf().args(&args).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "repf {args:?} must fail, got {:?}",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "stderr shows usage for {args:?}");
+    }
+}
+
+#[test]
+fn serve_and_query_roundtrip_as_processes() {
+    // Ephemeral port; the daemon prints the bound address first.
+    let mut server = repf()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("repf-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let ping = repf().args(["query", "ping", "--addr", &addr]).output().unwrap();
+    assert!(ping.status.success(), "{}", String::from_utf8_lossy(&ping.stderr));
+    assert_eq!(String::from_utf8_lossy(&ping.stdout).trim(), "pong");
+
+    let stats = repf().args(["query", "stats", "--addr", &addr]).output().unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("requests.ping = 1"), "stats reflect the ping: {text}");
+
+    // Shutdown control message drains the daemon; the process exits.
+    let down = repf().args(["query", "shutdown", "--addr", &addr]).output().unwrap();
+    assert!(down.status.success());
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exits cleanly after shutdown");
+}
