@@ -3,8 +3,22 @@
 //! run is summarized (client-side req/s, server-side p50/p99) into
 //! `BENCH_serve.json`.
 //!
-//! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200)
-//! and `REPF_SERVE_CLIENTS` (concurrent clients, default 4).
+//! Two configurations are measured in the same run:
+//!
+//! * **baseline** — `--shards 1 --no-model-cache`: the pre-sharding
+//!   architecture where every query refits the session's StatStack model
+//!   from scratch behind one global mutex;
+//! * **tuned** — the defaults: sharded store + version-keyed model cache.
+//!
+//! The multi-session contention scenario (K clients, each hammering its
+//! own session) runs against both, and the report carries the scaling
+//! ratio plus the model-cache hit/miss counters so the win stays visible
+//! in the perf trajectory.
+//!
+//! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200),
+//! `REPF_SERVE_CLIENTS` (concurrent clients, default 4) and
+//! `REPF_SERVE_SESSIONS` (contention clients = distinct sessions,
+//! default 8).
 
 use crate::obs::Json;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
@@ -69,19 +83,22 @@ impl ClassResult {
 }
 
 /// Time `iters` queries of one class from each of `clients` concurrent
-/// connections; returns aggregate request count and wall time.
-fn hammer(
+/// connections; client `i` targets the session named by `session(i)`.
+/// Returns aggregate request count and wall time.
+fn hammer_sessions(
     addr: std::net::SocketAddr,
     clients: usize,
     iters: usize,
+    session: impl Fn(usize) -> String,
     query: impl Fn(&mut Client, &Target) + Send + Sync + Copy + 'static,
 ) -> ClassResult {
     let start = Instant::now();
     let workers: Vec<_> = (0..clients)
-        .map(|_| {
+        .map(|i| {
+            let name = session(i);
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
-                let target = Target::Session("bench".into());
+                let target = Target::Session(name);
                 for _ in 0..iters {
                     query(&mut c, &target);
                 }
@@ -97,11 +114,74 @@ fn hammer(
     }
 }
 
+/// All clients on one shared session.
+fn hammer(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    iters: usize,
+    query: impl Fn(&mut Client, &Target) + Send + Sync + Copy + 'static,
+) -> ClassResult {
+    hammer_sessions(addr, clients, iters, |_| "bench".into(), query)
+}
+
+/// The multi-session contention scenario: K clients, each hammering MRC
+/// queries against its own session, on a server with the given config.
+/// Sessions are seeded before the clock starts.
+fn contention_run(
+    cfg: ServeConfig,
+    threads: usize,
+    sessions: usize,
+    iters: usize,
+) -> (ClassResult, Vec<(String, f64)>) {
+    let handle = start(ServeConfig { threads, ..cfg }).expect("serve start");
+    let addr = handle.addr();
+    let mut seed = Client::connect(addr).expect("connect");
+    let profile = bench_profile();
+    for i in 0..sessions {
+        seed.submit_profile(&format!("mix-{i}"), &profile).expect("submit");
+    }
+    let res = hammer_sessions(addr, sessions, iters, |i| format!("mix-{i}"), |c, t| {
+        c.query_mrc(t.clone(), SIZES.to_vec()).expect("mrc");
+    });
+    let stats = seed.stats().expect("stats");
+    seed.shutdown_server().expect("shutdown");
+    handle.join();
+    (res, stats)
+}
+
 /// Run the loopback benchmark and write `BENCH_serve.json`.
 pub fn run() {
     let iters = env_usize("REPF_SERVE_ITERS", 200);
     let clients = env_usize("REPF_SERVE_CLIENTS", 4);
+    let sessions = env_usize("REPF_SERVE_SESSIONS", 8);
     let threads = Exec::from_env().threads();
+
+    // Multi-session contention, pre-change architecture vs. tuned
+    // defaults, measured back to back in the same process.
+    let (multi_base, _) = contention_run(
+        ServeConfig {
+            shards: 1,
+            model_cache: false,
+            ..ServeConfig::default()
+        },
+        threads,
+        sessions,
+        iters,
+    );
+    let (multi, multi_stats) = contention_run(ServeConfig::default(), threads, sessions, iters);
+    let multi_stat = |k: &str| {
+        multi_stats
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let scaling = if multi_base.req_per_s() > 0.0 {
+        multi.req_per_s() / multi_base.req_per_s()
+    } else {
+        0.0
+    };
+
     let handle = start(ServeConfig {
         threads,
         ..ServeConfig::default()
@@ -143,6 +223,15 @@ pub fn run() {
         stat("latency.plan.p50_us"),
         stat("latency.plan.p99_us"),
     );
+    println!(
+        "  mrc x{} sessions: {:>8.0} req/s tuned vs {:>8.0} req/s baseline ({:.2}x, cache {}h/{}m)",
+        sessions,
+        multi.req_per_s(),
+        multi_base.req_per_s(),
+        scaling,
+        multi_stat("model_cache.hits"),
+        multi_stat("model_cache.misses"),
+    );
 
     let class_json = |r: &ClassResult, label: &str| {
         (
@@ -178,6 +267,27 @@ pub fn run() {
         ),
         class_json(&mrc, "mrc"),
         class_json(&plan, "plan"),
+        (
+            "mrc_multi_session".into(),
+            Json::obj([
+                ("sessions", Json::Num(sessions as f64)),
+                ("requests", Json::Num(multi.reqs as f64)),
+                ("secs", Json::Num(multi.secs)),
+                ("req_per_s", Json::Num(multi.req_per_s())),
+                ("baseline_requests", Json::Num(multi_base.reqs as f64)),
+                ("baseline_secs", Json::Num(multi_base.secs)),
+                ("baseline_req_per_s", Json::Num(multi_base.req_per_s())),
+                ("scaling_vs_baseline", Json::Num(scaling)),
+                (
+                    "model_cache_hits",
+                    Json::Num(multi_stat("model_cache.hits")),
+                ),
+                (
+                    "model_cache_misses",
+                    Json::Num(multi_stat("model_cache.misses")),
+                ),
+            ]),
+        ),
         (
             "server_stats".into(),
             Json::Obj(

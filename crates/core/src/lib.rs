@@ -48,7 +48,7 @@ pub mod strides_exact;
 
 pub use config::AnalysisConfig;
 pub use delinquent::{identify_delinquent_loads, DelinquentLoad};
-pub use pipeline::{analyze, Analysis, RejectReason};
+pub use pipeline::{analyze, analyze_with_model, Analysis, RejectReason};
 pub use plan::{PrefetchDirective, PrefetchPlan};
 pub use stride_centric::stride_centric_plan;
 pub use strides::{analyze_strides, StrideAnalysis};

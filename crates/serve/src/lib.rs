@@ -12,7 +12,9 @@
 //! * [`proto`] — the versioned, length-prefixed frame format and every
 //!   request/response type, with exact-consumption decoding.
 //! * [`session`] — the LRU-evicting per-session profile store with a
-//!   hard byte budget.
+//!   hard byte budget, sharded by session-name hash into independently
+//!   locked slices with per-session cached StatStack fits (versioned
+//!   invalidation, incremental refits).
 //! * [`server`] — the acceptor + worker-pool daemon: bounded request
 //!   queue with `Busy` shedding, per-connection timeouts, malformed
 //!   input rejection that never kills the process, and a drain-then-exit
@@ -34,5 +36,7 @@ pub use proto::{
     ErrorCode, MachineId, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
     PROTO_VERSION,
 };
-pub use server::{start, ServeConfig, ServerHandle};
-pub use session::{SessionStore, SubmitOutcome, SubmitRejected};
+pub use server::{resolve_shards, start, ServeConfig, ServerHandle};
+pub use session::{
+    ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
+};

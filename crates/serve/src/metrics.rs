@@ -106,6 +106,10 @@ pub struct Metrics {
     pub plan_hits: AtomicU64,
     /// Benchmark plan queries that forced a profile + analysis.
     pub plan_misses: AtomicU64,
+    /// Session queries answered from the cached StatStack fit.
+    pub model_hits: AtomicU64,
+    /// Session queries that (re)fitted the model.
+    pub model_misses: AtomicU64,
     /// Latency of MRC-class queries (application and per-PC).
     pub mrc_latency: LatencyHisto,
     /// Latency of plan queries.
@@ -125,6 +129,15 @@ impl Metrics {
     /// [`Request::kind_name`]: crate::proto::Request::kind_name
     pub fn count_request(&self, kind: &str) {
         self.requests[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one session model-cache outcome.
+    pub fn count_model_cache(&self, hit: bool) {
+        if hit {
+            self.model_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.model_misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Requests seen for `kind`.
@@ -159,6 +172,8 @@ impl Metrics {
         out.push(("sessions.store_bytes".into(), g(&self.store_bytes)));
         out.push(("plan_cache.hits".into(), g(&self.plan_hits)));
         out.push(("plan_cache.misses".into(), g(&self.plan_misses)));
+        out.push(("model_cache.hits".into(), g(&self.model_hits)));
+        out.push(("model_cache.misses".into(), g(&self.model_misses)));
         for (label, h) in [
             ("mrc", &self.mrc_latency),
             ("plan", &self.plan_latency),

@@ -19,8 +19,8 @@
 
 use crate::metrics::Metrics;
 use crate::proto::{self, ErrorCode, MachineId, Request, Response, SampleBatch, Target};
-use crate::session::{SessionStore, SubmitRejected};
-use repf_core::analyze;
+use crate::session::{ShardedSessionStore, SubmitRejected};
+use repf_core::{analyze, analyze_with_model};
 use repf_sim::{amd_phenom_ii, intel_i7_2600k, Exec, PlanCache, SubmitError, WorkerPool};
 use repf_statstack::StatStackModel;
 use repf_workloads::BuildOptions;
@@ -28,7 +28,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -41,8 +41,17 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Bounded request-queue depth; a full queue answers `Busy`.
     pub queue_depth: usize,
-    /// Session-store byte budget (LRU eviction above it).
+    /// Session-store byte budget (LRU eviction above it), split evenly
+    /// across the shards.
     pub session_budget_bytes: usize,
+    /// Session-store shard count; submits and queries to sessions in
+    /// different shards never contend on a lock. `0` reads the
+    /// `REPF_SERVE_SHARDS` environment variable, falling back to 8.
+    pub shards: usize,
+    /// Cache fitted session models across queries (versioned
+    /// invalidation on submit). Disable to measure the refit-per-query
+    /// baseline.
+    pub model_cache: bool,
     /// Drop a connection after this long without a complete frame.
     pub idle_timeout: Duration,
     /// Per-connection write timeout.
@@ -59,6 +68,8 @@ impl Default for ServeConfig {
             threads: 0,
             queue_depth: 64,
             session_budget_bytes: 64 << 20,
+            shards: 0,
+            model_cache: true,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             refs_scale: 0.05,
@@ -66,9 +77,23 @@ impl Default for ServeConfig {
     }
 }
 
+/// Resolve a configured shard count: explicit value, else the
+/// `REPF_SERVE_SHARDS` environment variable, else 8.
+pub fn resolve_shards(configured: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::env::var("REPF_SERVE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n != 0)
+        .unwrap_or(8)
+}
+
 /// Shared server state: sessions, per-machine plan caches, metrics.
 pub(crate) struct ServeState {
-    sessions: Mutex<SessionStore>,
+    sessions: ShardedSessionStore,
+    model_cache: bool,
     /// Lazy plan caches for the two Table II machines; compute-once
     /// across concurrent clients via [`PlanCache`]'s per-slot cells.
     plans_amd: PlanCache,
@@ -85,7 +110,11 @@ impl ServeState {
             ..Default::default()
         };
         ServeState {
-            sessions: Mutex::new(SessionStore::new(cfg.session_budget_bytes)),
+            sessions: ShardedSessionStore::new(
+                cfg.session_budget_bytes,
+                resolve_shards(cfg.shards),
+            ),
+            model_cache: cfg.model_cache,
             plans_amd: PlanCache::lazy(&amd_phenom_ii(), &opts),
             plans_intel: PlanCache::lazy(&intel_i7_2600k(), &opts),
             metrics: Metrics::new(),
@@ -135,12 +164,31 @@ impl ServeState {
                     .record_us(start.elapsed().as_micros() as u64);
                 resp
             }
-            Request::Stats => Response::Stats(self.metrics.snapshot()),
+            Request::Stats => Response::Stats(self.stats_pairs()),
             Request::Shutdown => {
                 self.shutting_down.store(true, Ordering::SeqCst);
                 Response::ShuttingDown
             }
         }
+    }
+
+    /// The `Stats` payload: the metrics snapshot plus per-shard session
+    /// store gauges (`sessions.shard.N.*`), read lock-by-lock so the
+    /// answer is consistent per shard.
+    fn stats_pairs(&self) -> Vec<(String, f64)> {
+        let mut out = self.metrics.snapshot();
+        let shards = self.sessions.shard_stats();
+        out.push(("sessions.shards".into(), shards.len() as f64));
+        for (i, s) in shards.iter().enumerate() {
+            out.push((format!("sessions.shard.{i}.bytes"), s.bytes as f64));
+            out.push((
+                format!("sessions.shard.{i}.budget_bytes"),
+                s.budget_bytes as f64,
+            ));
+            out.push((format!("sessions.shard.{i}.sessions"), s.sessions as f64));
+            out.push((format!("sessions.shard.{i}.evictions"), s.evictions as f64));
+        }
+        out
     }
 
     fn timed_mrc(&self, f: impl FnOnce() -> Response) -> Response {
@@ -154,11 +202,7 @@ impl ServeState {
 
     fn handle_submit(&self, session: &str, batch: &SampleBatch) -> Response {
         let start = Instant::now();
-        let out = self
-            .sessions
-            .lock()
-            .unwrap()
-            .submit(session, batch.clone());
+        let out = self.sessions.submit(session, batch.clone());
         self.metrics
             .submit_latency
             .record_us(start.elapsed().as_micros() as u64);
@@ -182,22 +226,44 @@ impl ServeState {
         }
     }
 
-    /// Fit a model over the target's profile and hand it to `f`.
+    /// Hand the target's fitted model to `f`.
     ///
-    /// Session models are fitted per query under the store lock — session
-    /// profiles mutate on every submit, so a cached fit would need
-    /// invalidation; benchmark models come from the plan cache's
-    /// compute-once slot and are shared by all queries.
+    /// Session models are cached per session and invalidated by version:
+    /// every submit bumps the session's version, and a query reuses the
+    /// published `Arc<StatStackModel>` when versions match — the fit is
+    /// dropped from the hot path entirely, and `f` runs outside the shard
+    /// lock. On a stale version the shard refits once (incrementally,
+    /// merging only the batches submitted since the last fit) and
+    /// republishes, so N concurrent queries of a hot session do one fit,
+    /// not N. With `model_cache` off (the measurement baseline) every
+    /// query refits from scratch under the shard lock. Benchmark models
+    /// come from the plan cache's compute-once slot and are shared by all
+    /// queries.
     fn with_model(&self, target: &Target, f: impl FnOnce(&StatStackModel) -> Response) -> Response {
         match target {
             Target::Session(name) => {
-                let mut sessions = self.sessions.lock().unwrap();
-                match sessions.get(name) {
-                    None => Response::Error {
-                        code: ErrorCode::UnknownSession,
-                        message: format!("unknown session '{name}'"),
-                    },
-                    Some(profile) => f(&StatStackModel::from_profile(profile)),
+                if self.model_cache {
+                    match self.sessions.model(name) {
+                        None => Response::Error {
+                            code: ErrorCode::UnknownSession,
+                            message: format!("unknown session '{name}'"),
+                        },
+                        Some((model, hit)) => {
+                            self.metrics.count_model_cache(hit);
+                            f(&model)
+                        }
+                    }
+                } else {
+                    match self
+                        .sessions
+                        .with_profile(name, |p| f(&StatStackModel::from_profile(p)))
+                    {
+                        None => Response::Error {
+                            code: ErrorCode::UnknownSession,
+                            message: format!("unknown session '{name}'"),
+                        },
+                        Some(resp) => resp,
+                    }
                 }
             }
             Target::Benchmark(id) => f(self.plans_amd.model(*id)),
@@ -249,15 +315,28 @@ impl ServeState {
                         message: "session plan queries need a positive finite delta".into(),
                     };
                 }
-                let mut sessions = self.sessions.lock().unwrap();
-                let Some(profile) = sessions.get(name) else {
+                let cfg = Self::machine_config(machine).analysis_config(delta);
+                let answer = if self.model_cache {
+                    // Plans need the profile and the model together, so
+                    // this runs under the shard lock — but still reuses
+                    // the cached fit (the expensive part).
+                    self.sessions
+                        .with_profile_and_model(name, |profile, model| {
+                            analyze_with_model(profile, model, &cfg)
+                        })
+                        .map(|(analysis, hit)| {
+                            self.metrics.count_model_cache(hit);
+                            analysis
+                        })
+                } else {
+                    self.sessions.with_profile(name, |p| analyze(p, &cfg))
+                };
+                let Some(analysis) = answer else {
                     return Response::Error {
                         code: ErrorCode::UnknownSession,
                         message: format!("unknown session '{name}'"),
                     };
                 };
-                let cfg = Self::machine_config(machine).analysis_config(delta);
-                let analysis = analyze(profile, &cfg);
                 Response::Plan(proto::PlanWire::from_plan(&analysis.plan, delta))
             }
         }

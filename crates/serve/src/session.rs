@@ -2,9 +2,37 @@
 //! profiles held under a configurable byte budget with least-recently-used
 //! eviction — the server's only unboundedly-client-driven memory, so it is
 //! the one place that must degrade instead of grow.
+//!
+//! Two stores live here:
+//!
+//! * [`SessionStore`] — one independently-locked *shard*: an LRU store
+//!   with its own byte budget, clock, name→index map (O(1) lookup) and
+//!   per-session fitted-model cache keyed on a profile version counter.
+//! * [`ShardedSessionStore`] — N shards selected by session-name hash,
+//!   each with a proportional slice of the byte budget, so submits and
+//!   queries to different sessions never contend on one mutex.
+//!
+//! Model caching: every submit bumps the session's version; a query
+//! either reuses the cached [`Arc<StatStackModel>`] (version match — no
+//! fit at all) or folds the batches submitted since the last fit into the
+//! previous model via the incremental [`StatStackBuilder`] merge path and
+//! publishes the result. Either way the caller gets an `Arc` it can
+//! evaluate *after* releasing the shard lock.
+//!
+//! Budget accounting covers the client-submitted sample data (profile
+//! vectors). The derived fitting state is bounded by a small constant
+//! factor of the same data — pending sorted runs are cleared on every
+//! fit, and a cached model holds one `u64` per reuse sample (plus per-PC
+//! copies) — and is dropped with the entry on eviction, so the aggregate
+//! stays proportional to the configured budget.
 
 use crate::proto::SampleBatch;
 use repf_sampling::{DanglingSample, Profile, ReuseSample, StrideSample};
+use repf_statstack::{StatStackBuilder, StatStackModel};
+use repf_trace::hash::FxHashMap;
+use std::hash::{BuildHasher, BuildHasherDefault};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Fixed per-session bookkeeping charge (name, map entry, vec headers).
 const SESSION_OVERHEAD_BYTES: usize = 256;
@@ -19,6 +47,13 @@ fn profile_bytes(p: &Profile) -> usize {
 struct SessionEntry {
     name: String,
     profile: Profile,
+    /// Batches submitted since the last fit, as mergeable sorted runs.
+    pending: StatStackBuilder,
+    /// Bumped on every submit; a cached fit is valid iff its version
+    /// matches.
+    version: u64,
+    /// The last published fit and the version it covers.
+    cached: Option<(u64, Arc<StatStackModel>)>,
     bytes: usize,
     last_used: u64,
 }
@@ -26,7 +61,8 @@ struct SessionEntry {
 /// Outcome of a successful submit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubmitOutcome {
-    /// Store-wide bytes after the submit (≤ the budget).
+    /// Store-wide bytes after the submit (≤ the budget). For a sharded
+    /// store this is the aggregate across all shards.
     pub store_bytes: u64,
     /// Sessions evicted to fit the budget.
     pub evicted: u32,
@@ -40,7 +76,8 @@ pub enum SubmitRejected {
     InconsistentLineBytes,
 }
 
-/// An LRU-evicting session store with a hard byte budget.
+/// An LRU-evicting session store with a hard byte budget — one shard of
+/// a [`ShardedSessionStore`], usable standalone as the 1-shard store.
 ///
 /// Eviction happens on submit: after a batch is appended, least-recently
 /// *used* sessions (submits and queries both refresh recency) are dropped
@@ -50,9 +87,13 @@ pub enum SubmitRejected {
 pub struct SessionStore {
     budget_bytes: usize,
     entries: Vec<SessionEntry>,
+    /// Name → index into `entries`, maintained across `swap_remove`.
+    index: FxHashMap<String, usize>,
     clock: u64,
     bytes: usize,
     evictions: u64,
+    model_hits: u64,
+    model_misses: u64,
 }
 
 impl SessionStore {
@@ -62,9 +103,12 @@ impl SessionStore {
         SessionStore {
             budget_bytes: budget_bytes.max(1),
             entries: Vec::new(),
+            index: FxHashMap::default(),
             clock: 0,
             bytes: 0,
             evictions: 0,
+            model_hits: 0,
+            model_misses: 0,
         }
     }
 
@@ -74,7 +118,17 @@ impl SessionStore {
     }
 
     fn index_of(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name == name)
+        self.index.get(name).copied()
+    }
+
+    fn remove_at(&mut self, ix: usize) -> SessionEntry {
+        let e = self.entries.swap_remove(ix);
+        self.index.remove(&e.name);
+        // `swap_remove` moved the former last entry into `ix`.
+        if let Some(moved) = self.entries.get(ix) {
+            self.index.insert(moved.name.clone(), ix);
+        }
+        e
     }
 
     /// Append a batch to `name`'s profile, creating the session on first
@@ -95,11 +149,16 @@ impl SessionStore {
                         line_bytes: batch.line_bytes,
                         ..Profile::default()
                     },
+                    pending: StatStackBuilder::new(batch.line_bytes),
+                    version: 0,
+                    cached: None,
                     bytes: SESSION_OVERHEAD_BYTES + name.len(),
                     last_used: now,
                 });
                 self.bytes += SESSION_OVERHEAD_BYTES + name.len();
-                self.entries.len() - 1
+                let ix = self.entries.len() - 1;
+                self.index.insert(name.to_string(), ix);
+                ix
             }
         };
         let entry = &mut self.entries[ix];
@@ -107,6 +166,8 @@ impl SessionStore {
             return Err(SubmitRejected::InconsistentLineBytes);
         }
         let before = profile_bytes(&entry.profile);
+        entry.pending.push_batch(&batch.reuse, &batch.dangling);
+        entry.version += 1;
         entry.profile.total_refs += batch.total_refs;
         entry.profile.sample_period = batch.sample_period;
         entry.profile.reuse.extend(batch.reuse);
@@ -126,7 +187,7 @@ impl SessionStore {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .unwrap();
-            let e = self.entries.swap_remove(victim);
+            let e = self.remove_at(victim);
             self.bytes -= e.bytes;
             self.evictions += 1;
             evicted += 1;
@@ -144,6 +205,46 @@ impl SessionStore {
         let ix = self.index_of(name)?;
         self.entries[ix].last_used = now;
         Some(&self.entries[ix].profile)
+    }
+
+    /// A fitted model of `name`'s profile, refreshing recency. Returns
+    /// the model and whether it was a cache hit. On a miss the batches
+    /// submitted since the last fit are folded into the previous model
+    /// through the incremental merge path (first fit: from the pending
+    /// runs alone) and the result is published for later queries.
+    pub fn model(&mut self, name: &str) -> Option<(Arc<StatStackModel>, bool)> {
+        let now = self.tick();
+        let ix = self.index_of(name)?;
+        let entry = &mut self.entries[ix];
+        entry.last_used = now;
+        if let Some((v, m)) = &entry.cached {
+            if *v == entry.version {
+                self.model_hits += 1;
+                return Some((Arc::clone(m), true));
+            }
+        }
+        let model = match &entry.cached {
+            Some((_, base)) => base.extend(&entry.pending),
+            None => entry.pending.fit(),
+        };
+        entry.pending.clear();
+        let model = Arc::new(model);
+        entry.cached = Some((entry.version, Arc::clone(&model)));
+        self.model_misses += 1;
+        Some((model, false))
+    }
+
+    /// Run `f` on `name`'s profile *and* its (cached or freshly fitted)
+    /// model, refreshing recency. The second return is the cache-hit
+    /// flag. Used by plan queries, which need both.
+    pub fn with_profile_and_model<R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&Profile, &StatStackModel) -> R,
+    ) -> Option<(R, bool)> {
+        let (model, hit) = self.model(name)?;
+        let ix = self.index_of(name)?;
+        Some((f(&self.entries[ix].profile, &model), hit))
     }
 
     /// Current bytes held (always ≤ the budget).
@@ -169,6 +270,171 @@ impl SessionStore {
     /// Total sessions evicted over the store's lifetime.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Model-cache hits served by this store.
+    pub fn model_hits(&self) -> u64 {
+        self.model_hits
+    }
+
+    /// Model-cache misses (fits performed) by this store.
+    pub fn model_misses(&self) -> u64 {
+        self.model_misses
+    }
+}
+
+/// A point-in-time summary of one shard, surfaced through the `Stats`
+/// request as `sessions.shard.N.*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Bytes held (≤ `budget_bytes`).
+    pub bytes: u64,
+    /// This shard's slice of the byte budget.
+    pub budget_bytes: u64,
+    /// Live sessions.
+    pub sessions: u64,
+    /// Lifetime evictions.
+    pub evictions: u64,
+    /// Model-cache hits.
+    pub model_hits: u64,
+    /// Model-cache misses (fits performed).
+    pub model_misses: u64,
+}
+
+struct Shard {
+    store: Mutex<SessionStore>,
+    /// Lock-free mirror of the store's byte gauge, refreshed after every
+    /// submit, so aggregate reporting never takes other shards' locks.
+    bytes: AtomicU64,
+}
+
+/// N independently-locked [`SessionStore`] shards selected by session-name
+/// hash. Each shard owns `budget / N` bytes with its own LRU clock, so the
+/// aggregate never exceeds the configured budget while submits and queries
+/// to different sessions proceed without contending on a single mutex.
+pub struct ShardedSessionStore {
+    shards: Vec<Shard>,
+}
+
+impl ShardedSessionStore {
+    /// A store of `shards` shards splitting `budget_bytes` evenly
+    /// (`shards` is clamped to ≥ 1).
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard = budget_bytes / n;
+        ShardedSessionStore {
+            shards: (0..n)
+                .map(|_| Shard {
+                    store: Mutex::new(SessionStore::new(per_shard)),
+                    bytes: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `name` maps to.
+    pub fn shard_of(&self, name: &str) -> usize {
+        let hasher: BuildHasherDefault<repf_trace::hash::FxHasher> = Default::default();
+        (hasher.hash_one(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Submit a batch to `name`'s session (see [`SessionStore::submit`]).
+    /// `store_bytes` in the outcome is the aggregate across shards.
+    pub fn submit(
+        &self,
+        name: &str,
+        batch: SampleBatch,
+    ) -> Result<SubmitOutcome, SubmitRejected> {
+        let shard = &self.shards[self.shard_of(name)];
+        let out = {
+            let mut store = shard.store.lock().unwrap();
+            let out = store.submit(name, batch)?;
+            shard.bytes.store(store.bytes() as u64, Ordering::Relaxed);
+            out
+        };
+        Ok(SubmitOutcome {
+            store_bytes: self.bytes(),
+            evicted: out.evicted,
+        })
+    }
+
+    /// Run `f` on `name`'s profile under its shard lock (recency
+    /// refreshed). `None` when the session does not exist.
+    pub fn with_profile<R>(&self, name: &str, f: impl FnOnce(&Profile) -> R) -> Option<R> {
+        let mut store = self.shards[self.shard_of(name)].store.lock().unwrap();
+        store.get(name).map(f)
+    }
+
+    /// The cached-or-refitted model of `name` plus the cache-hit flag.
+    /// The fit (if any) runs under the shard lock — concurrent queries of
+    /// one hot session do one fit, not N — and the returned `Arc` is
+    /// evaluated by the caller after the lock is released.
+    pub fn model(&self, name: &str) -> Option<(Arc<StatStackModel>, bool)> {
+        self.shards[self.shard_of(name)].store.lock().unwrap().model(name)
+    }
+
+    /// Run `f` on `name`'s profile and model under the shard lock (see
+    /// [`SessionStore::with_profile_and_model`]).
+    pub fn with_profile_and_model<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Profile, &StatStackModel) -> R,
+    ) -> Option<(R, bool)> {
+        self.shards[self.shard_of(name)]
+            .store
+            .lock()
+            .unwrap()
+            .with_profile_and_model(name, f)
+    }
+
+    /// Aggregate bytes across shards (lock-free; each shard's gauge is
+    /// refreshed under its own lock on submit).
+    pub fn bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Aggregate budget (sum of per-shard slices, ≤ the configured
+    /// budget).
+    pub fn budget_bytes(&self) -> usize {
+        self.shards.len() * self.shards[0].store.lock().unwrap().budget_bytes()
+    }
+
+    /// Live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.store.lock().unwrap().len()).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime evictions across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.lock().unwrap().evictions()).sum()
+    }
+
+    /// Per-shard statistics in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let store = s.store.lock().unwrap();
+                ShardStats {
+                    bytes: store.bytes() as u64,
+                    budget_bytes: store.budget_bytes() as u64,
+                    sessions: store.len() as u64,
+                    evictions: store.evictions(),
+                    model_hits: store.model_hits(),
+                    model_misses: store.model_misses(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -257,5 +523,148 @@ mod tests {
             s.submit("a", b),
             Err(SubmitRejected::InconsistentLineBytes)
         );
+    }
+
+    #[test]
+    fn name_index_survives_eviction_churn() {
+        // swap_remove reshuffles entry positions; the name→index map must
+        // track every move or lookups would hit the wrong session.
+        let mut s = SessionStore::new(24 << 10);
+        for round in 0..6u32 {
+            for i in 0..8u32 {
+                let name = format!("s{}", (round * 3 + i) % 10);
+                s.submit(&name, batch(60)).unwrap();
+                assert!(s.bytes() <= s.budget_bytes());
+            }
+        }
+        // Every live session's profile is reachable under its own name
+        // and line size is intact (i.e. no cross-wired indices).
+        let live: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
+        let mut found = 0;
+        for name in &live {
+            if let Some(p) = s.get(name) {
+                assert_eq!(p.line_bytes, 64);
+                assert_eq!(p.reuse.len() % 60, 0, "{name} holds whole batches");
+                found += 1;
+            }
+        }
+        assert_eq!(found, s.len(), "index and entries agree on liveness");
+        assert!(s.evictions() > 0);
+    }
+
+    #[test]
+    fn model_cache_hits_until_submit_invalidates() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("a", batch(50)).unwrap();
+        let (m1, hit1) = s.model("a").unwrap();
+        assert!(!hit1, "first fit is a miss");
+        let (m2, hit2) = s.model("a").unwrap();
+        assert!(hit2, "unchanged session reuses the fit");
+        assert!(Arc::ptr_eq(&m1, &m2), "same published model");
+        s.submit("a", batch(7)).unwrap();
+        let (m3, hit3) = s.model("a").unwrap();
+        assert!(!hit3, "submit bumped the version");
+        assert_eq!(m3.sample_count(), 57);
+        assert_eq!(s.model_hits(), 1);
+        assert_eq!(s.model_misses(), 2);
+        assert!(s.model("missing").is_none());
+    }
+
+    #[test]
+    fn incremental_session_model_matches_from_scratch() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("a", batch(40)).unwrap();
+        s.model("a").unwrap(); // fit #1: pending-only path
+        s.submit("a", batch(25)).unwrap();
+        s.submit("a", batch(13)).unwrap();
+        let (m, _) = s.model("a").unwrap(); // fit #2: extend path, 2 batches
+        let direct = StatStackModel::from_profile(s.get("a").unwrap());
+        for lines in [0u64, 1, 10, 39, 1000] {
+            assert_eq!(
+                m.miss_ratio(lines).to_bits(),
+                direct.miss_ratio(lines).to_bits(),
+                "MR({lines})"
+            );
+        }
+        assert_eq!(m.sample_count(), direct.sample_count());
+    }
+
+    #[test]
+    fn sharded_store_routes_and_respects_aggregate_budget() {
+        let s = ShardedSessionStore::new(64 << 10, 4);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.budget_bytes(), 64 << 10);
+        // Names deterministically map to shards and stay there.
+        for i in 0..32u32 {
+            let name = format!("app-{i}");
+            assert_eq!(s.shard_of(&name), s.shard_of(&name));
+            s.submit(&name, batch(100)).unwrap();
+            assert!(
+                s.bytes() <= s.budget_bytes() as u64,
+                "aggregate within budget after {name}"
+            );
+        }
+        let stats = s.shard_stats();
+        assert_eq!(stats.len(), 4);
+        for (i, st) in stats.iter().enumerate() {
+            assert!(st.bytes <= st.budget_bytes, "shard {i} within its slice");
+        }
+        assert_eq!(
+            stats.iter().map(|st| st.bytes).sum::<u64>(),
+            s.bytes(),
+            "gauges mirror the stores"
+        );
+        assert!(s.evictions() > 0, "32 × 4 kB over 64 kB must evict");
+        assert_eq!(s.len(), stats.iter().map(|st| st.sessions).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn sharded_eviction_spares_the_hottest_session() {
+        let s = ShardedSessionStore::new(48 << 10, 4);
+        s.submit("hot", batch(100)).unwrap();
+        // Hammer "hot" with queries while flooding its own shard with
+        // fresh sessions; recency must keep it alive within its shard.
+        let shard = s.shard_of("hot");
+        let mut flooded = 0;
+        let mut i = 0;
+        while flooded < 12 {
+            let name = format!("cold-{i}");
+            i += 1;
+            if s.shard_of(&name) != shard {
+                continue;
+            }
+            s.with_profile("hot", |_| ()).expect("hot stays live");
+            s.submit(&name, batch(100)).unwrap();
+            flooded += 1;
+        }
+        assert!(s.with_profile("hot", |_| ()).is_some(), "hottest survives");
+        assert!(s.evictions() > 0, "flooding the shard evicted colder ones");
+        assert!(s.bytes() <= s.budget_bytes() as u64);
+    }
+
+    #[test]
+    fn sharded_model_cache_and_profiles_are_consistent() {
+        let s = ShardedSessionStore::new(1 << 20, 8);
+        for i in 0..10u32 {
+            s.submit(&format!("s{i}"), batch(30 + i as usize)).unwrap();
+        }
+        for i in 0..10u32 {
+            let name = format!("s{i}");
+            let (m, hit) = s.model(&name).unwrap();
+            assert!(!hit);
+            assert_eq!(m.sample_count(), 30 + u64::from(i));
+            let (m2, hit2) = s.model(&name).unwrap();
+            assert!(hit2);
+            assert!(Arc::ptr_eq(&m, &m2));
+            let ((), hit3) = s
+                .with_profile_and_model(&name, |p, model| {
+                    assert_eq!(p.reuse.len() as u64, model.sample_count());
+                })
+                .unwrap();
+            assert!(hit3);
+        }
+        let stats = s.shard_stats();
+        assert_eq!(stats.iter().map(|st| st.model_misses).sum::<u64>(), 10);
+        assert_eq!(stats.iter().map(|st| st.model_hits).sum::<u64>(), 20);
     }
 }

@@ -180,6 +180,132 @@ fn concurrent_clients_match_direct_calls_bit_for_bit() {
     );
 }
 
+/// One submit-batch worth of profile for session `s`, round `r` — varied
+/// enough that every session and round contributes distinct distances.
+fn batch_profile(s: u64, r: u64) -> Profile {
+    let mut p = Profile {
+        total_refs: 500_000,
+        sample_period: 1009,
+        line_bytes: 64,
+        ..Profile::default()
+    };
+    for i in 0..120u64 {
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(100),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(100),
+            end_kind: AccessKind::Load,
+            distance: 400_000 + s * 13_001 + r * 997 + i * 731,
+            start_index: r * 1_000_000 + i * 4000,
+        });
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(200),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(200),
+            end_kind: AccessKind::Load,
+            distance: 2 + ((s + r + i) % 7),
+            start_index: r * 1_000_000 + i * 4000 + 2000,
+        });
+        p.strides.push(StrideSample {
+            pc: Pc(100),
+            kind: AccessKind::Load,
+            stride: 64,
+            recurrence: 10,
+        });
+    }
+    p
+}
+
+/// Interleaved submits and queries across 8 sessions on a 4-shard server
+/// must answer bit-identically to a single-threaded
+/// `StatStackModel::from_profile` / `analyze` over each session's
+/// concatenated history — the incremental refits and the version-keyed
+/// model cache may not change a single bit. Also pins the wire-visible
+/// cache behaviour: repeated queries of unchanged sessions report hits.
+#[test]
+fn interleaved_sessions_match_direct_fits_bit_for_bit() {
+    const SESSIONS: u64 = 8;
+    const ROUNDS: u64 = 3;
+    let handle = start(ServeConfig {
+        shards: 4,
+        ..test_config()
+    })
+    .expect("server starts");
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Interleave: every round submits one batch to each session, then
+    // queries each session's MRC (forcing an incremental refit whose
+    // result is only checked against the direct fit at the end).
+    for r in 0..ROUNDS {
+        for s in 0..SESSIONS {
+            c.submit_profile(&format!("m{s}"), &batch_profile(s, r))
+                .expect("submit");
+        }
+        for s in 0..SESSIONS {
+            c.query_mrc(Target::Session(format!("m{s}")), SIZES.to_vec())
+                .expect("interleaved mrc");
+        }
+    }
+
+    let cfg = amd_phenom_ii().analysis_config(DELTA);
+    for s in 0..SESSIONS {
+        // The session's full history, as the store accumulated it.
+        let mut concat = batch_profile(s, 0);
+        for r in 1..ROUNDS {
+            let b = batch_profile(s, r);
+            concat.total_refs += b.total_refs;
+            concat.reuse.extend(b.reuse);
+            concat.dangling.extend(b.dangling);
+            concat.strides.extend(b.strides);
+        }
+        let model = StatStackModel::from_profile(&concat);
+        let target = Target::Session(format!("m{s}"));
+
+        let mrc = c.query_mrc(target.clone(), SIZES.to_vec()).unwrap();
+        let want: Vec<f64> = SIZES.iter().map(|&b| model.miss_ratio_bytes(b)).collect();
+        assert_bits_eq(&mrc, &want, &format!("m{s} mrc"));
+
+        let pc = c.query_pc_mrc(target.clone(), 100, SIZES.to_vec()).unwrap();
+        let want_pc = model.pc_mrc_bytes(Pc(100), &SIZES).map(|c| c.ratios().to_vec());
+        match (&pc, &want_pc) {
+            (Some(g), Some(w)) => assert_bits_eq(g, w, &format!("m{s} pc mrc")),
+            (g, w) => assert_eq!(g.is_some(), w.is_some(), "m{s} pc presence"),
+        }
+
+        let plan = c.query_plan(target, MachineId::Amd, DELTA).unwrap();
+        let direct = analyze(&concat, &cfg);
+        assert_eq!(
+            plan,
+            PlanWire::from_plan(&direct.plan, DELTA),
+            "m{s} plan identical to direct analyze"
+        );
+    }
+
+    let stats = c.stats().unwrap();
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(name, _)| name == k)
+            .unwrap_or_else(|| panic!("missing stat {k}"))
+            .1
+    };
+    // The final per-session mrc + pc-mrc + plan queries hit the fit
+    // published by the last interleaved round — the cache works over the
+    // wire, and misses stay bounded by the number of invalidations.
+    assert!(get("model_cache.hits") >= (SESSIONS * 2) as f64, "cache hits over the wire");
+    assert!(get("model_cache.misses") <= (SESSIONS * ROUNDS) as f64);
+    // Per-shard gauges are present and sum within the aggregate budget.
+    assert_eq!(get("sessions.shards"), 4.0);
+    let shard_sum: f64 = (0..4).map(|i| get(&format!("sessions.shard.{i}.bytes"))).sum();
+    assert!(shard_sum > 0.0);
+    assert!(shard_sum <= ServeConfig::default().session_budget_bytes as f64);
+    assert_eq!(get("sessions.store_bytes"), shard_sum, "gauge matches shards");
+
+    c.shutdown_server().unwrap();
+    handle.join();
+}
+
 #[test]
 fn malformed_frames_get_errors_without_harming_others() {
     let profile = synthetic_profile();
@@ -253,6 +379,9 @@ fn session_store_budget_holds_under_wire_pressure() {
     let budget = 96 << 10; // fits ~2 synthetic profiles (~45 kB each)
     let handle = start(ServeConfig {
         session_budget_bytes: budget,
+        // One shard: the budget is deliberately tiny, and the LRU
+        // assertions below reason about a single global eviction order.
+        shards: 1,
         ..test_config()
     })
     .expect("server starts");

@@ -1,0 +1,411 @@
+//! Incremental StatStack fitting: accumulate sample batches as sorted
+//! runs and merge them into a fitted model instead of re-sorting the
+//! whole history on every refit.
+//!
+//! A [`StatStackBuilder`] holds everything submitted since the last fit:
+//! one sorted distance run per batch plus a mergeable per-PC map of the
+//! same shape. Fitting k-way-merges those runs with the previous model's
+//! (already sorted) distances — `O(n log k)` with `k` = batches since the
+//! last fit, instead of the `O(n log n)` full `sort_unstable` that
+//! [`StatStackModel::from_profile`] pays. The result is **bit-identical**
+//! to a from-scratch fit of the concatenated profile: merging sorted
+//! `u64` runs yields exactly the sequence `sort_unstable` would, prefix
+//! sums are the same `u64` additions in the same order, and dangling
+//! counts are plain sums.
+
+use crate::model::{prefix_sums, PcSamples, StatStackModel};
+use repf_sampling::{DanglingSample, Profile, ReuseSample};
+use repf_trace::hash::FxHashMap;
+use repf_trace::Pc;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Pending per-PC samples: sorted distance runs plus a dangling count.
+#[derive(Clone, Debug, Default)]
+struct PcPending {
+    runs: Vec<Vec<u64>>,
+    dangling: u64,
+}
+
+/// Sample batches accumulated since the last fit, kept in mergeable form
+/// (per-batch sorted runs). Feed it with [`push_batch`], then produce a
+/// model with [`fit`] or [`StatStackModel::extend`].
+///
+/// [`push_batch`]: StatStackBuilder::push_batch
+/// [`fit`]: StatStackBuilder::fit
+#[derive(Clone, Debug)]
+pub struct StatStackBuilder {
+    line_bytes: u64,
+    /// One sorted run of completed distances per pushed batch.
+    runs: Vec<Vec<u64>>,
+    per_pc: FxHashMap<Pc, PcPending>,
+    dangling: u64,
+}
+
+impl StatStackBuilder {
+    /// An empty builder for profiles sampled at `line_bytes` granularity.
+    pub fn new(line_bytes: u64) -> Self {
+        StatStackBuilder {
+            line_bytes,
+            runs: Vec::new(),
+            per_pc: FxHashMap::default(),
+            dangling: 0,
+        }
+    }
+
+    /// Append one batch of samples (sorts only the batch, `O(b log b)`).
+    pub fn push_batch(&mut self, reuse: &[ReuseSample], dangling: &[DanglingSample]) {
+        if !reuse.is_empty() {
+            let mut run: Vec<u64> = reuse.iter().map(|r| r.distance).collect();
+            run.sort_unstable();
+            self.runs.push(run);
+            let mut by_pc: FxHashMap<Pc, Vec<u64>> = FxHashMap::default();
+            for r in reuse {
+                by_pc.entry(r.end_pc).or_default().push(r.distance);
+            }
+            for (pc, mut distances) in by_pc {
+                distances.sort_unstable();
+                self.per_pc.entry(pc).or_default().runs.push(distances);
+            }
+        }
+        for d in dangling {
+            self.per_pc.entry(d.pc).or_default().dangling += 1;
+        }
+        self.dangling += dangling.len() as u64;
+    }
+
+    /// Append a whole profile as one batch.
+    pub fn push_profile(&mut self, p: &Profile) {
+        self.push_batch(&p.reuse, &p.dangling);
+    }
+
+    /// `true` when nothing has been pushed since construction/[`clear`].
+    ///
+    /// [`clear`]: StatStackBuilder::clear
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty() && self.dangling == 0 && self.per_pc.is_empty()
+    }
+
+    /// Drop all pending batches (after they have been folded into a fit).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.per_pc.clear();
+        self.dangling = 0;
+    }
+
+    /// Approximate heap bytes held by the pending runs.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let global: usize = self.runs.iter().map(|r| r.len() * 8).sum();
+        let per_pc: usize = self
+            .per_pc
+            .values()
+            .map(|p| p.runs.iter().map(|r| r.len() * 8).sum::<usize>() + 32)
+            .sum();
+        global + per_pc
+    }
+
+    /// Fit a model from the pending batches alone (no base model):
+    /// bit-identical to [`StatStackModel::from_profile`] on the
+    /// concatenation of every pushed batch.
+    pub fn fit(&self) -> StatStackModel {
+        self.fit_onto(None)
+    }
+
+    fn fit_onto(&self, base: Option<&StatStackModel>) -> StatStackModel {
+        if let Some(base) = base {
+            debug_assert_eq!(
+                base.line_bytes, self.line_bytes,
+                "base model and pending batches must share a line size"
+            );
+        }
+        let base_sorted: &[u64] = base.map_or(&[], |m| &m.sorted);
+        let sorted = merge_sorted(base_sorted, &self.runs);
+        let prefix = prefix_sums(&sorted);
+        let mut per_pc: FxHashMap<Pc, PcSamples> =
+            base.map(|m| m.per_pc.clone()).unwrap_or_default();
+        for (pc, pending) in &self.per_pc {
+            let entry = per_pc.entry(*pc).or_default();
+            entry.distances = merge_sorted(&entry.distances, &pending.runs);
+            entry.dangling += pending.dangling;
+        }
+        StatStackModel {
+            line_bytes: self.line_bytes,
+            sorted,
+            prefix,
+            dangling: base.map_or(0, |m| m.dangling) + self.dangling,
+            per_pc,
+        }
+    }
+}
+
+impl StatStackModel {
+    /// An empty builder collecting batches to extend a model fitted at
+    /// the same line size.
+    pub fn builder(line_bytes: u64) -> StatStackBuilder {
+        StatStackBuilder::new(line_bytes)
+    }
+
+    /// Fold `pending` batches into this (immutable) model, producing a
+    /// new model bit-identical to a from-scratch
+    /// [`from_profile`](Self::from_profile) fit of the concatenated
+    /// sample history. Cost: one k-way merge of already-sorted runs, not
+    /// a full re-sort.
+    pub fn extend(&self, pending: &StatStackBuilder) -> StatStackModel {
+        pending.fit_onto(Some(self))
+    }
+}
+
+/// Merge an already-sorted base slice with sorted runs into one sorted
+/// vector. Two sequences take the linear two-way path; more go through a
+/// binary heap (`O(n log k)`).
+fn merge_sorted(base: &[u64], runs: &[Vec<u64>]) -> Vec<u64> {
+    let mut seqs: Vec<&[u64]> = Vec::with_capacity(runs.len() + 1);
+    if !base.is_empty() {
+        seqs.push(base);
+    }
+    seqs.extend(runs.iter().filter(|r| !r.is_empty()).map(|r| r.as_slice()));
+    match seqs.len() {
+        0 => Vec::new(),
+        1 => seqs[0].to_vec(),
+        2 => merge_two(seqs[0], seqs[1]),
+        _ => merge_k(&seqs),
+    }
+}
+
+fn merge_two(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn merge_k(seqs: &[&[u64]]) -> Vec<u64> {
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    // (value, sequence index); ties in value resolve by sequence index,
+    // which is irrelevant for equal u64s but keeps the heap total-ordered.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(seqs.len());
+    let mut pos = vec![0usize; seqs.len()];
+    for (ix, s) in seqs.iter().enumerate() {
+        heap.push(Reverse((s[0], ix)));
+    }
+    while let Some(Reverse((v, ix))) = heap.pop() {
+        out.push(v);
+        pos[ix] += 1;
+        if pos[ix] < seqs[ix].len() {
+            heap.push(Reverse((seqs[ix][pos[ix]], ix)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repf_trace::rng::XorShift64Star;
+    use repf_trace::AccessKind;
+
+    /// A deterministic pseudo-random profile: `n` reuse samples over a
+    /// handful of PCs with a heavy-tailed distance mix, plus dangling
+    /// samples on some of the same PCs and one exclusive PC.
+    fn random_profile(seed: u64, n: usize) -> Profile {
+        let mut rng = XorShift64Star::new(seed);
+        let mut p = Profile {
+            total_refs: (n as u64) * 1000,
+            sample_period: 997,
+            line_bytes: 64,
+            ..Profile::default()
+        };
+        for i in 0..n as u64 {
+            let pc = Pc(10 + (rng.below(5)) as u32);
+            let distance = match rng.below(4) {
+                0 => rng.below(32),
+                1 => 100 + rng.below(4000),
+                2 => 50_000 + rng.below(500_000),
+                _ => rng.below(1 << 24),
+            };
+            p.reuse.push(ReuseSample {
+                start_pc: pc,
+                start_kind: AccessKind::Load,
+                end_pc: Pc(10 + (rng.below(5)) as u32),
+                end_kind: AccessKind::Load,
+                distance,
+                start_index: i * 1000,
+            });
+            if rng.below(7) == 0 {
+                p.dangling.push(DanglingSample {
+                    pc: Pc(10 + (rng.below(6)) as u32), // Pc(15) dangles only
+                    kind: AccessKind::Load,
+                    start_index: i * 1000 + 500,
+                });
+            }
+        }
+        p
+    }
+
+    fn assert_models_bit_identical(a: &StatStackModel, b: &StatStackModel, what: &str) {
+        assert_eq!(a.sample_count(), b.sample_count(), "{what}: sample count");
+        assert_eq!(a.line_bytes(), b.line_bytes(), "{what}: line bytes");
+        for d in [0u64, 1, 7, 100, 5000, 1 << 16, 1 << 22, 1 << 30] {
+            assert_eq!(
+                a.stack_distance(d).to_bits(),
+                b.stack_distance(d).to_bits(),
+                "{what}: S({d})"
+            );
+        }
+        for lines in [0u64, 1, 16, 512, 1 << 14, 1 << 20] {
+            assert_eq!(
+                a.miss_ratio(lines).to_bits(),
+                b.miss_ratio(lines).to_bits(),
+                "{what}: MR({lines})"
+            );
+        }
+        assert_eq!(a.sampled_pcs(), b.sampled_pcs(), "{what}: PC set");
+        for pc in a.sampled_pcs() {
+            assert_eq!(a.pc_sample_count(pc), b.pc_sample_count(pc), "{what}: n({pc})");
+            for lines in [1u64, 64, 4096, 1 << 18] {
+                let (x, y) = (a.pc_miss_ratio(pc, lines), b.pc_miss_ratio(pc, lines));
+                assert_eq!(
+                    x.map(f64::to_bits),
+                    y.map(f64::to_bits),
+                    "{what}: MR_{pc}({lines})"
+                );
+            }
+        }
+    }
+
+    /// Split `p`'s samples into `cuts+1` contiguous batches at
+    /// rng-chosen boundaries (reuse and dangling split independently).
+    fn random_batches(p: &Profile, rng: &mut XorShift64Star, cuts: usize) -> Vec<Profile> {
+        let mut reuse_cuts: Vec<usize> =
+            (0..cuts).map(|_| rng.below(p.reuse.len() as u64 + 1) as usize).collect();
+        let mut dangling_cuts: Vec<usize> =
+            (0..cuts).map(|_| rng.below(p.dangling.len() as u64 + 1) as usize).collect();
+        reuse_cuts.sort_unstable();
+        dangling_cuts.sort_unstable();
+        let mut out = Vec::with_capacity(cuts + 1);
+        let (mut r0, mut d0) = (0usize, 0usize);
+        for i in 0..=cuts {
+            let r1 = if i == cuts { p.reuse.len() } else { reuse_cuts[i] };
+            let d1 = if i == cuts { p.dangling.len() } else { dangling_cuts[i] };
+            out.push(Profile {
+                total_refs: 0,
+                sample_period: p.sample_period,
+                line_bytes: p.line_bytes,
+                reuse: p.reuse[r0..r1].to_vec(),
+                dangling: p.dangling[d0..d1].to_vec(),
+                ..Profile::default()
+            });
+            r0 = r1;
+            d0 = d1;
+        }
+        out
+    }
+
+    #[test]
+    fn single_batch_fit_matches_from_profile() {
+        let p = random_profile(11, 4000);
+        let direct = StatStackModel::from_profile(&p);
+        let mut b = StatStackModel::builder(64);
+        b.push_profile(&p);
+        assert_models_bit_identical(&b.fit(), &direct, "one batch");
+    }
+
+    #[test]
+    fn property_incremental_extend_is_bit_identical_on_random_splits() {
+        // Seeded property test: for many (profile, split) draws, a chain
+        // of extend() fits over random batch boundaries must be
+        // bit-identical to one from-scratch fit of the whole history —
+        // including refits at every intermediate prefix.
+        for trial in 0..12u64 {
+            let p = random_profile(1000 + trial, 1500 + (trial as usize) * 371);
+            let mut rng = XorShift64Star::new(7000 + trial);
+            let batches = random_batches(&p, &mut rng, 1 + (trial as usize % 6));
+
+            let mut concat = Profile {
+                sample_period: p.sample_period,
+                line_bytes: p.line_bytes,
+                ..Profile::default()
+            };
+            let mut model: Option<StatStackModel> = None;
+            let mut pending = StatStackModel::builder(p.line_bytes);
+            for (i, batch) in batches.iter().enumerate() {
+                concat.reuse.extend_from_slice(&batch.reuse);
+                concat.dangling.extend_from_slice(&batch.dangling);
+                pending.push_batch(&batch.reuse, &batch.dangling);
+                // Refit on a random subset of prefixes (and always at the
+                // end), so some fits fold several pending batches at once.
+                if i + 1 == batches.len() || rng.below(2) == 0 {
+                    let next = match &model {
+                        None => pending.fit(),
+                        Some(m) => m.extend(&pending),
+                    };
+                    pending.clear();
+                    let direct = StatStackModel::from_profile(&concat);
+                    assert_models_bit_identical(
+                        &next,
+                        &direct,
+                        &format!("trial {trial}, prefix {}", i + 1),
+                    );
+                    model = Some(next);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_builder_fits_empty_model_and_extend_is_identity() {
+        let b = StatStackModel::builder(64);
+        assert!(b.is_empty());
+        let empty = b.fit();
+        assert_eq!(empty.sample_count(), 0);
+        assert_eq!(empty.miss_ratio(100), 0.0);
+
+        let p = random_profile(3, 500);
+        let m = StatStackModel::from_profile(&p);
+        let extended = m.extend(&StatStackModel::builder(64));
+        assert_models_bit_identical(&extended, &m, "identity extend");
+    }
+
+    #[test]
+    fn clear_resets_pending_and_bytes() {
+        let mut b = StatStackModel::builder(64);
+        b.push_profile(&random_profile(5, 300));
+        assert!(!b.is_empty());
+        assert!(b.approx_heap_bytes() > 0);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.approx_heap_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_sorted_matches_sort() {
+        let mut rng = XorShift64Star::new(99);
+        for runs_n in [1usize, 2, 3, 7] {
+            let mut runs: Vec<Vec<u64>> = Vec::new();
+            let mut all: Vec<u64> = Vec::new();
+            for _ in 0..runs_n {
+                let len = rng.below(50) as usize;
+                let mut run: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
+                run.sort_unstable();
+                all.extend_from_slice(&run);
+                runs.push(run);
+            }
+            let mut base: Vec<u64> = (0..rng.below(80)).map(|_| rng.below(1000)).collect();
+            base.sort_unstable();
+            all.extend_from_slice(&base);
+            all.sort_unstable();
+            assert_eq!(merge_sorted(&base, &runs), all, "{runs_n} runs");
+        }
+    }
+}

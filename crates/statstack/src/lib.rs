@@ -33,11 +33,20 @@
 //! Per-instruction curves restrict the sample set to one PC but use the
 //! *global* survival function for the `S(d)` conversion, exactly as the
 //! paper does.
+//!
+//! Profiles that grow over time (e.g. `repf-serve` sessions accumulating
+//! submitted batches) refit through the incremental path in [`builder`]:
+//! pending batches are kept as sorted runs and
+//! [`StatStackModel::extend`] merges them into the previous fit —
+//! `O(n log k)` instead of a full re-sort, bit-identical to
+//! [`StatStackModel::from_profile`] on the concatenated history.
 
+pub mod builder;
 pub mod curve;
 pub mod model;
 pub mod window;
 
+pub use builder::StatStackBuilder;
 pub use curve::MissRatioCurve;
 pub use model::StatStackModel;
 pub use window::WindowedModel;

@@ -7,10 +7,10 @@ use repf_trace::Pc;
 
 /// Per-PC sample data: sorted completed distances plus dangling count.
 #[derive(Clone, Debug, Default)]
-struct PcSamples {
+pub(crate) struct PcSamples {
     /// Sorted reuse distances of completed samples started at this PC.
-    distances: Vec<u64>,
-    dangling: u64,
+    pub(crate) distances: Vec<u64>,
+    pub(crate) dangling: u64,
 }
 
 impl PcSamples {
@@ -29,13 +29,26 @@ impl PcSamples {
 /// whole application or per instruction.
 #[derive(Clone, Debug)]
 pub struct StatStackModel {
-    line_bytes: u64,
+    pub(crate) line_bytes: u64,
     /// All completed distances, sorted ascending.
-    sorted: Vec<u64>,
+    pub(crate) sorted: Vec<u64>,
     /// Prefix sums of `sorted` (`prefix[i]` = sum of first `i` distances).
-    prefix: Vec<u64>,
-    dangling: u64,
-    per_pc: FxHashMap<Pc, PcSamples>,
+    pub(crate) prefix: Vec<u64>,
+    pub(crate) dangling: u64,
+    pub(crate) per_pc: FxHashMap<Pc, PcSamples>,
+}
+
+/// Prefix sums of a sorted distance vector (`prefix[i]` = sum of the first
+/// `i` distances) — shared by the from-scratch and incremental fit paths.
+pub(crate) fn prefix_sums(sorted: &[u64]) -> Vec<u64> {
+    let mut prefix = Vec::with_capacity(sorted.len() + 1);
+    prefix.push(0u64);
+    let mut acc = 0u64;
+    for &d in sorted {
+        acc += d;
+        prefix.push(acc);
+    }
+    prefix
 }
 
 impl StatStackModel {
@@ -43,13 +56,7 @@ impl StatStackModel {
     pub fn from_profile(p: &Profile) -> Self {
         let mut sorted: Vec<u64> = p.reuse.iter().map(|r| r.distance).collect();
         sorted.sort_unstable();
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
-        prefix.push(0u64);
-        let mut acc = 0u64;
-        for &d in &sorted {
-            acc += d;
-            prefix.push(acc);
-        }
+        let prefix = prefix_sums(&sorted);
         let mut per_pc: FxHashMap<Pc, PcSamples> = FxHashMap::default();
         // A completed sample's distance is the *backward* reuse distance
         // of the re-accessing instruction: it decides whether `end_pc`

@@ -41,6 +41,8 @@ struct Args {
     delta: f64,
     queue: usize,
     budget_mb: usize,
+    shards: usize,
+    model_cache: bool,
 }
 
 const GENERAL_USAGE: &str = "\
@@ -85,7 +87,7 @@ Run a 4-application mix with shared-LLC and shared-DRAM contention and
 report per-app speedups, throughput and traffic deltas.",
         Some("serve") => "\
 usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
-                  [--budget-mb N] [--scale F]
+                  [--budget-mb N] [--shards N] [--no-model-cache] [--scale F]
 
 Start the profiling daemon and block until a client sends the Shutdown
 control message. The bound address is printed on the first stdout line
@@ -94,6 +96,10 @@ control message. The bound address is printed on the first stdout line
   --threads N    request worker threads (default: REPF_THREADS or cores)
   --queue N      bounded request queue depth; full => Busy (default 64)
   --budget-mb N  session-store byte budget in MiB (default 64)
+  --shards N     session-store shard count (default: REPF_SERVE_SHARDS or 8);
+                 shards are independently locked and split the budget evenly
+  --no-model-cache
+                 refit session models on every query (measurement baseline)
   --scale F      refs scale for server-side benchmark profiling (default 0.05)",
         Some("query") => "\
 usage: repf query <what> [args] --addr HOST:PORT
@@ -162,6 +168,8 @@ fn parse_args() -> Args {
     let mut delta = f64::NAN;
     let mut queue = 64;
     let mut budget_mb = 64;
+    let mut shards = 0;
+    let mut model_cache = true;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -218,6 +226,11 @@ fn parse_args() -> Args {
                 budget_mb =
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
             }
+            "--shards" => {
+                shards =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--no-model-cache" => model_cache = false,
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
                 usage_err(cmd)
@@ -241,6 +254,8 @@ fn parse_args() -> Args {
         delta,
         queue,
         budget_mb,
+        shards,
+        model_cache,
     }
 }
 
@@ -396,6 +411,8 @@ fn cmd_serve(a: &Args) {
         threads: a.exec.threads(),
         queue_depth: a.queue,
         session_budget_bytes: a.budget_mb << 20,
+        shards: a.shards,
+        model_cache: a.model_cache,
         refs_scale: a.scale,
         ..ServeConfig::default()
     };

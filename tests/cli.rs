@@ -27,6 +27,8 @@ fn per_subcommand_help_exits_zero() {
         ("run", "baseline|hw|sw|swnt|sc|combined"),
         ("mix", "usage: repf mix"),
         ("serve", "--budget-mb"),
+        ("serve", "--shards"),
+        ("serve", "--no-model-cache"),
         ("query", "session:NAME"),
     ] {
         let out = repf().args([cmd, "--help"]).output().unwrap();
@@ -61,7 +63,7 @@ fn bad_flags_exit_nonzero() {
 fn serve_and_query_roundtrip_as_processes() {
     // Ephemeral port; the daemon prints the bound address first.
     let mut server = repf()
-        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2", "--shards", "4"])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -81,6 +83,7 @@ fn serve_and_query_roundtrip_as_processes() {
     assert!(stats.status.success());
     let text = String::from_utf8_lossy(&stats.stdout);
     assert!(text.contains("requests.ping = 1"), "stats reflect the ping: {text}");
+    assert!(text.contains("sessions.shards = 4"), "per-shard stats exposed: {text}");
 
     // Shutdown control message drains the daemon; the process exits.
     let down = repf().args(["query", "shutdown", "--addr", &addr]).output().unwrap();
