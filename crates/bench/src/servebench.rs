@@ -15,14 +15,23 @@
 //! ratio plus the model-cache hit/miss counters so the win stays visible
 //! in the perf trajectory.
 //!
+//! A third scenario, **replay**, times the deterministic record/replay
+//! harness itself: one generated trace replayed against 1 and 3 loopback
+//! nodes with full oracle checking (both must be clean and digest-equal)
+//! plus a check-off run for the divergence-check overhead ratio.
+//!
 //! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200),
-//! `REPF_SERVE_CLIENTS` (concurrent clients, default 4) and
+//! `REPF_SERVE_CLIENTS` (concurrent clients, default 4),
 //! `REPF_SERVE_SESSIONS` (contention clients = distinct sessions,
-//! default 8).
+//! default 8), `REPF_REPLAY_SESSIONS` / `REPF_REPLAY_ROUNDS` (replay
+//! trace shape, defaults 6 / 4).
 
 use crate::obs::Json;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
-use repf_serve::{start, Client, MachineId, ServeConfig, Target};
+use repf_serve::{
+    generate_trace, replay_spawned, start, Client, GenConfig, MachineId, ReplayConfig,
+    ReplayReport, ServeConfig, Target,
+};
 use repf_sim::Exec;
 use repf_trace::{AccessKind, Pc};
 use std::time::Instant;
@@ -149,6 +158,55 @@ fn contention_run(
     (res, stats)
 }
 
+struct ReplayRun {
+    report: ReplayReport,
+    secs: f64,
+}
+
+/// Replay one trace against `nodes` spawned loopback daemons and time
+/// the whole run (spawn + replay + shutdown — what CI pays).
+fn replay_run(trace: &repf_serve::Trace, threads: usize, nodes: usize, check: bool) -> ReplayRun {
+    let start = Instant::now();
+    let report = replay_spawned(
+        nodes,
+        trace,
+        &ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        },
+        &ReplayConfig {
+            check,
+            ..ReplayConfig::default()
+        },
+    )
+    .expect("replay");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        report.is_clean(),
+        "bench replay diverged ({} divergence(s)) — the harness itself is broken",
+        report.divergences.len()
+    );
+    ReplayRun { report, secs }
+}
+
+fn replay_json(r: &ReplayRun, nodes: usize, check: bool) -> Json {
+    Json::obj([
+        ("nodes", Json::Num(nodes as f64)),
+        ("check", Json::Num(if check { 1.0 } else { 0.0 })),
+        ("requests", Json::Num(r.report.requests as f64)),
+        ("checked", Json::Num(r.report.checked as f64)),
+        ("secs", Json::Num(r.secs)),
+        (
+            "req_per_s",
+            Json::Num(if r.secs > 0.0 {
+                r.report.requests as f64 / r.secs
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
 /// Run the loopback benchmark and write `BENCH_serve.json`.
 pub fn run() {
     let iters = env_usize("REPF_SERVE_ITERS", 200);
@@ -178,6 +236,26 @@ pub fn run() {
     };
     let scaling = if multi_base.req_per_s() > 0.0 {
         multi.req_per_s() / multi_base.req_per_s()
+    } else {
+        0.0
+    };
+
+    // Record/replay harness: multi-node determinism cost and the
+    // divergence-check overhead, on one generated trace.
+    let trace = generate_trace(&GenConfig {
+        sessions: env_usize("REPF_REPLAY_SESSIONS", 6) as u32,
+        rounds: env_usize("REPF_REPLAY_ROUNDS", 4) as u32,
+        ..GenConfig::default()
+    });
+    let replay_1 = replay_run(&trace, threads, 1, true);
+    let replay_3 = replay_run(&trace, threads, 3, true);
+    let replay_nocheck = replay_run(&trace, threads, 1, false);
+    assert_eq!(
+        replay_1.report.digest, replay_3.report.digest,
+        "replay digest must be node-count invariant"
+    );
+    let check_overhead = if replay_nocheck.secs > 0.0 {
+        replay_1.secs / replay_nocheck.secs
     } else {
         0.0
     };
@@ -231,6 +309,15 @@ pub fn run() {
         scaling,
         multi_stat("model_cache.hits"),
         multi_stat("model_cache.misses"),
+    );
+    println!(
+        "  replay {} reqs: N=1 {:.3}s, N=3 {:.3}s, no-check {:.3}s ({:.2}x check overhead), digest {:#018x}",
+        replay_1.report.requests,
+        replay_1.secs,
+        replay_3.secs,
+        replay_nocheck.secs,
+        check_overhead,
+        replay_1.report.digest,
     );
 
     let class_json = |r: &ClassResult, label: &str| {
@@ -286,6 +373,20 @@ pub fn run() {
                     "model_cache_misses",
                     Json::Num(multi_stat("model_cache.misses")),
                 ),
+            ]),
+        ),
+        (
+            "replay".into(),
+            Json::obj([
+                ("trace_requests", Json::Num(trace.len() as f64)),
+                (
+                    "digest",
+                    Json::Num(replay_1.report.digest as u32 as f64), // low 32 bits (f64-exact)
+                ),
+                ("one_node", replay_json(&replay_1, 1, true)),
+                ("three_nodes", replay_json(&replay_3, 3, true)),
+                ("one_node_nocheck", replay_json(&replay_nocheck, 1, false)),
+                ("check_overhead_x", Json::Num(check_overhead)),
             ]),
         ),
         (

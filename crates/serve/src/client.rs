@@ -40,7 +40,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
-            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Disconnected => {
+                write!(f, "connection closed by server (daemon gone or shutting down)")
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
     }
@@ -78,17 +80,40 @@ impl Client {
     /// errors as [`ClientError`] variants; protocol-level responses
     /// (`Pong`, `Mrc`, ...) are returned for the caller to match.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        proto::write_frame(&mut self.stream, &req.encode())?;
-        let body = match proto::read_frame(&mut self.stream) {
-            Ok(Some(body)) => body,
-            Ok(None) => return Err(ClientError::Disconnected),
-            Err(FrameReadError::Io(e)) => return Err(ClientError::Io(e)),
-            Err(FrameReadError::Proto(e)) => return Err(ClientError::Proto(e)),
-        };
-        match Response::decode(&body).map_err(ClientError::Proto)? {
+        match self.call_any(req)? {
             Response::Busy => Err(ClientError::Busy),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
+        }
+    }
+
+    /// Send `req` and return whatever response arrives — `Busy` and
+    /// `Error` included, undisturbed. The replay harness compares raw
+    /// responses bit-for-bit, so nothing may be folded into errors here.
+    ///
+    /// A connection the server closed (EOF, reset, broken pipe — e.g. a
+    /// daemon shutting down mid-request) is reported as
+    /// [`ClientError::Disconnected`], not as a raw io error chain.
+    pub fn call_any(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.stream, &req.encode()).map_err(Self::map_closed)?;
+        let body = match proto::read_frame(&mut self.stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Err(ClientError::Disconnected),
+            Err(FrameReadError::Io(e)) => return Err(Self::map_closed(e)),
+            Err(FrameReadError::Proto(e)) => return Err(ClientError::Proto(e)),
+        };
+        Response::decode(&body).map_err(ClientError::Proto)
+    }
+
+    /// Fold the io-error kinds that mean "the peer hung up" into the
+    /// typed [`ClientError::Disconnected`]; everything else stays io.
+    fn map_closed(e: std::io::Error) -> ClientError {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => ClientError::Disconnected,
+            _ => ClientError::Io(e),
         }
     }
 

@@ -23,12 +23,20 @@
 //!   request.
 //! * [`metrics`] — the lock-free server metrics registry behind the
 //!   `Stats` request and `BENCH_serve.json`.
+//! * [`trace_file`] — versioned binary trace files capturing request
+//!   frames for record/replay.
+//! * [`replay`] — the deterministic multi-node record/replay harness:
+//!   seeded trace generation, session-hash partitioned replay against
+//!   1..N daemons, a direct StatStack/analyze oracle and a divergence
+//!   reporter that dumps the minimal offending request prefix.
 
 pub mod client;
 pub mod metrics;
 pub mod proto;
+pub mod replay;
 pub mod server;
 pub mod session;
+pub mod trace_file;
 
 pub use client::{Client, ClientError};
 pub use metrics::{LatencyHisto, Metrics};
@@ -36,7 +44,12 @@ pub use proto::{
     ErrorCode, MachineId, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
     PROTO_VERSION,
 };
+pub use replay::{
+    generate_trace, replay_against, replay_spawned, Divergence, GenConfig, Oracle, ReplayConfig,
+    ReplayReport, ReplayRng,
+};
 pub use server::{resolve_shards, start, ServeConfig, ServerHandle};
 pub use session::{
     ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
 };
+pub use trace_file::{Trace, TraceError, TraceRecorder, TRACE_MAGIC, TRACE_VERSION};

@@ -1,0 +1,774 @@
+//! Deterministic multi-node record/replay: the standing harness every
+//! serve change is verified against.
+//!
+//! Three pieces:
+//!
+//! * **generator** — [`generate_trace`] walks a seeded RNG over
+//!   sessions × {submit, MRC, per-PC MRC, plan, stats, ping} and captures
+//!   every request frame through a [`TraceRecorder`]; the same seed
+//!   always produces byte-identical traces.
+//! * **replay client** — [`replay_against`] drives 1..N daemons from one
+//!   trace with a fixed interleaving (trace order, one in-flight request)
+//!   and a seeded per-node partitioning by session hash, so a session's
+//!   requests land on one node in their recorded order and the responses
+//!   are independent of the node count.
+//! * **oracle + divergence reporter** — every deterministic response
+//!   (MRC, per-PC MRC, plan, ping — not `Accepted`/`Stats`, whose bytes
+//!   legitimately depend on node-local store occupancy) is compared
+//!   bit-for-bit against a direct in-process
+//!   [`StatStackModel`]/[`analyze`] oracle; a mismatch produces a
+//!   [`Divergence`] carrying the minimal offending request prefix (the
+//!   diverging session's history) and the differing response bytes.
+//!
+//! Responses that are *not* bit-compared are still type-checked (a
+//! submit must yield `Accepted`, a stats request must yield `Stats`).
+//! The harness assumes the daemons' session budget exceeds the trace's
+//! footprint — the oracle never evicts, so an evicting daemon diverges
+//! (by design: eviction under replay is a configuration error).
+//!
+//! A replay's [`digest`](ReplayReport::digest) is an FNV-1a hash over
+//! the deterministic response bodies in trace order; it is invariant
+//! across node counts and is what the golden-trace regression test pins.
+
+use crate::client::{Client, ClientError};
+use crate::proto::{ErrorCode, MachineId, Request, Response, SampleBatch, Target};
+use crate::server::{start, ServeConfig, ServerHandle};
+use crate::trace_file::{Trace, TraceRecorder};
+use repf_core::analyze;
+use repf_sampling::{Profile, ReuseSample, StrideSample};
+use repf_sim::{amd_phenom_ii, intel_i7_2600k};
+use repf_statstack::StatStackModel;
+use repf_trace::hash::FxHashMap;
+use repf_trace::{AccessKind, Pc};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+// --- seeded deterministic RNG (splitmix64; no external deps) ---
+
+/// A tiny deterministic RNG: splitmix64 over a counter. Identical
+/// sequences on every platform and build.
+#[derive(Clone, Debug)]
+pub struct ReplayRng(u64);
+
+impl ReplayRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ReplayRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick in `0..n` (`n` > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// --- trace generator ---
+
+/// Knobs for the deterministic request generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds produce byte-identical traces.
+    pub seed: u64,
+    /// Distinct sessions (`replay-s0` .. `replay-s{n-1}`).
+    pub sessions: u32,
+    /// Submit-then-query rounds per session.
+    pub rounds: u32,
+    /// Reuse samples per submitted batch.
+    pub samples_per_batch: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x5EED_0F2E_C02D,
+            sessions: 4,
+            rounds: 3,
+            samples_per_batch: 60,
+        }
+    }
+}
+
+/// The session name the generator uses for index `i`.
+pub fn session_name(i: u32) -> String {
+    format!("replay-s{i}")
+}
+
+/// Candidate cache sizes the generator queries at.
+const GEN_SIZES: [u64; 6] = [32 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20];
+
+/// PCs the generated batches sample (plus one deliberately absent PC in
+/// per-PC queries).
+const GEN_PCS: [u32; 3] = [100, 200, 300];
+
+fn gen_batch(rng: &mut ReplayRng, samples: u32) -> SampleBatch {
+    let mut b = SampleBatch {
+        total_refs: 250_000 + rng.below(250_000),
+        sample_period: 1009,
+        line_bytes: 64,
+        ..SampleBatch::default()
+    };
+    for i in 0..u64::from(samples) {
+        let pc = GEN_PCS[rng.below(GEN_PCS.len() as u64) as usize];
+        // PC 100 is a far-reuse strided load (misses everywhere); the
+        // others mostly hit, so generated plans are non-trivial.
+        let distance = if pc == 100 {
+            400_000 + rng.below(600_000)
+        } else {
+            1 + rng.below(48)
+        };
+        b.reuse.push(ReuseSample {
+            start_pc: Pc(pc),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(pc),
+            end_kind: AccessKind::Load,
+            distance,
+            start_index: i * 4000 + rng.below(1000),
+        });
+        if rng.below(3) == 0 {
+            b.strides.push(StrideSample {
+                pc: Pc(pc),
+                kind: AccessKind::Load,
+                stride: if pc == 100 { 64 } else { 8 },
+                recurrence: 6 + rng.below(10),
+            });
+        }
+    }
+    b
+}
+
+/// Generate a deterministic trace: each round submits one batch per
+/// session and follows with a seeded mix of MRC, per-PC MRC, plan, ping
+/// and stats requests. The whole walk is a pure function of `cfg`.
+pub fn generate_trace(cfg: &GenConfig) -> Trace {
+    let mut rng = ReplayRng::new(cfg.seed);
+    let mut rec = TraceRecorder::new(cfg.seed);
+    for _round in 0..cfg.rounds {
+        for s in 0..cfg.sessions {
+            let session = session_name(s);
+            rec.record(Request::Submit {
+                session: session.clone(),
+                batch: gen_batch(&mut rng, cfg.samples_per_batch),
+            });
+            let queries = 1 + rng.below(3);
+            for _ in 0..queries {
+                let target = Target::Session(session.clone());
+                match rng.below(6) {
+                    0 | 1 => {
+                        let n = 1 + rng.below(GEN_SIZES.len() as u64) as usize;
+                        let mut sizes: Vec<u64> =
+                            (0..n).map(|_| GEN_SIZES[rng.below(6) as usize]).collect();
+                        sizes.sort_unstable();
+                        rec.record(Request::QueryMrc {
+                            target,
+                            sizes_bytes: sizes,
+                        });
+                    }
+                    2 => {
+                        // Sampled PCs and one absent PC, so the `None`
+                        // encoding is exercised too.
+                        let pc = if rng.below(4) == 0 {
+                            9999
+                        } else {
+                            GEN_PCS[rng.below(3) as usize]
+                        };
+                        rec.record(Request::QueryPcMrc {
+                            target,
+                            pc,
+                            sizes_bytes: GEN_SIZES[..3].to_vec(),
+                        });
+                    }
+                    3 => {
+                        let machine = if rng.below(2) == 0 {
+                            MachineId::Amd
+                        } else {
+                            MachineId::Intel
+                        };
+                        let delta = [2.0, 3.5, 4.0][rng.below(3) as usize];
+                        rec.record(Request::QueryPlan {
+                            target,
+                            machine,
+                            delta,
+                        });
+                    }
+                    4 => rec.record(Request::Ping),
+                    _ => rec.record(Request::Stats),
+                }
+            }
+        }
+    }
+    rec.finish()
+}
+
+// --- routing ---
+
+/// The session a request addresses, when it addresses one.
+pub fn session_of(req: &Request) -> Option<&str> {
+    match req {
+        Request::Submit { session, .. } => Some(session),
+        Request::QueryMrc {
+            target: Target::Session(s),
+            ..
+        }
+        | Request::QueryPcMrc {
+            target: Target::Session(s),
+            ..
+        }
+        | Request::QueryPlan {
+            target: Target::Session(s),
+            ..
+        } => Some(s),
+        _ => None,
+    }
+}
+
+/// Seeded session→node partitioning: FNV-1a over the name, mixed with
+/// the seed. Stable for a given `(seed, nodes)`, so a session's entire
+/// history lands on one node in recorded order.
+pub fn node_of(req: &Request, index: usize, nodes: usize, seed: u64) -> usize {
+    match session_of(req) {
+        Some(name) => {
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+            for &b in name.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            (h % nodes as u64) as usize
+        }
+        // Session-less requests (ping, stats, benchmark queries) round-
+        // robin deterministically by trace position.
+        None => index % nodes,
+    }
+}
+
+// --- oracle ---
+
+struct OracleSession {
+    profile: Profile,
+    version: u64,
+    fitted: Option<(u64, StatStackModel)>,
+}
+
+/// A direct in-process reference: accumulates submitted batches per
+/// session and answers queries straight from
+/// [`StatStackModel::from_profile`] and [`analyze`] — no daemon, no
+/// cache, no sharding. What the daemons must agree with, bit for bit.
+#[derive(Default)]
+pub struct Oracle {
+    sessions: FxHashMap<String, OracleSession>,
+}
+
+impl Oracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    fn model_of(&mut self, name: &str) -> Option<&StatStackModel> {
+        let s = self.sessions.get_mut(name)?;
+        let stale = match &s.fitted {
+            Some((v, _)) => *v != s.version,
+            None => true,
+        };
+        if stale {
+            s.fitted = Some((s.version, StatStackModel::from_profile(&s.profile)));
+        }
+        Some(&s.fitted.as_ref().unwrap().1)
+    }
+
+    fn unknown(name: &str) -> Response {
+        Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: format!("unknown session '{name}'"),
+        }
+    }
+
+    fn empty_sizes() -> Response {
+        Response::Error {
+            code: ErrorCode::Unsupported,
+            message: "empty size list".into(),
+        }
+    }
+
+    /// Apply `req` to the oracle's state and return the exact response a
+    /// correct daemon must produce — or `None` when the response is
+    /// legitimately node-dependent (`Submit`, `Stats`) or out of the
+    /// oracle's scope (benchmark targets, shutdown).
+    pub fn expected(&mut self, req: &Request) -> Option<Response> {
+        match req {
+            Request::Ping => Some(Response::Pong),
+            Request::Submit { session, batch } => {
+                let s = self
+                    .sessions
+                    .entry(session.clone())
+                    .or_insert_with(|| OracleSession {
+                        profile: Profile {
+                            sample_period: batch.sample_period,
+                            line_bytes: batch.line_bytes,
+                            ..Profile::default()
+                        },
+                        version: 0,
+                        fitted: None,
+                    });
+                if s.profile.line_bytes == batch.line_bytes {
+                    s.version += 1;
+                    s.profile.total_refs += batch.total_refs;
+                    s.profile.sample_period = batch.sample_period;
+                    s.profile.reuse.extend(batch.reuse.iter().cloned());
+                    s.profile.dangling.extend(batch.dangling.iter().cloned());
+                    s.profile.strides.extend(batch.strides.iter().cloned());
+                }
+                // `Accepted{store_bytes,..}` depends on what else the
+                // node holds — type-checked, not bit-compared.
+                None
+            }
+            Request::QueryMrc {
+                target: Target::Session(name),
+                sizes_bytes,
+            } => {
+                if sizes_bytes.is_empty() {
+                    return Some(Self::empty_sizes());
+                }
+                Some(match self.model_of(name) {
+                    None => Self::unknown(name),
+                    Some(m) => Response::Mrc {
+                        ratios: sizes_bytes.iter().map(|&b| m.miss_ratio_bytes(b)).collect(),
+                    },
+                })
+            }
+            Request::QueryPcMrc {
+                target: Target::Session(name),
+                pc,
+                sizes_bytes,
+            } => {
+                if sizes_bytes.is_empty() {
+                    return Some(Self::empty_sizes());
+                }
+                Some(match self.model_of(name) {
+                    None => Self::unknown(name),
+                    Some(m) => Response::PcMrc {
+                        ratios: m
+                            .pc_mrc_bytes(Pc(*pc), sizes_bytes)
+                            .map(|c| c.ratios().to_vec()),
+                    },
+                })
+            }
+            Request::QueryPlan {
+                target: Target::Session(name),
+                machine,
+                delta,
+            } => {
+                if !delta.is_finite() || *delta <= 0.0 {
+                    return Some(Response::Error {
+                        code: ErrorCode::Unsupported,
+                        message: "session plan queries need a positive finite delta".into(),
+                    });
+                }
+                let machine_cfg = match machine {
+                    MachineId::Amd => amd_phenom_ii(),
+                    MachineId::Intel => intel_i7_2600k(),
+                };
+                let cfg = machine_cfg.analysis_config(*delta);
+                let Some(s) = self.sessions.get(name.as_str()) else {
+                    return Some(Self::unknown(name));
+                };
+                let analysis = analyze(&s.profile, &cfg);
+                Some(Response::Plan(crate::proto::PlanWire::from_plan(
+                    &analysis.plan,
+                    *delta,
+                )))
+            }
+            // Benchmark targets share the server-side plan cache; they
+            // are deterministic but out of the oracle's scope.
+            Request::QueryMrc { .. } | Request::QueryPcMrc { .. } | Request::QueryPlan { .. } => {
+                None
+            }
+            Request::Stats | Request::Shutdown => None,
+        }
+    }
+}
+
+// --- replay ---
+
+/// Replay knobs.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Partition-hash seed for session→node routing.
+    pub seed: u64,
+    /// Bit-compare deterministic responses against the oracle. Off, the
+    /// replay only type-checks responses (the overhead baseline).
+    pub check: bool,
+    /// Per-call client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            seed: 0,
+            check: true,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One detected mismatch between a node's response and the oracle.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Trace index of the offending request.
+    pub index: usize,
+    /// Node that answered.
+    pub node: usize,
+    /// Session the request addressed, if any.
+    pub session: Option<String>,
+    /// The offending request.
+    pub request: Request,
+    /// Why the response was rejected.
+    pub reason: &'static str,
+    /// The node's response, as an encoded frame body.
+    pub got: Vec<u8>,
+    /// The oracle's response, as an encoded frame body (empty for
+    /// type-only checks).
+    pub want: Vec<u8>,
+    /// Offset of the first differing byte.
+    pub first_diff: usize,
+    /// The minimal offending request prefix: every earlier request that
+    /// touched the same session, plus the offending request itself —
+    /// replaying just these reproduces the divergence.
+    pub prefix: Vec<Request>,
+}
+
+impl Divergence {
+    /// The minimal repro as a saveable trace.
+    pub fn prefix_trace(&self) -> Trace {
+        Trace {
+            seed: 0,
+            records: self.prefix.clone(),
+        }
+    }
+}
+
+fn hex_window(bytes: &[u8], around: usize) -> String {
+    let start = around.saturating_sub(8);
+    let end = (around + 8).min(bytes.len());
+    let mut s = String::new();
+    for (i, b) in bytes[start..end].iter().enumerate() {
+        if start + i == around {
+            s.push('[');
+        }
+        s.push_str(&format!("{b:02x}"));
+        if start + i == around {
+            s.push(']');
+        }
+        s.push(' ');
+    }
+    s
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "divergence at trace index {} on node {} ({}): {}",
+            self.index,
+            self.node,
+            self.session.as_deref().unwrap_or("<no session>"),
+            self.reason
+        )?;
+        writeln!(f, "  request: {:?}", self.request.kind_name())?;
+        writeln!(
+            f,
+            "  got  ({} B) ...{}",
+            self.got.len(),
+            hex_window(&self.got, self.first_diff)
+        )?;
+        writeln!(
+            f,
+            "  want ({} B) ...{}",
+            self.want.len(),
+            hex_window(&self.want, self.first_diff)
+        )?;
+        write!(
+            f,
+            "  minimal prefix: {} request(s) ending at index {}",
+            self.prefix.len(),
+            self.index
+        )
+    }
+}
+
+/// What a replay run produced.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Requests sent (shutdown records are skipped, not sent).
+    pub requests: u64,
+    /// Shutdown records skipped (the harness owns node lifecycles).
+    pub skipped: u64,
+    /// Requests routed to each node.
+    pub per_node: Vec<u64>,
+    /// Responses bit-compared against the oracle.
+    pub checked: u64,
+    /// FNV-1a digest over deterministic response bodies in trace order;
+    /// invariant across node counts.
+    pub digest: u64,
+    /// Every detected mismatch, in trace order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl ReplayReport {
+    /// `true` when every checked response matched the oracle.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Response bodies folded into the digest: the deterministic kinds. A
+/// `Stats` or `Accepted` body depends on node-local occupancy and
+/// timing, so including them would make the digest node-count-dependent.
+fn digestible(resp: &Response) -> bool {
+    matches!(
+        resp,
+        Response::Pong
+            | Response::Mrc { .. }
+            | Response::PcMrc { .. }
+            | Response::Plan(_)
+            | Response::Error { .. }
+    )
+}
+
+/// The response type `req` must produce (when not bit-compared).
+/// `Error` is always admissible — the oracle decides exactness.
+fn kind_matches(req: &Request, resp: &Response) -> bool {
+    matches!(
+        (req, resp),
+        (_, Response::Error { .. })
+            | (Request::Ping, Response::Pong)
+            | (Request::Submit { .. }, Response::Accepted { .. })
+            | (Request::QueryMrc { .. }, Response::Mrc { .. })
+            | (Request::QueryPcMrc { .. }, Response::PcMrc { .. })
+            | (Request::QueryPlan { .. }, Response::Plan(_))
+            | (Request::Stats, Response::Stats(_))
+            | (Request::Shutdown, Response::ShuttingDown)
+    )
+}
+
+/// Strip the length prefix from an encoded frame.
+fn body(resp: &Response) -> Vec<u8> {
+    resp.encode()[4..].to_vec()
+}
+
+/// Replay `trace` against already-running daemons at `addrs`, in trace
+/// order with one in-flight request — barrier-free but fully
+/// reproducible. Returns the report; transport failures abort the run.
+pub fn replay_against(
+    addrs: &[SocketAddr],
+    trace: &Trace,
+    cfg: &ReplayConfig,
+) -> Result<ReplayReport, ClientError> {
+    assert!(!addrs.is_empty(), "replay needs at least one node");
+    let mut clients = Vec::with_capacity(addrs.len());
+    for a in addrs {
+        let mut c = Client::connect(a)?;
+        c.set_timeout(Some(cfg.timeout))?;
+        clients.push(c);
+    }
+    let mut oracle = Oracle::new();
+    let mut history: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+    let mut report = ReplayReport {
+        requests: 0,
+        skipped: 0,
+        per_node: vec![0; addrs.len()],
+        checked: 0,
+        digest: 0xcbf2_9ce4_8422_2325,
+        divergences: Vec::new(),
+    };
+    for (i, req) in trace.records.iter().enumerate() {
+        if matches!(req, Request::Shutdown) {
+            report.skipped += 1;
+            continue;
+        }
+        let node = node_of(req, i, addrs.len(), cfg.seed);
+        report.per_node[node] += 1;
+        report.requests += 1;
+        // A sequential replay keeps at most one request in any node's
+        // queue, but an externally-shared daemon may still shed load —
+        // back off briefly on Busy rather than failing the run.
+        let mut resp = clients[node].call_any(req)?;
+        let mut retries = 0;
+        while matches!(resp, Response::Busy) && retries < 50 {
+            std::thread::sleep(Duration::from_millis(10));
+            resp = clients[node].call_any(req)?;
+            retries += 1;
+        }
+        let session = session_of(req).map(str::to_string);
+        let expected = oracle.expected(req);
+        if let Some(name) = &session {
+            history.entry(name.clone()).or_default().push(i);
+        }
+        if digestible(&resp) && !matches!(req, Request::Stats) {
+            fnv1a(&mut report.digest, &body(&resp));
+        }
+        if !cfg.check {
+            continue;
+        }
+        let mut diverge = |reason: &'static str, got: Vec<u8>, want: Vec<u8>| {
+            let first_diff = got
+                .iter()
+                .zip(&want)
+                .position(|(g, w)| g != w)
+                .unwrap_or_else(|| got.len().min(want.len()));
+            let prefix = match &session {
+                Some(name) => history[name]
+                    .iter()
+                    .map(|&ix| trace.records[ix].clone())
+                    .collect(),
+                None => vec![req.clone()],
+            };
+            report.divergences.push(Divergence {
+                index: i,
+                node,
+                session: session.clone(),
+                request: req.clone(),
+                reason,
+                got,
+                want,
+                first_diff,
+                prefix,
+            });
+        };
+        match expected {
+            Some(want) => {
+                report.checked += 1;
+                let got_b = body(&resp);
+                let want_b = body(&want);
+                if got_b != want_b {
+                    diverge("response bytes differ from oracle", got_b, want_b);
+                }
+            }
+            None => {
+                if !kind_matches(req, &resp) {
+                    diverge("response type does not match request", body(&resp), Vec::new());
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Start `n` loopback daemons on ephemeral ports with `serve_cfg`
+/// (address overridden), replay `trace` against them, then shut every
+/// node down. The convenience entry the tests, CLI and bench share.
+pub fn replay_spawned(
+    n: usize,
+    trace: &Trace,
+    serve_cfg: &ServeConfig,
+    replay_cfg: &ReplayConfig,
+) -> Result<ReplayReport, ClientError> {
+    let nodes: Vec<ServerHandle> = (0..n.max(1))
+        .map(|_| {
+            start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..serve_cfg.clone()
+            })
+        })
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|h| h.addr()).collect();
+    let report = replay_against(&addrs, trace, replay_cfg);
+    for node in nodes {
+        node.shutdown();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_seed_sensitive() {
+        let cfg = GenConfig::default();
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a, b, "same seed, same trace");
+        assert!(!a.is_empty());
+        let c = generate_trace(&GenConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        });
+        assert_ne!(a, c, "different seed, different trace");
+        // Every session submits every round.
+        let submits = a
+            .records
+            .iter()
+            .filter(|r| matches!(r, Request::Submit { .. }))
+            .count();
+        assert_eq!(submits as u32, cfg.sessions * cfg.rounds);
+    }
+
+    #[test]
+    fn routing_is_stable_and_session_sticky() {
+        let trace = generate_trace(&GenConfig::default());
+        for nodes in [1usize, 2, 3, 5] {
+            let mut session_node: FxHashMap<String, usize> = FxHashMap::default();
+            for (i, req) in trace.records.iter().enumerate() {
+                let n = node_of(req, i, nodes, 7);
+                assert!(n < nodes);
+                assert_eq!(n, node_of(req, i, nodes, 7), "stable");
+                if let Some(s) = session_of(req) {
+                    let prev = session_node.entry(s.to_string()).or_insert(n);
+                    assert_eq!(*prev, n, "session {s} stays on one node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_mirrors_store_semantics() {
+        let mut o = Oracle::new();
+        assert_eq!(o.expected(&Request::Ping), Some(Response::Pong));
+        // Unknown session errors exactly like the server.
+        let q = Request::QueryMrc {
+            target: Target::Session("ghost".into()),
+            sizes_bytes: vec![1 << 20],
+        };
+        match o.expected(&q) {
+            Some(Response::Error { code, message }) => {
+                assert_eq!(code, ErrorCode::UnknownSession);
+                assert_eq!(message, "unknown session 'ghost'");
+            }
+            other => panic!("want UnknownSession, got {other:?}"),
+        }
+        // Submit is applied but not bit-compared.
+        let mut rng = ReplayRng::new(1);
+        let sub = Request::Submit {
+            session: "s".into(),
+            batch: gen_batch(&mut rng, 40),
+        };
+        assert_eq!(o.expected(&sub), None);
+        let q = Request::QueryMrc {
+            target: Target::Session("s".into()),
+            sizes_bytes: vec![32 << 10, 8 << 20],
+        };
+        match o.expected(&q) {
+            Some(Response::Mrc { ratios }) => assert_eq!(ratios.len(), 2),
+            other => panic!("want Mrc, got {other:?}"),
+        }
+        // Stats is never bit-compared.
+        assert_eq!(o.expected(&Request::Stats), None);
+    }
+}

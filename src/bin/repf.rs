@@ -9,6 +9,8 @@
 //! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
 //! repf serve [--addr H:P]                # profiling-as-a-service daemon
 //! repf query <what> --addr H:P           # query a running daemon
+//! repf record --out FILE [--seed N]      # record a deterministic request trace
+//! repf replay --trace FILE [--nodes N]   # replay a trace against N daemons
 //! ```
 //!
 //! `repf <cmd> --help` prints the command's own usage and exits 0; bad
@@ -20,7 +22,10 @@
 use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
-use repf::serve::{Client, ClientError, MachineId, ServeConfig, Target};
+use repf::serve::{
+    generate_trace, replay_against, replay_spawned, Client, ClientError, GenConfig, MachineId,
+    ReplayConfig, ServeConfig, Target, Trace,
+};
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
     PlanCache, Policy,
@@ -43,6 +48,14 @@ struct Args {
     budget_mb: usize,
     shards: usize,
     model_cache: bool,
+    out: Option<String>,
+    trace: Option<String>,
+    nodes: usize,
+    check: bool,
+    seed: u64,
+    sessions: u32,
+    rounds: u32,
+    samples: u32,
 }
 
 const GENERAL_USAGE: &str = "\
@@ -56,6 +69,8 @@ commands:
   mix        4-application contention run
   serve      profiling-as-a-service daemon (binary wire protocol)
   query      query a running daemon
+  record     record a deterministic request trace to a file
+  replay     replay a trace against N daemons with divergence checking
 
 `repf <command> --help` shows that command's flags.";
 
@@ -116,6 +131,31 @@ A <target> is a benchmark name (see `repf list`) or `session:NAME` for a
 profile submitted over the wire. Sizes are comma-separated with k/m
 suffixes (default 32k,256k,1m,8m). `--delta F` is required for session
 plan queries (cycles per memop once stalls are removed).",
+        Some("record") => "\
+usage: repf record --out FILE [--seed N] [--sessions N] [--rounds N]
+                   [--samples N]
+
+Generate a deterministic request trace (seeded walk over sessions x
+submit/MRC/plan/stats ops) and write it to a versioned binary trace
+file. The same seed always produces a byte-identical trace.\n
+  --out FILE     trace file to write (required)
+  --seed N       generator seed (default 104167320355885)
+  --sessions N   distinct sessions (default 4)
+  --rounds N     submit-then-query rounds per session (default 3)
+  --samples N    reuse samples per submitted batch (default 60)",
+        Some("replay") => "\
+usage: repf replay --trace FILE [--nodes N] [--no-check]
+                   [--addr H:P[,H:P...]]
+
+Replay a recorded trace with a fixed interleaving, partitioning
+sessions across nodes by seeded hash, and bit-compare every
+deterministic response (MRC, per-PC MRC, plan) against a direct
+in-process StatStack/analyze oracle. Exits non-zero on divergence and
+writes the minimal offending request prefix to FILE.diverged.\n
+  --trace FILE   trace file to replay (required)
+  --nodes N      loopback daemons to spawn and drive (default 1)
+  --addr LIST    replay against running daemons instead (comma-separated)
+  --no-check     skip oracle comparison (overhead baseline)",
         _ => GENERAL_USAGE,
     }
 }
@@ -170,6 +210,15 @@ fn parse_args() -> Args {
     let mut budget_mb = 64;
     let mut shards = 0;
     let mut model_cache = true;
+    let mut out = None;
+    let mut trace = None;
+    let mut nodes = 1;
+    let mut check = true;
+    let gen_default = GenConfig::default();
+    let mut seed = gen_default.seed;
+    let mut sessions = gen_default.sessions;
+    let mut rounds = gen_default.rounds;
+    let mut samples = gen_default.samples_per_batch;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -231,6 +280,26 @@ fn parse_args() -> Args {
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
             }
             "--no-model-cache" => model_cache = false,
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
+            "--trace" => trace = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
+            "--nodes" => {
+                nodes = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--no-check" => check = false,
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--sessions" => {
+                sessions =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--rounds" => {
+                rounds = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--samples" => {
+                samples =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
                 usage_err(cmd)
@@ -256,6 +325,14 @@ fn parse_args() -> Args {
         budget_mb,
         shards,
         model_cache,
+        out,
+        trace,
+        nodes,
+        check,
+        seed,
+        sessions,
+        rounds,
+        samples,
     }
 }
 
@@ -512,6 +589,103 @@ fn cmd_query(a: &Args) {
     }
 }
 
+fn cmd_record(a: &Args) {
+    let out = a.out.as_deref().unwrap_or_else(|| {
+        eprintln!("record needs --out FILE");
+        usage_err(Some("record"))
+    });
+    let cfg = GenConfig {
+        seed: a.seed,
+        sessions: a.sessions,
+        rounds: a.rounds,
+        samples_per_batch: a.samples,
+    };
+    let trace = generate_trace(&cfg);
+    trace.save(out).unwrap_or_else(|e| {
+        eprintln!("writing {out} failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "recorded {} requests ({} sessions x {} rounds, seed {:#x}) -> {out}",
+        trace.len(),
+        cfg.sessions,
+        cfg.rounds,
+        cfg.seed
+    );
+}
+
+fn cmd_replay(a: &Args) {
+    let path = a.trace.as_deref().unwrap_or_else(|| {
+        eprintln!("replay needs --trace FILE");
+        usage_err(Some("replay"))
+    });
+    let trace = Trace::load(path).unwrap_or_else(|e| {
+        eprintln!("loading {path} failed: {e}");
+        std::process::exit(1);
+    });
+    let rcfg = ReplayConfig {
+        check: a.check,
+        ..ReplayConfig::default()
+    };
+    let report = match a.addr.as_deref() {
+        // Drive already-running daemons (comma-separated addresses).
+        Some(list) => {
+            let addrs: Vec<std::net::SocketAddr> = list
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|e| {
+                        eprintln!("bad replay address '{s}': {e}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            replay_against(&addrs, &trace, &rcfg)
+        }
+        // Spawn loopback nodes with the serve flags this command got.
+        None => {
+            let serve_cfg = ServeConfig {
+                threads: a.exec.threads(),
+                queue_depth: a.queue,
+                session_budget_bytes: a.budget_mb << 20,
+                shards: a.shards,
+                model_cache: a.model_cache,
+                refs_scale: a.scale,
+                ..ServeConfig::default()
+            };
+            replay_spawned(a.nodes, &trace, &serve_cfg, &rcfg)
+        }
+    };
+    let report = report.unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "replayed {} requests over {} node(s): digest {:#018x}, divergences {}{}",
+        report.requests,
+        report.per_node.len(),
+        report.digest,
+        report.divergences.len(),
+        if a.check { "" } else { " (checking off)" }
+    );
+    for (i, n) in report.per_node.iter().enumerate() {
+        println!("  node {i}: {n} requests");
+    }
+    if report.skipped > 0 {
+        println!("  skipped {} shutdown record(s)", report.skipped);
+    }
+    if !report.is_clean() {
+        for d in &report.divergences {
+            eprintln!("{d}");
+        }
+        let repro = format!("{path}.diverged");
+        match report.divergences[0].prefix_trace().save(&repro) {
+            Ok(()) => eprintln!("minimal offending prefix written to {repro}"),
+            Err(e) => eprintln!("could not write {repro}: {e}"),
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let start = std::time::Instant::now();
@@ -523,6 +697,8 @@ fn main() {
         Some("mix") => cmd_mix(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
+        Some("record") => cmd_record(&args),
+        Some("replay") => cmd_replay(&args),
         other => usage_err(other),
     }
     eprintln!("[time] total: {:.2}s", start.elapsed().as_secs_f64());

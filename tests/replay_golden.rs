@@ -1,0 +1,62 @@
+//! Golden-trace regression: a small recorded trace is committed under
+//! `tests/data/`, and its replay digest is pinned here. Any change to
+//! the wire encoding, the StatStack fit, the analyzer, or the session
+//! store that alters a deterministic response byte shows up as a digest
+//! mismatch — and any change to the trace format shows up as a load
+//! failure.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```text
+//! repf record --out tests/data/golden.trace --sessions 3 --rounds 2 \
+//!             --samples 40 --seed 42
+//! repf replay --trace tests/data/golden.trace   # prints the new digest
+//! ```
+
+use repf::serve::{replay_spawned, ReplayConfig, ServeConfig, Trace, TRACE_VERSION};
+use std::time::Duration;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden.trace");
+
+/// Pinned by `repf replay` against the committed trace (node count does
+/// not matter — the digest is invariant under it).
+const GOLDEN_DIGEST: u64 = 0x06715057c066e48f;
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_REQUESTS: u64 = 16;
+
+#[test]
+fn golden_trace_replays_to_the_pinned_digest() {
+    let trace = Trace::load(GOLDEN_PATH).expect("committed trace loads under the current format");
+    assert_eq!(trace.seed, GOLDEN_SEED, "trace header seed");
+    assert_eq!(trace.len() as u64, GOLDEN_REQUESTS, "trace record count");
+    let _ = TRACE_VERSION; // the load above enforces it
+
+    let report = replay_spawned(
+        1,
+        &trace,
+        &ServeConfig {
+            threads: 2,
+            idle_timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+        &ReplayConfig::default(),
+    )
+    .expect("replay runs");
+
+    assert!(
+        report.is_clean(),
+        "golden trace diverged from the oracle:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.requests, GOLDEN_REQUESTS);
+    assert_eq!(
+        report.digest, GOLDEN_DIGEST,
+        "deterministic response bytes changed; if intentional, regenerate \
+         the golden trace and digest (see module docs)"
+    );
+}
