@@ -20,16 +20,25 @@
 //! nodes with full oracle checking (both must be clean and digest-equal)
 //! plus a check-off run for the divergence-check overhead ratio.
 //!
+//! A fourth scenario, **idle_conns**, is the resource-efficiency pitch
+//! in miniature: a herd of idle connections parks on the daemon while
+//! one client runs MRC queries, measured once per `--io-mode`. It
+//! records the daemon's thread-count delta (epoll: one I/O thread + the
+//! worker pool, regardless of herd size; threads: one OS thread per
+//! parked socket) and the client-observed active-request p50/p99, which
+//! must not regress under epoll.
+//!
 //! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200),
 //! `REPF_SERVE_CLIENTS` (concurrent clients, default 4),
 //! `REPF_SERVE_SESSIONS` (contention clients = distinct sessions,
 //! default 8), `REPF_REPLAY_SESSIONS` / `REPF_REPLAY_ROUNDS` (replay
-//! trace shape, defaults 6 / 4).
+//! trace shape, defaults 6 / 4), `REPF_IDLE_CONNS` / `REPF_IDLE_ITERS`
+//! (idle-herd size and active queries, defaults 1000 / 300).
 
 use crate::obs::Json;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
 use repf_serve::{
-    generate_trace, replay_spawned, start, Client, GenConfig, MachineId, ReplayConfig,
+    generate_trace, replay_spawned, start, Client, GenConfig, IoMode, MachineId, ReplayConfig,
     ReplayReport, ServeConfig, Target,
 };
 use repf_sim::Exec;
@@ -207,6 +216,99 @@ fn replay_json(r: &ReplayRun, nodes: usize, check: bool) -> Json {
     ])
 }
 
+/// Threads in this process right now (`/proc/self/status`); 0 where
+/// that isn't available. Deltas of this around server startup count the
+/// daemon's threads exactly, since everything runs in-process.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * (sorted_us.len() - 1) as f64).round() as usize).min(sorted_us.len() - 1);
+    sorted_us[idx]
+}
+
+struct IdleRun {
+    daemon_threads: u64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    req_per_s: f64,
+}
+
+/// Park `idle` connections on a server in `mode`, then run `iters`
+/// active MRC queries from one client, timing each round trip.
+fn idle_conns_run(mode: IoMode, threads: usize, idle: usize, iters: usize) -> IdleRun {
+    #[cfg(target_os = "linux")]
+    repf_serve::poll::raise_nofile_limit((idle + 128) as u64);
+
+    let threads_before = process_threads();
+    let handle = start(ServeConfig {
+        threads,
+        io_mode: mode,
+        max_conns: idle + 64,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let addr = handle.addr();
+
+    let parked: Vec<std::net::TcpStream> = (0..idle)
+        .map(|_| std::net::TcpStream::connect(addr).expect("park idle conn"))
+        .collect();
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.submit_profile("idle-bench", &bench_profile()).expect("submit");
+    let target = Target::Session("idle-bench".into());
+    // Warm the model cache so the measured path is I/O + dispatch.
+    c.query_mrc(target.clone(), SIZES.to_vec()).expect("warm");
+
+    let daemon_threads = process_threads().saturating_sub(threads_before);
+    let wall = Instant::now();
+    let mut lat_us: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            c.query_mrc(target.clone(), SIZES.to_vec()).expect("active mrc");
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let secs = wall.elapsed().as_secs_f64();
+    let mean_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+
+    drop(parked);
+    c.shutdown_server().expect("shutdown");
+    handle.join();
+
+    IdleRun {
+        daemon_threads,
+        p50_us: quantile(&lat_us, 0.50),
+        p99_us: quantile(&lat_us, 0.99),
+        mean_us,
+        req_per_s: if secs > 0.0 { iters as f64 / secs } else { 0.0 },
+    }
+}
+
+fn idle_json(r: &IdleRun) -> Json {
+    Json::obj([
+        ("daemon_threads", Json::Num(r.daemon_threads as f64)),
+        ("active_p50_us", Json::Num(r.p50_us)),
+        ("active_p99_us", Json::Num(r.p99_us)),
+        ("active_mean_us", Json::Num(r.mean_us)),
+        ("active_req_per_s", Json::Num(r.req_per_s)),
+    ])
+}
+
 /// Run the loopback benchmark and write `BENCH_serve.json`.
 pub fn run() {
     let iters = env_usize("REPF_SERVE_ITERS", 200);
@@ -259,6 +361,13 @@ pub fn run() {
     } else {
         0.0
     };
+
+    // Idle-connection herd: the epoll loop must hold the herd with a
+    // constant handful of threads; the threaded path pays one per conn.
+    let idle = env_usize("REPF_IDLE_CONNS", 1000);
+    let idle_iters = env_usize("REPF_IDLE_ITERS", 300);
+    let idle_epoll = idle_conns_run(IoMode::Epoll, threads, idle, idle_iters);
+    let idle_threads = idle_conns_run(IoMode::Threads, threads, idle, idle_iters);
 
     let handle = start(ServeConfig {
         threads,
@@ -319,6 +428,16 @@ pub fn run() {
         check_overhead,
         replay_1.report.digest,
     );
+    println!(
+        "  idle x{}: epoll {} daemon threads (p50 {:>6.0} us, p99 {:>6.0} us) vs threads {} (p50 {:>6.0} us, p99 {:>6.0} us)",
+        idle,
+        idle_epoll.daemon_threads,
+        idle_epoll.p50_us,
+        idle_epoll.p99_us,
+        idle_threads.daemon_threads,
+        idle_threads.p50_us,
+        idle_threads.p99_us,
+    );
 
     let class_json = |r: &ClassResult, label: &str| {
         (
@@ -373,6 +492,15 @@ pub fn run() {
                     "model_cache_misses",
                     Json::Num(multi_stat("model_cache.misses")),
                 ),
+            ]),
+        ),
+        (
+            "idle_conns".into(),
+            Json::obj([
+                ("idle", Json::Num(idle as f64)),
+                ("active_iters", Json::Num(idle_iters as f64)),
+                ("epoll", idle_json(&idle_epoll)),
+                ("threads", idle_json(&idle_threads)),
             ]),
         ),
         (

@@ -15,10 +15,18 @@
 //!   hard byte budget, sharded by session-name hash into independently
 //!   locked slices with per-session cached StatStack fits (versioned
 //!   invalidation, incremental refits).
-//! * [`server`] — the acceptor + worker-pool daemon: bounded request
-//!   queue with `Busy` shedding, per-connection timeouts, malformed
-//!   input rejection that never kills the process, and a drain-then-exit
+//! * [`server`] — the daemon: a readiness-polled epoll event loop
+//!   (default on Linux) or the thread-per-connection reference path
+//!   (`--io-mode threads`), both over a bounded worker-pool request
+//!   queue with `Busy` shedding, a `max_conns` accept cap,
+//!   per-connection timeouts, malformed input rejection that never
+//!   kills the process, and an eventfd-signalled drain-then-exit
 //!   shutdown control message.
+//! * [`conn`] — the per-connection nonblocking state machine the event
+//!   loop drives: incremental frame accumulation, buffered partial
+//!   writes, idle/write deadlines.
+//! * [`poll`] — thin `extern "C"` wrappers over Linux
+//!   `epoll`/`eventfd` (no external crates; Linux-only module).
 //! * [`client`] — a blocking client with typed helpers for every
 //!   request.
 //! * [`metrics`] — the lock-free server metrics registry behind the
@@ -31,7 +39,10 @@
 //!   reporter that dumps the minimal offending request prefix.
 
 pub mod client;
+pub mod conn;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod proto;
 pub mod replay;
 pub mod server;
@@ -48,7 +59,9 @@ pub use replay::{
     generate_trace, replay_against, replay_spawned, Divergence, GenConfig, Oracle, ReplayConfig,
     ReplayReport, ReplayRng,
 };
-pub use server::{resolve_shards, start, ServeConfig, ServerHandle};
+pub use server::{
+    resolve_io_mode, resolve_max_conns, resolve_shards, start, IoMode, ServeConfig, ServerHandle,
+};
 pub use session::{
     ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
 };

@@ -96,8 +96,15 @@ pub struct Metrics {
     pub busy: AtomicU64,
     /// Malformed frames / payloads rejected.
     pub malformed: AtomicU64,
-    /// Connections accepted.
+    /// Connections accepted (cumulative).
     pub connections: AtomicU64,
+    /// Connections currently open (accepted minus closed; gauge).
+    pub open_conns: AtomicU64,
+    /// Connections shed at accept time because `max_conns` was reached.
+    pub shed: AtomicU64,
+    /// `accept()` failures (EMFILE and friends; each one also triggers
+    /// the acceptor's backoff).
+    pub accept_errors: AtomicU64,
     /// Sessions evicted from the store.
     pub evictions: AtomicU64,
     /// Session-store bytes (gauge, updated after each submit).
@@ -168,6 +175,9 @@ impl Metrics {
         out.push(("busy".into(), g(&self.busy)));
         out.push(("malformed".into(), g(&self.malformed)));
         out.push(("connections".into(), g(&self.connections)));
+        out.push(("connections.open".into(), g(&self.open_conns)));
+        out.push(("connections.shed".into(), g(&self.shed)));
+        out.push(("accept.errors".into(), g(&self.accept_errors)));
         out.push(("sessions.evictions".into(), g(&self.evictions)));
         out.push(("sessions.store_bytes".into(), g(&self.store_bytes)));
         out.push(("plan_cache.hits".into(), g(&self.plan_hits)));

@@ -1,21 +1,44 @@
-//! The TCP daemon: a connection acceptor plus a bounded request worker
-//! pool built on [`repf_sim::WorkerPool`].
+//! The TCP daemon: connection I/O in one of two modes, plus a bounded
+//! request worker pool built on [`repf_sim::WorkerPool`].
+//!
+//! ## I/O modes
+//!
+//! * [`IoMode::Epoll`] (default on Linux) — a single readiness-polled
+//!   I/O thread drives every socket nonblocking through
+//!   [`crate::poll`]'s `epoll`/`eventfd` wrappers, with per-connection
+//!   state machines ([`crate::conn`]) for incremental frame reads,
+//!   buffered partial writes and idle/slow-loris deadlines on a sorted
+//!   deadline heap. Compute still runs on the bounded worker pool;
+//!   completions come back over an eventfd-woken queue. 10k mostly-idle
+//!   connections cost one thread and zero timer churn.
+//! * [`IoMode::Threads`] — the original thread-per-connection path:
+//!   each accepted socket gets an OS thread doing blocking reads with a
+//!   100 ms poll. Kept as the bit-identity reference (`--io-mode
+//!   threads`) and the non-Linux fallback.
+//!
+//! Both modes share [`ServeState::handle`], so every response is
+//! byte-identical between them — asserted by the replay digest tests.
 //!
 //! Degradation-first design, in order of what can go wrong:
 //!
 //! * **overload** — requests flow through the pool's bounded queue; when
 //!   it is full the connection answers [`Response::Busy`] immediately
-//!   instead of buffering without bound;
+//!   instead of buffering without bound; accepts beyond `max_conns` are
+//!   shed the same way (counted under `connections.shed`);
 //! * **malformed input** — framing violations get a
 //!   [`Response::Error`] and close only that connection; payload-level
 //!   decode errors get an error response and the connection lives on;
 //!   the process never dies on client bytes;
-//! * **stuck peers** — per-connection read *and* write timeouts; an idle
-//!   connection is dropped after `idle_timeout`;
+//! * **stuck peers** — per-connection idle *and* write deadlines; an
+//!   idle or mid-frame-stalled connection is dropped after
+//!   `idle_timeout`, a stalled writer after `write_timeout`;
+//! * **accept errors** — persistent `accept` failures (EMFILE, ...) are
+//!   counted (`accept.errors`) and back off exponentially instead of
+//!   hot-looping;
 //! * **shutdown** — the `Shutdown` control message (or
-//!   [`ServerHandle::shutdown`]) stops the acceptor, lets every
-//!   connection finish its in-flight request, drains the worker queue,
-//!   and joins all threads.
+//!   [`ServerHandle::shutdown`]) signals an eventfd, stops the
+//!   acceptor, lets every connection finish its in-flight request,
+//!   drains the worker queue, and joins all threads.
 
 use crate::metrics::Metrics;
 use crate::proto::{self, ErrorCode, MachineId, Request, Response, SampleBatch, Target};
@@ -30,6 +53,77 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[cfg(target_os = "linux")]
+use crate::conn::{Conn, ReadOutcome as ConnRead};
+#[cfg(target_os = "linux")]
+use crate::poll::{
+    EpollEvent, EventFd, Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+#[cfg(target_os = "linux")]
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
+#[cfg(target_os = "linux")]
+use std::sync::Mutex;
+
+/// How the daemon drives connection I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// Resolve from `REPF_SERVE_IO_MODE`, defaulting to [`Self::Epoll`]
+    /// on Linux and [`Self::Threads`] elsewhere.
+    Auto,
+    /// One OS thread per connection, blocking reads with a wake poll.
+    Threads,
+    /// One readiness-polled I/O thread for all connections (Linux).
+    Epoll,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(IoMode::Auto),
+            "threads" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!("unknown io mode '{other}' (threads|epoll|auto)")),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Auto => "auto",
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        })
+    }
+}
+
+/// Resolve a configured I/O mode to a concrete one: explicit value,
+/// else the `REPF_SERVE_IO_MODE` environment variable, else the
+/// platform default (`epoll` on Linux, `threads` elsewhere). A
+/// non-Linux `epoll` request falls back to `threads`.
+pub fn resolve_io_mode(configured: IoMode) -> IoMode {
+    let mode = match configured {
+        IoMode::Auto => std::env::var("REPF_SERVE_IO_MODE")
+            .ok()
+            .and_then(|v| v.parse::<IoMode>().ok())
+            .filter(|m| *m != IoMode::Auto)
+            .unwrap_or(if cfg!(target_os = "linux") {
+                IoMode::Epoll
+            } else {
+                IoMode::Threads
+            }),
+        explicit => explicit,
+    };
+    if mode == IoMode::Epoll && !cfg!(target_os = "linux") {
+        return IoMode::Threads;
+    }
+    mode
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -52,6 +146,12 @@ pub struct ServeConfig {
     /// invalidation on submit). Disable to measure the refit-per-query
     /// baseline.
     pub model_cache: bool,
+    /// Connection I/O mode ([`resolve_io_mode`] resolves `Auto`).
+    pub io_mode: IoMode,
+    /// Open-connection cap; accepts past it are shed with a `Busy`
+    /// response (`connections.shed`). `0` reads `REPF_SERVE_MAX_CONNS`,
+    /// falling back to 4096.
+    pub max_conns: usize,
     /// Drop a connection after this long without a complete frame.
     pub idle_timeout: Duration,
     /// Per-connection write timeout.
@@ -70,6 +170,8 @@ impl Default for ServeConfig {
             session_budget_bytes: 64 << 20,
             shards: 0,
             model_cache: true,
+            io_mode: IoMode::Auto,
+            max_conns: 0,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             refs_scale: 0.05,
@@ -90,6 +192,19 @@ pub fn resolve_shards(configured: usize) -> usize {
         .unwrap_or(8)
 }
 
+/// Resolve a configured connection cap: explicit value, else the
+/// `REPF_SERVE_MAX_CONNS` environment variable, else 4096.
+pub fn resolve_max_conns(configured: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::env::var("REPF_SERVE_MAX_CONNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n != 0)
+        .unwrap_or(4096)
+}
+
 /// Shared server state: sessions, per-machine plan caches, metrics.
 pub(crate) struct ServeState {
     sessions: ShardedSessionStore,
@@ -101,15 +216,19 @@ pub(crate) struct ServeState {
     /// Server metrics, readable through the `Stats` request.
     pub metrics: Metrics,
     shutting_down: AtomicBool,
+    /// Wakes the I/O loop (epoll) or acceptor (threads) out of its
+    /// poll when shutdown is requested from another thread.
+    #[cfg(target_os = "linux")]
+    wake: EventFd,
 }
 
 impl ServeState {
-    fn new(cfg: &ServeConfig) -> Self {
+    fn new(cfg: &ServeConfig) -> std::io::Result<Self> {
         let opts = BuildOptions {
             refs_scale: cfg.refs_scale,
             ..Default::default()
         };
-        ServeState {
+        Ok(ServeState {
             sessions: ShardedSessionStore::new(
                 cfg.session_budget_bytes,
                 resolve_shards(cfg.shards),
@@ -119,7 +238,16 @@ impl ServeState {
             plans_intel: PlanCache::lazy(&intel_i7_2600k(), &opts),
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
-        }
+            #[cfg(target_os = "linux")]
+            wake: EventFd::new()?,
+        })
+    }
+
+    /// Raise the shutdown flag and wake whatever is parked in a poll.
+    pub(crate) fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        self.wake.signal();
     }
 
     fn cache_for(&self, machine: MachineId) -> &PlanCache {
@@ -166,7 +294,7 @@ impl ServeState {
             }
             Request::Stats => Response::Stats(self.stats_pairs()),
             Request::Shutdown => {
-                self.shutting_down.store(true, Ordering::SeqCst);
+                self.request_shutdown();
                 Response::ShuttingDown
             }
         }
@@ -349,12 +477,18 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServeState>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    io_mode: IoMode,
 }
 
 impl ServerHandle {
     /// The address actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The concrete I/O mode the server runs (never `Auto`).
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
     }
 
     /// `true` once a shutdown has been requested (control message or
@@ -365,7 +499,7 @@ impl ServerHandle {
 
     /// Request shutdown and wait for the drain to finish.
     pub fn shutdown(mut self) {
-        self.state.shutting_down.store(true, Ordering::SeqCst);
+        self.state.request_shutdown();
         self.join_inner();
     }
 
@@ -377,9 +511,17 @@ impl ServerHandle {
 
     fn join_inner(&mut self) {
         if let Some(h) = self.acceptor.take() {
-            // Wake the acceptor if it is parked in `accept`.
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
-            h.join().expect("acceptor thread panicked");
+            // Wake the I/O loop out of its poll so it observes the flag
+            // (a no-op nudge when shutdown was not requested: the loop
+            // just re-checks and parks again).
+            #[cfg(target_os = "linux")]
+            self.state.wake.signal();
+            // Without eventfd, fall back to poking the listener awake.
+            #[cfg(not(target_os = "linux"))]
+            if self.is_shutting_down() {
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+            }
+            h.join().expect("I/O thread panicked");
         }
     }
 }
@@ -396,46 +538,131 @@ impl Drop for ServerHandle {
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServeState::new(&cfg));
+    let state = Arc::new(ServeState::new(&cfg)?);
     let threads = if cfg.threads == 0 {
         Exec::from_env().threads()
     } else {
         cfg.threads
     };
-    let pool_cfg = cfg.clone();
-    let accept_state = Arc::clone(&state);
-    let acceptor = std::thread::spawn(move || {
-        accept_loop(listener, accept_state, pool_cfg, threads);
-    });
+    let io_mode = resolve_io_mode(cfg.io_mode);
+    let loop_state = Arc::clone(&state);
+    let loop_cfg = cfg.clone();
+    let acceptor = std::thread::Builder::new()
+        .name("repf-serve-io".into())
+        .spawn(move || match io_mode {
+            #[cfg(target_os = "linux")]
+            IoMode::Epoll => epoll_loop(listener, loop_state, loop_cfg, threads),
+            _ => accept_loop(listener, loop_state, loop_cfg, threads),
+        })?;
     Ok(ServerHandle {
         addr,
         state,
         acceptor: Some(acceptor),
+        io_mode,
     })
 }
 
+/// Best-effort `Busy` answer to a connection shed at accept time
+/// (over `max_conns`): the socket's send buffer is empty, so one
+/// nonblocking write either takes the whole 6-byte frame or the peer
+/// was never going to hear from us anyway.
+fn shed_connection(stream: TcpStream, state: &ServeState) {
+    state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    stream.set_nonblocking(true).ok();
+    let frame = Response::Busy.encode();
+    let _ = (&stream).write_all(&frame);
+}
+
+/// Exponential accept-error backoff: EMFILE and friends are persistent,
+/// so hot-looping `accept` burns a core without helping. Start small,
+/// double to a cap, reset on the next successful accept.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+fn grow_backoff(b: Duration) -> Duration {
+    (b * 2).min(ACCEPT_BACKOFF_MAX)
+}
+
+// --- threads mode ---
+
 fn accept_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, threads: usize) {
     let pool = WorkerPool::new(threads, cfg.queue_depth);
+    let max_conns = resolve_max_conns(cfg.max_conns);
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let pool = Arc::new(pool);
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+
+    // On Linux the listener is polled alongside the shutdown eventfd, so
+    // a shutdown wakes the acceptor without the old trick of connecting
+    // to ourselves. Elsewhere the blocking accept is interrupted by that
+    // connect (see `join_inner`).
+    #[cfg(target_os = "linux")]
+    let poller = {
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let p = Poller::new().expect("epoll for acceptor");
+        p.add(listener.as_raw_fd(), EPOLLIN, 0)
+            .expect("register listener");
+        p.add(state.wake.fd(), EPOLLIN, 1).expect("register wake");
+        p
+    };
+
     loop {
         if state.shutting_down.load(Ordering::SeqCst) {
             break;
         }
-        let (stream, _peer) = match listener.accept() {
-            Ok(x) => x,
-            Err(_) => continue,
-        };
-        if state.shutting_down.load(Ordering::SeqCst) {
-            break; // the wake-up connection from `join_inner`
+        #[cfg(target_os = "linux")]
+        {
+            let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+            match poller.wait(&mut events, -1) {
+                Ok(n) => {
+                    for ev in &events[..n] {
+                        if ev.data == 1 {
+                            state.wake.drain();
+                        }
+                    }
+                }
+                Err(_) => continue,
+            }
+            if state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            // Accept everything pending, then park again.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        backoff = ACCEPT_BACKOFF_MIN;
+                        admit_threaded(stream, &state, &pool, &cfg, max_conns, &mut conns);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        state.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff);
+                        backoff = grow_backoff(backoff);
+                        break;
+                    }
+                }
+            }
         }
-        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
-        let st = Arc::clone(&state);
-        let po = Arc::clone(&pool);
-        let c = cfg.clone();
-        conns.push(std::thread::spawn(move || {
-            let _ = serve_connection(stream, st, po, c);
-        }));
+        #[cfg(not(target_os = "linux"))]
+        {
+            let (stream, _peer) = match listener.accept() {
+                Ok(x) => x,
+                Err(_) => {
+                    state.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = grow_backoff(backoff);
+                    continue;
+                }
+            };
+            backoff = ACCEPT_BACKOFF_MIN;
+            if state.shutting_down.load(Ordering::SeqCst) {
+                break; // the wake-up connection from `join_inner`
+            }
+            admit_threaded(stream, &state, &pool, &cfg, max_conns, &mut conns);
+        }
         // Reap finished connection threads so the vec stays small on
         // long-running servers.
         conns.retain(|h| !h.is_finished());
@@ -448,6 +675,31 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, 
     if let Ok(pool) = Arc::try_unwrap(pool) {
         pool.shutdown();
     }
+}
+
+/// Admit one accepted socket in threads mode: shed over the cap, else
+/// count it open and hand it a connection thread.
+fn admit_threaded(
+    stream: TcpStream,
+    state: &Arc<ServeState>,
+    pool: &Arc<WorkerPool>,
+    cfg: &ServeConfig,
+    max_conns: usize,
+    conns: &mut Vec<std::thread::JoinHandle<()>>,
+) {
+    if state.metrics.open_conns.load(Ordering::Relaxed) >= max_conns as u64 {
+        shed_connection(stream, state);
+        return;
+    }
+    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    state.metrics.open_conns.fetch_add(1, Ordering::Relaxed);
+    let st = Arc::clone(state);
+    let po = Arc::clone(pool);
+    let c = cfg.clone();
+    conns.push(std::thread::spawn(move || {
+        let _ = serve_connection(stream, Arc::clone(&st), po, c);
+        st.metrics.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }));
 }
 
 /// Poll interval for the blocking frame reads — bounds how long a
@@ -551,10 +803,11 @@ fn serve_connection(
                     Ok(Request::Shutdown) => {
                         // Handled inline: must work even when the queue is
                         // saturated — it is the pressure-release valve.
+                        // `handle` raises the flag and signals the wake
+                        // eventfd, so the acceptor unparks by itself.
                         let resp = state.handle(&Request::Shutdown);
                         send(&mut writer, &resp)?;
-                        // Wake the acceptor out of its blocking `accept`
-                        // so the drain starts now.
+                        #[cfg(not(target_os = "linux"))]
                         if let Ok(addr) = writer.local_addr() {
                             let _ =
                                 TcpStream::connect_timeout(&addr, Duration::from_millis(500));
@@ -629,4 +882,495 @@ fn dispatch(state: &Arc<ServeState>, pool: &WorkerPool, req: Request) -> Respons
 
 fn send(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
     proto::write_frame(w, &resp.encode())
+}
+
+// --- epoll mode ---
+
+/// Completed work handed from the worker pool back to the I/O thread:
+/// `(connection token, response)` pairs behind a mutex, with an eventfd
+/// wake so the I/O thread learns about completions while parked.
+#[cfg(target_os = "linux")]
+struct CompletionQueue {
+    done: Mutex<VecDeque<(u64, Response)>>,
+    ready: EventFd,
+}
+
+#[cfg(target_os = "linux")]
+impl CompletionQueue {
+    fn new() -> std::io::Result<Self> {
+        Ok(CompletionQueue {
+            done: Mutex::new(VecDeque::new()),
+            ready: EventFd::new()?,
+        })
+    }
+
+    fn push(&self, token: u64, resp: Response) {
+        self.done.lock().expect("completion queue").push_back((token, resp));
+        self.ready.signal();
+    }
+
+    fn pop(&self) -> Option<(u64, Response)> {
+        self.done.lock().expect("completion queue").pop_front()
+    }
+}
+
+/// Epoll tokens 0–2 are the loop's own fds; connections start at 3.
+#[cfg(target_os = "linux")]
+const TOK_LISTENER: u64 = 0;
+#[cfg(target_os = "linux")]
+const TOK_WAKE: u64 = 1;
+#[cfg(target_os = "linux")]
+const TOK_COMPLETION: u64 = 2;
+#[cfg(target_os = "linux")]
+const TOK_FIRST_CONN: u64 = 3;
+
+/// The readiness-polled event loop: every socket nonblocking on one
+/// thread, compute on the worker pool, completions back over
+/// [`CompletionQueue`]. See the module docs for the degradation rules;
+/// the response bytes per request are identical to the threaded path
+/// because both call [`ServeState::handle`].
+#[cfg(target_os = "linux")]
+fn epoll_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, threads: usize) {
+    let pool = WorkerPool::new(threads, cfg.queue_depth);
+    let max_conns = resolve_max_conns(cfg.max_conns);
+    let poller = Poller::new().expect("epoll instance");
+    listener.set_nonblocking(true).expect("listener nonblocking");
+    poller
+        .add(listener.as_raw_fd(), EPOLLIN, TOK_LISTENER)
+        .expect("register listener");
+    poller
+        .add(state.wake.fd(), EPOLLIN, TOK_WAKE)
+        .expect("register wake eventfd");
+    let completions = Arc::new(CompletionQueue::new().expect("completion eventfd"));
+    poller
+        .add(completions.ready.fd(), EPOLLIN, TOK_COMPLETION)
+        .expect("register completion eventfd");
+
+    let mut lp = EpollLoop {
+        state,
+        cfg,
+        pool,
+        poller,
+        listener,
+        completions,
+        conns: HashMap::new(),
+        timers: BinaryHeap::new(),
+        next_token: TOK_FIRST_CONN,
+        max_conns,
+        accepting: true,
+        accept_backoff: ACCEPT_BACKOFF_MIN,
+        accept_resume: None,
+        draining: false,
+    };
+    lp.run();
+    lp.pool.shutdown();
+}
+
+/// Deadline-heap entry: earliest first.
+#[cfg(target_os = "linux")]
+type TimerEntry = std::cmp::Reverse<(Instant, u64)>;
+
+#[cfg(target_os = "linux")]
+struct EpollLoop {
+    state: Arc<ServeState>,
+    cfg: ServeConfig,
+    pool: WorkerPool,
+    poller: Poller,
+    listener: TcpListener,
+    completions: Arc<CompletionQueue>,
+    conns: HashMap<u64, Conn>,
+    /// Sorted deadline heap over `(instant, token)`; entries are cheap
+    /// and validated against the connection's live state when they pop,
+    /// so stale ones are harmless.
+    timers: BinaryHeap<TimerEntry>,
+    next_token: u64,
+    max_conns: usize,
+    accepting: bool,
+    accept_backoff: Duration,
+    /// When accept errors paused the listener, the instant to resume.
+    accept_resume: Option<Instant>,
+    draining: bool,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollLoop {
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            let timeout = self.poll_timeout();
+            let n = match self.poller.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => continue, // EINTR is retried inside; others: re-park
+            };
+            let now = Instant::now();
+            for ev in &events[..n] {
+                match ev.data {
+                    TOK_LISTENER => self.accept_ready(now),
+                    TOK_WAKE => {
+                        self.state.wake.drain();
+                    }
+                    TOK_COMPLETION => self.completions_ready(now),
+                    token => self.conn_ready(token, ev.events, now),
+                }
+            }
+            let now = Instant::now();
+            self.fire_timers(now);
+            if self.state.shutting_down.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// The next `epoll_wait` timeout in ms: the nearest live deadline
+    /// (connection timer or accept-backoff resume), or block forever.
+    fn poll_timeout(&mut self) -> i32 {
+        let now = Instant::now();
+        let mut next: Option<Instant> = self.accept_resume;
+        // Skip heap entries whose connection is gone; the first live one
+        // bounds the sleep (it may be stale-early, which only costs a
+        // spurious wakeup).
+        while let Some(std::cmp::Reverse((t, token))) = self.timers.peek().copied() {
+            if self.conns.contains_key(&token) {
+                next = Some(next.map_or(t, |n| n.min(t)));
+                break;
+            }
+            self.timers.pop();
+        }
+        match next {
+            None => -1,
+            Some(t) => {
+                let ms = t.saturating_duration_since(now).as_millis();
+                // +1 rounds up so we never wake a hair before the
+                // deadline and spin.
+                (ms.min(i32::MAX as u128 - 1) as i32).saturating_add(1)
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, token: u64) {
+        if let Some(c) = self.conns.get(&token) {
+            self.timers.push(std::cmp::Reverse((c.next_deadline(), token)));
+        }
+    }
+
+    /// Pop due timers; evict expired connections, re-arm live ones, and
+    /// resume a backoff-paused listener.
+    fn fire_timers(&mut self, now: Instant) {
+        while let Some(std::cmp::Reverse((t, token))) = self.timers.peek().copied() {
+            if t > now {
+                break;
+            }
+            self.timers.pop();
+            let Some(c) = self.conns.get(&token) else {
+                continue;
+            };
+            if c.expired(now) {
+                // Idle / slow-loris / stalled-write eviction: drop
+                // silently, exactly like the threaded path's Stop.
+                self.close_conn(token);
+            } else {
+                self.arm_timer(token);
+            }
+        }
+        if let Some(t) = self.accept_resume {
+            if now >= t && !self.draining {
+                self.accept_resume = None;
+                if self
+                    .poller
+                    .add(self.listener.as_raw_fd(), EPOLLIN, TOK_LISTENER)
+                    .is_ok()
+                {
+                    self.accepting = true;
+                } else {
+                    // Could not re-register: try again after another
+                    // backoff period rather than never accepting again.
+                    self.accept_resume = Some(now + self.accept_backoff);
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    if self.draining {
+                        continue; // raced a shutdown: refuse quietly
+                    }
+                    if self.conns.len() >= self.max_conns {
+                        shed_connection(stream, &self.state);
+                        continue;
+                    }
+                    self.admit(stream, now);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Persistent accept failure (EMFILE, ...): count it,
+                    // unregister the listener and retry after a backoff —
+                    // a level-triggered poller would otherwise spin.
+                    self.state.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    if self.accepting {
+                        let _ = self.poller.del(self.listener.as_raw_fd());
+                        self.accepting = false;
+                    }
+                    self.accept_resume = Some(now + self.accept_backoff);
+                    self.accept_backoff = grow_backoff(self.accept_backoff);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream, now: Instant) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn::new(
+            stream,
+            token,
+            now,
+            self.cfg.idle_timeout,
+            self.cfg.write_timeout,
+        );
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+            .is_err()
+        {
+            return; // fd table full; the socket just closes
+        }
+        self.state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        self.state.metrics.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(token, conn);
+        self.arm_timer(token);
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(c) = self.conns.remove(&token) {
+            let _ = self.poller.del(c.stream.as_raw_fd());
+            self.state.metrics.open_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Readiness on a connection socket.
+    fn conn_ready(&mut self, token: u64, bits: u32, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if bits & EPOLLERR != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & EPOLLOUT != 0 {
+            match conn.flush(now) {
+                Ok(_) => {}
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        if bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0 && !conn.closing && !conn.read_closed {
+            match conn.read_ready() {
+                Ok(ConnRead::Open) => {}
+                Ok(ConnRead::PeerClosed) => {
+                    if conn.acc.mid_frame() {
+                        // EOF inside a frame: transport failure, like the
+                        // threaded path's Io outcome.
+                        self.close_conn(token);
+                        return;
+                    }
+                    conn.read_closed = true;
+                }
+                Ok(ConnRead::Failed) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Err(e) => {
+                    // Framing violation: answer Malformed, then hang up
+                    // once the error frame is flushed.
+                    self.state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    conn.pending.clear();
+                    let frame = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    }
+                    .encode();
+                    if conn.queue_frame(&frame, now).is_err() {
+                        self.close_conn(token);
+                        return;
+                    }
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    conn.closing = true;
+                }
+            }
+        }
+        self.drive(token, now);
+    }
+
+    /// Dispatch as many queued frames as the in-flight rule allows, then
+    /// settle interest/timers or close.
+    fn drive(&mut self, token: u64, now: Instant) {
+        self.process_pending(token, now);
+        self.settle(token);
+    }
+
+    /// Pop pending frames in arrival order while no request from this
+    /// connection is in flight: decode, then hand compute to the pool
+    /// (one in-flight request per connection preserves response order),
+    /// answering `Busy`/`Error` inline where the threaded path would.
+    fn process_pending(&mut self, token: u64, now: Instant) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.in_flight || conn.closing || self.draining {
+                return;
+            }
+            let Some(body) = conn.pending.pop_front() else {
+                return;
+            };
+            match Request::decode(&body) {
+                Ok(Request::Shutdown) => {
+                    // Inline, like the threaded path: the pressure-release
+                    // valve must work with a saturated queue. `handle`
+                    // raises the flag; the drain starts at the end of this
+                    // event batch.
+                    let resp = self.state.handle(&Request::Shutdown);
+                    let frame = resp.encode();
+                    conn.pending.clear();
+                    if conn.queue_frame(&frame, now).is_err() {
+                        self.close_conn(token);
+                        return;
+                    }
+                    let conn = self.conns.get_mut(&token).expect("still open");
+                    conn.closing = true;
+                    return;
+                }
+                Ok(req) => {
+                    let st = Arc::clone(&self.state);
+                    let cq = Arc::clone(&self.completions);
+                    let job = Box::new(move || {
+                        let resp = st.handle(&req);
+                        cq.push(token, resp);
+                    });
+                    match self.pool.try_submit(job) {
+                        Ok(()) => {
+                            conn.in_flight = true;
+                            return;
+                        }
+                        Err(SubmitError::Busy) | Err(SubmitError::Closed) => {
+                            self.state.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                            let frame = Response::Busy.encode();
+                            if conn.queue_frame(&frame, now).is_err() {
+                                self.close_conn(token);
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Payload decode failure: frame boundaries are sound,
+                    // so answer and keep the connection.
+                    self.state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let frame = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    }
+                    .encode();
+                    if conn.queue_frame(&frame, now).is_err() {
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconcile a connection's epoll interest and deadline after any
+    /// activity, or close it when it owes nothing more.
+    fn settle(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.done() {
+            self.close_conn(token);
+            return;
+        }
+        if self.draining && !conn.in_flight && conn.out.is_empty() {
+            // Drain closes everything that has nothing in flight; queued
+            // but undispatched frames are abandoned, exactly like the
+            // threaded path refusing to start a new read after the flag.
+            self.close_conn(token);
+            return;
+        }
+        let want_write = !conn.out.is_empty();
+        if want_write != conn.write_interest {
+            let interest = if want_write {
+                EPOLLIN | EPOLLRDHUP | EPOLLOUT
+            } else {
+                EPOLLIN | EPOLLRDHUP
+            };
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), interest, token)
+                .is_ok()
+            {
+                conn.write_interest = want_write;
+            }
+        }
+        self.arm_timer(token);
+    }
+
+    /// Worker-pool completions: write each response on its connection
+    /// and let the next queued frame dispatch.
+    fn completions_ready(&mut self, now: Instant) {
+        self.completions.ready.drain();
+        while let Some((token, resp)) = self.completions.pop() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // connection died while computing
+            };
+            conn.in_flight = false;
+            if matches!(resp, Response::Error { .. }) {
+                self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let frame = resp.encode();
+            match conn.queue_frame(&frame, now) {
+                Ok(_) => {
+                    // The response opens the wait for the next request:
+                    // restart the idle clock like the threaded path
+                    // re-entering `read_frame_polling`.
+                    conn.touch_read(now);
+                    self.drive(token, now);
+                }
+                Err(_) => self.close_conn(token),
+            }
+        }
+    }
+
+    /// Enter the drain: stop accepting, finish in-flight requests,
+    /// flush, close. Runs once.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if self.accepting {
+            let _ = self.poller.del(self.listener.as_raw_fd());
+            self.accepting = false;
+        }
+        self.accept_resume = None;
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.settle(token);
+        }
+    }
 }

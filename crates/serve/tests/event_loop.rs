@@ -1,0 +1,373 @@
+//! Event-loop integration tests: the readiness-polled `--io-mode epoll`
+//! path against real loopback sockets — slow-loris eviction, pipelined
+//! requests with server-side partial writes, bit-identity against
+//! `--io-mode threads` under idle-connection load, replay digests, and
+//! the `max_conns` shed path.
+//!
+//! Everything here is Linux-only at runtime via [`IoMode::Epoll`]; on
+//! other platforms `resolve_io_mode` falls the servers back to threads
+//! and the comparisons still hold trivially.
+
+use repf_sampling::{Profile, ReuseSample, StrideSample};
+use repf_serve::proto::{self, Request, Response};
+use repf_serve::{
+    generate_trace, replay_spawned, start, Client, GenConfig, IoMode, MachineId, ReplayConfig,
+    ServeConfig, Target,
+};
+use repf_statstack::StatStackModel;
+use repf_trace::{AccessKind, Pc};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const SIZES: [u64; 4] = [32 << 10, 256 << 10, 1 << 20, 8 << 20];
+
+fn epoll_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        queue_depth: 32,
+        io_mode: IoMode::Epoll,
+        idle_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// A small but non-trivial profile (hot strided misser + short-reuse
+/// hitter), same shape as the loopback suite's.
+fn synthetic_profile() -> Profile {
+    let mut p = Profile {
+        total_refs: 2_000_000,
+        sample_period: 1009,
+        line_bytes: 64,
+        ..Profile::default()
+    };
+    for i in 0..200u64 {
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(100),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(100),
+            end_kind: AccessKind::Load,
+            distance: 500_000 + i * 1000,
+            start_index: i * 4000,
+        });
+        p.reuse.push(ReuseSample {
+            start_pc: Pc(200),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(200),
+            end_kind: AccessKind::Load,
+            distance: 3 + (i % 5),
+            start_index: i * 4000 + 2000,
+        });
+        p.strides.push(StrideSample {
+            pc: Pc(100),
+            kind: AccessKind::Load,
+            stride: 64,
+            recurrence: 10,
+        });
+    }
+    p
+}
+
+fn stat(stats: &[(String, f64)], key: &str) -> f64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing stat {key}"))
+        .1
+}
+
+/// A peer that starts a frame and stalls (slow loris) is evicted after
+/// `idle_timeout` even though bytes trickled in, and an entirely silent
+/// peer likewise — while an active connection on the same loop keeps
+/// being served throughout.
+#[test]
+fn slow_loris_partial_frames_are_evicted() {
+    let handle = start(ServeConfig {
+        idle_timeout: Duration::from_millis(400),
+        ..epoll_config()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let mut active = Client::connect(addr).unwrap();
+    active.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Loris: a valid length prefix, then one byte every 100 ms — frame
+    // progress must NOT extend the idle deadline.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.write_all(&8u32.to_le_bytes()).unwrap();
+    // Silent: connects and never writes at all.
+    let mut silent = TcpStream::connect(addr).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let start_t = Instant::now();
+    let evicted_at = loop {
+        // Keep dripping until the server hangs up on us.
+        match loris.write_all(&[0x01]) {
+            Ok(()) => {}
+            Err(_) => break start_t.elapsed(),
+        }
+        // A hangup can also surface as EOF on read before the write
+        // errors (TCP buffering delays write failures).
+        let mut probe = [0u8; 1];
+        loris
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        match loris.read(&mut probe) {
+            Ok(0) => break start_t.elapsed(),
+            Ok(_) => panic!("no response frame was due"),
+            Err(_) => {} // timeout: still connected
+        }
+        active.ping().expect("active client survives the loris");
+        assert!(
+            start_t.elapsed() < Duration::from_secs(8),
+            "loris was never evicted"
+        );
+    };
+    assert!(
+        evicted_at >= Duration::from_millis(300),
+        "evicted before the idle deadline could have passed ({evicted_at:?})"
+    );
+
+    // The silent connection is gone too.
+    let mut probe = [0u8; 1];
+    assert_eq!(silent.read(&mut probe).unwrap_or(0), 0, "silent conn EOF");
+
+    // The active connection never noticed.
+    active.ping().expect("active client outlives both evictions");
+
+    active.shutdown_server().unwrap();
+    handle.join();
+}
+
+/// Pipelined requests on one connection: the client writes a burst of
+/// MRC queries with large size lists before reading anything, so the
+/// server's responses overrun the socket buffer and must be buffered,
+/// partially written, and resumed via write-readiness — in request
+/// order, bit-identical to the direct model.
+#[test]
+fn pipelined_queries_survive_partial_writes_in_order() {
+    const BURST: usize = 64;
+    const NSIZES: u64 = 5000;
+    let profile = synthetic_profile();
+    let model = StatStackModel::from_profile(&profile);
+    let sizes: Vec<u64> = (0..NSIZES).map(|i| 4096 + i * 640).collect();
+    let want: Vec<f64> = sizes.iter().map(|&b| model.miss_ratio_bytes(b)).collect();
+
+    let handle = start(epoll_config()).expect("server starts");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    raw.set_nodelay(true).unwrap();
+
+    // Submit the session on the same connection.
+    let submit = Request::Submit {
+        session: "pipe".into(),
+        batch: proto::SampleBatch::from_profile(&profile),
+    };
+    proto::write_frame(&mut raw, &submit.encode()).unwrap();
+    let body = proto::read_frame(&mut raw).unwrap().expect("accepted");
+    assert!(matches!(
+        Response::decode(&body).unwrap(),
+        Response::Accepted { .. }
+    ));
+
+    // Burst: ~BURST * NSIZES * 8 B of responses (≈2.5 MB) queue up
+    // behind a reader that hasn't started yet.
+    let query = Request::QueryMrc {
+        target: Target::Session("pipe".into()),
+        sizes_bytes: sizes.clone(),
+    };
+    let frame = query.encode();
+    for _ in 0..BURST {
+        proto::write_frame(&mut raw, &frame).unwrap();
+    }
+
+    for i in 0..BURST {
+        let body = proto::read_frame(&mut raw)
+            .unwrap()
+            .unwrap_or_else(|| panic!("response {i} missing"));
+        match Response::decode(&body).unwrap() {
+            Response::Mrc { ratios } => {
+                assert_eq!(ratios.len(), want.len(), "response {i} length");
+                for (j, (g, w)) in ratios.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "response {i} ratio {j}");
+                }
+            }
+            other => panic!("response {i}: want Mrc, got {other:?}"),
+        }
+    }
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    handle.join();
+}
+
+/// 256 idle connections parked on the event loop while an active client
+/// runs the full request mix — and every response byte matches a
+/// `--io-mode threads` server given the identical sequence. Also pins
+/// the `connections.open` gauge.
+#[test]
+fn idle_connections_do_not_perturb_active_traffic() {
+    const IDLE: usize = 256;
+    let profile = synthetic_profile();
+    let epoll = start(epoll_config()).expect("epoll server");
+    let threads = start(ServeConfig {
+        io_mode: IoMode::Threads,
+        ..epoll_config()
+    })
+    .expect("threads server");
+
+    // Park idle connections on the epoll server only.
+    let parked: Vec<TcpStream> = (0..IDLE)
+        .map(|_| TcpStream::connect(epoll.addr()).unwrap())
+        .collect();
+
+    // The same deterministic sequence against both servers, compared as
+    // raw response bytes.
+    let requests: Vec<Request> = vec![
+        Request::Ping,
+        Request::Submit {
+            session: "a".into(),
+            batch: proto::SampleBatch::from_profile(&profile),
+        },
+        Request::QueryMrc {
+            target: Target::Session("a".into()),
+            sizes_bytes: SIZES.to_vec(),
+        },
+        Request::QueryPcMrc {
+            target: Target::Session("a".into()),
+            pc: 100,
+            sizes_bytes: SIZES.to_vec(),
+        },
+        Request::QueryPcMrc {
+            target: Target::Session("a".into()),
+            pc: 9999,
+            sizes_bytes: SIZES.to_vec(),
+        },
+        Request::QueryPlan {
+            target: Target::Session("a".into()),
+            machine: MachineId::Amd,
+            delta: 4.0,
+        },
+        Request::QueryMrc {
+            target: Target::Session("missing".into()),
+            sizes_bytes: SIZES.to_vec(),
+        },
+    ];
+    let mut ce = Client::connect(epoll.addr()).unwrap();
+    let mut ct = Client::connect(threads.addr()).unwrap();
+    ce.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    ct.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for (i, req) in requests.iter().enumerate() {
+        let re = ce.call_any(req).expect("epoll response");
+        let rt = ct.call_any(req).expect("threads response");
+        assert_eq!(
+            re.encode(),
+            rt.encode(),
+            "request {i}: responses must be byte-identical across io modes"
+        );
+    }
+
+    // The gauge sees the parked herd plus the active client.
+    let stats = ce.stats().unwrap();
+    assert_eq!(stat(&stats, "connections.open"), (IDLE + 1) as f64);
+    assert_eq!(stat(&stats, "connections"), (IDLE + 1) as f64);
+    assert_eq!(stat(&stats, "connections.shed"), 0.0);
+
+    // Releasing the herd drains the gauge back down.
+    drop(parked);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let open = stat(&ce.stats().unwrap(), "connections.open");
+        if open == 1.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "connections.open stuck at {open} after closing idle conns"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    ce.shutdown_server().unwrap();
+    epoll.join();
+    ct.shutdown_server().unwrap();
+    threads.join();
+}
+
+/// The replay digest is invariant across node counts AND io modes: the
+/// event loop changes scheduling, never bytes.
+#[test]
+fn replay_digest_matches_across_modes_and_node_counts() {
+    let trace = generate_trace(&GenConfig {
+        sessions: 2,
+        rounds: 2,
+        samples_per_batch: 30,
+        ..GenConfig::default()
+    });
+    let rcfg = ReplayConfig::default();
+    let mk = |mode: IoMode| ServeConfig {
+        io_mode: mode,
+        ..epoll_config()
+    };
+
+    let e1 = replay_spawned(1, &trace, &mk(IoMode::Epoll), &rcfg).expect("epoll n=1");
+    let e3 = replay_spawned(3, &trace, &mk(IoMode::Epoll), &rcfg).expect("epoll n=3");
+    let t1 = replay_spawned(1, &trace, &mk(IoMode::Threads), &rcfg).expect("threads n=1");
+
+    assert!(e1.is_clean(), "epoll n=1 diverged: {:?}", e1.divergences);
+    assert!(e3.is_clean(), "epoll n=3 diverged: {:?}", e3.divergences);
+    assert!(t1.is_clean(), "threads n=1 diverged: {:?}", t1.divergences);
+    assert_eq!(e1.digest, e3.digest, "digest must not depend on node count");
+    assert_eq!(e1.digest, t1.digest, "digest must not depend on io mode");
+}
+
+/// Accepts past `max_conns` are shed with a Busy frame and counted,
+/// without disturbing admitted connections — in both io modes.
+#[test]
+fn max_conns_cap_sheds_with_busy() {
+    for mode in [IoMode::Epoll, IoMode::Threads] {
+        let handle = start(ServeConfig {
+            max_conns: 2,
+            io_mode: mode,
+            ..epoll_config()
+        })
+        .expect("server starts");
+        let addr = handle.addr();
+
+        let mut c1 = Client::connect(addr).unwrap();
+        let mut c2 = Client::connect(addr).unwrap();
+        c1.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        c2.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        // Pings guarantee both connections are admitted (not just queued
+        // in the accept backlog) before the third arrives.
+        c1.ping().unwrap();
+        c2.ping().unwrap();
+
+        let mut third = TcpStream::connect(addr).unwrap();
+        third
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let body = proto::read_frame(&mut third)
+            .unwrap()
+            .expect("shed connections get a Busy frame, mode {mode}");
+        assert_eq!(Response::decode(&body).unwrap(), Response::Busy);
+        let mut probe = [0u8; 1];
+        assert_eq!(third.read(&mut probe).unwrap_or(0), 0, "then EOF");
+
+        // Admitted connections are untouched; the books balance.
+        c2.ping().unwrap();
+        let stats = c1.stats().unwrap();
+        assert_eq!(stat(&stats, "connections.shed"), 1.0, "mode {mode}");
+        assert_eq!(stat(&stats, "connections.open"), 2.0, "mode {mode}");
+        assert_eq!(stat(&stats, "connections"), 2.0, "shed conns not counted");
+
+        c1.shutdown_server().unwrap();
+        handle.join();
+    }
+}

@@ -170,6 +170,15 @@ fn concurrent_clients_match_direct_calls_bit_for_bit() {
     assert_eq!(get("requests.mrc"), 8.0);
     assert_eq!(get("requests.pc_mrc"), 16.0);
     assert!(get("latency.mrc.count") >= 24.0);
+    // The open-connection gauge books this stats client as open; the 8
+    // worker connections may still be mid-teardown, so the gauge sits
+    // between 1 and the cumulative accept count. Nothing was shed and
+    // no accept failed.
+    assert_eq!(get("connections"), 9.0);
+    assert!(get("connections.open") >= 1.0, "stats client is open");
+    assert!(get("connections.open") <= get("connections"));
+    assert_eq!(get("connections.shed"), 0.0);
+    assert_eq!(get("accept.errors"), 0.0);
 
     // Shutdown control message: acknowledged, then the server drains.
     c.shutdown_server().expect("shutdown ack");

@@ -23,8 +23,8 @@ use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
 use repf::serve::{
-    generate_trace, replay_against, replay_spawned, Client, ClientError, GenConfig, MachineId,
-    ReplayConfig, ServeConfig, Target, Trace,
+    generate_trace, replay_against, replay_spawned, Client, ClientError, GenConfig, IoMode,
+    MachineId, ReplayConfig, ServeConfig, Target, Trace,
 };
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
@@ -48,6 +48,8 @@ struct Args {
     budget_mb: usize,
     shards: usize,
     model_cache: bool,
+    io_mode: IoMode,
+    max_conns: usize,
     out: Option<String>,
     trace: Option<String>,
     nodes: usize,
@@ -102,7 +104,8 @@ Run a 4-application mix with shared-LLC and shared-DRAM contention and
 report per-app speedups, throughput and traffic deltas.",
         Some("serve") => "\
 usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
-                  [--budget-mb N] [--shards N] [--no-model-cache] [--scale F]
+                  [--budget-mb N] [--shards N] [--no-model-cache]
+                  [--io-mode threads|epoll] [--max-conns N] [--scale F]
 
 Start the profiling daemon and block until a client sends the Shutdown
 control message. The bound address is printed on the first stdout line
@@ -115,6 +118,12 @@ control message. The bound address is printed on the first stdout line
                  shards are independently locked and split the budget evenly
   --no-model-cache
                  refit session models on every query (measurement baseline)
+  --io-mode M    connection I/O: `epoll` = one readiness-polled I/O thread
+                 for all sockets (default on Linux), `threads` = one OS
+                 thread per connection (reference path; default elsewhere).
+                 Also: REPF_SERVE_IO_MODE
+  --max-conns N  open-connection cap; accepts past it are shed with Busy
+                 (default: REPF_SERVE_MAX_CONNS or 4096)
   --scale F      refs scale for server-side benchmark profiling (default 0.05)",
         Some("query") => "\
 usage: repf query <what> [args] --addr HOST:PORT
@@ -145,7 +154,7 @@ file. The same seed always produces a byte-identical trace.\n
   --samples N    reuse samples per submitted batch (default 60)",
         Some("replay") => "\
 usage: repf replay --trace FILE [--nodes N] [--no-check]
-                   [--addr H:P[,H:P...]]
+                   [--io-mode threads|epoll] [--addr H:P[,H:P...]]
 
 Replay a recorded trace with a fixed interleaving, partitioning
 sessions across nodes by seeded hash, and bit-compare every
@@ -154,6 +163,7 @@ in-process StatStack/analyze oracle. Exits non-zero on divergence and
 writes the minimal offending request prefix to FILE.diverged.\n
   --trace FILE   trace file to replay (required)
   --nodes N      loopback daemons to spawn and drive (default 1)
+  --io-mode M    connection I/O mode for spawned nodes (threads|epoll)
   --addr LIST    replay against running daemons instead (comma-separated)
   --no-check     skip oracle comparison (overhead baseline)",
         _ => GENERAL_USAGE,
@@ -210,6 +220,8 @@ fn parse_args() -> Args {
     let mut budget_mb = 64;
     let mut shards = 0;
     let mut model_cache = true;
+    let mut io_mode = IoMode::Auto;
+    let mut max_conns = 0;
     let mut out = None;
     let mut trace = None;
     let mut nodes = 1;
@@ -280,6 +292,19 @@ fn parse_args() -> Args {
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
             }
             "--no-model-cache" => model_cache = false,
+            "--io-mode" => {
+                io_mode = match it.next().as_deref().map(str::parse) {
+                    Some(Ok(m)) => m,
+                    other => {
+                        eprintln!("bad --io-mode {other:?} (threads|epoll|auto)");
+                        usage_err(cmd)
+                    }
+                }
+            }
+            "--max-conns" => {
+                max_conns =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
             "--out" => out = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
             "--nodes" => {
@@ -325,6 +350,8 @@ fn parse_args() -> Args {
         budget_mb,
         shards,
         model_cache,
+        io_mode,
+        max_conns,
         out,
         trace,
         nodes,
@@ -490,6 +517,8 @@ fn cmd_serve(a: &Args) {
         session_budget_bytes: a.budget_mb << 20,
         shards: a.shards,
         model_cache: a.model_cache,
+        io_mode: a.io_mode,
+        max_conns: a.max_conns,
         refs_scale: a.scale,
         ..ServeConfig::default()
     };
@@ -499,6 +528,7 @@ fn cmd_serve(a: &Args) {
     });
     // First stdout line is machine-readable: scripts parse the port.
     println!("repf-serve listening on {}", handle.addr());
+    eprintln!("io-mode: {}", handle.io_mode());
     std::io::stdout().flush().ok();
     handle.join();
     eprintln!("repf-serve: drained and stopped");
@@ -649,6 +679,7 @@ fn cmd_replay(a: &Args) {
                 session_budget_bytes: a.budget_mb << 20,
                 shards: a.shards,
                 model_cache: a.model_cache,
+                io_mode: a.io_mode,
                 refs_scale: a.scale,
                 ..ServeConfig::default()
             };
