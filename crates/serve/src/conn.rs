@@ -193,8 +193,14 @@ pub struct Conn {
     /// Close once the write buffer drains (set after framing errors and
     /// during drain).
     pub closing: bool,
-    /// Whether the poller currently watches `EPOLLOUT` for this socket.
-    pub write_interest: bool,
+    /// The epoll interest bits currently registered for this socket
+    /// (server-maintained; `0` until registration).
+    pub interest: u32,
+    /// A framing violation was observed; the Malformed error is sent
+    /// (and the connection closed) only after the complete frames that
+    /// arrived ahead of it have been answered, matching the threaded
+    /// path's answer-then-close order for pipelined clients.
+    pub poison: Option<ProtoError>,
     /// Idle/slow-loris deadline: when the frame being awaited must be
     /// complete.
     pub read_deadline: Instant,
@@ -225,7 +231,8 @@ impl Conn {
             pending: VecDeque::new(),
             in_flight: false,
             closing: false,
-            write_interest: false,
+            interest: 0,
+            poison: None,
             read_deadline: now + idle_timeout,
             write_deadline: None,
             read_closed: false,
@@ -240,11 +247,24 @@ impl Conn {
         self.read_deadline = now + self.idle_timeout;
     }
 
-    /// The earliest instant this connection needs timer attention.
-    pub fn next_deadline(&self) -> Instant {
-        match self.write_deadline {
-            Some(w) => w.min(self.read_deadline),
-            None => self.read_deadline,
+    /// The earliest instant this connection needs timer attention, or
+    /// `None` when no deadline currently applies.
+    ///
+    /// Mirrors [`expired`](Self::expired): the read deadline can only
+    /// evict while nothing is in flight and no output is buffered, so
+    /// while it is suppressed it must not be handed to the timer heap —
+    /// re-arming an already-past instant would make the event loop's
+    /// timer drain pop it again immediately and spin forever. Every
+    /// state change that lifts the suppression (a completion lands, the
+    /// write buffer drains) passes through the server's `settle`, which
+    /// re-arms from here.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let read_armed = !self.in_flight && self.out.is_empty();
+        match (self.write_deadline, read_armed) {
+            (Some(w), true) => Some(w.min(self.read_deadline)),
+            (Some(w), false) => Some(w),
+            (None, true) => Some(self.read_deadline),
+            (None, false) => None,
         }
     }
 
@@ -313,7 +333,11 @@ impl Conn {
     /// additionally waits for queued requests and in-flight compute.
     pub fn done(&self) -> bool {
         (self.closing && self.out.is_empty())
-            || (self.read_closed && self.pending.is_empty() && !self.in_flight && self.out.is_empty())
+            || (self.read_closed
+                && self.pending.is_empty()
+                && !self.in_flight
+                && self.out.is_empty()
+                && self.poison.is_none())
     }
 }
 
@@ -464,5 +488,47 @@ mod tests {
         assert!(!conn.expired(conn.read_deadline + idle));
         conn.write_deadline = Some(t0);
         assert!(conn.expired(t0), "stalled write always evicts");
+    }
+
+    /// `next_deadline` must track `expired` exactly: whenever the read
+    /// deadline cannot evict (request in flight, or buffered output),
+    /// it must not be offered to the timer heap — a past instant that
+    /// can never fire would spin the event loop's timer drain forever.
+    #[test]
+    fn next_deadline_is_suppressed_exactly_when_eviction_is() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let t0 = Instant::now();
+        let idle = Duration::from_millis(100);
+        let mut conn = Conn::new(server_side, 1, t0, idle, Duration::from_secs(5));
+
+        // Idle connection: the read deadline is live.
+        assert_eq!(conn.next_deadline(), Some(conn.read_deadline));
+
+        // In flight with nothing buffered: no deadline at all, even
+        // though read_deadline (an instant in the past from the heap's
+        // perspective once it lapses) still holds its old value.
+        conn.in_flight = true;
+        assert_eq!(conn.next_deadline(), None);
+        assert!(!conn.expired(conn.read_deadline + idle));
+
+        // Buffered output: only the write deadline counts, never the
+        // (possibly long-past) read deadline.
+        conn.out.push_frame(&[0u8; 8]);
+        let w = t0 + Duration::from_secs(5);
+        conn.write_deadline = Some(w);
+        assert_eq!(conn.next_deadline(), Some(w));
+        conn.in_flight = false;
+        assert_eq!(conn.next_deadline(), Some(w), "output alone suppresses");
+
+        // Invariant the timer drain relies on: a live (non-expired)
+        // connection's next deadline is strictly in the future.
+        let lapsed = conn.read_deadline + idle;
+        assert!(!conn.expired(lapsed));
+        assert!(conn.next_deadline().map_or(true, |t| t > lapsed));
     }
 }

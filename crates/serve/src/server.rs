@@ -697,8 +697,17 @@ fn admit_threaded(
     let po = Arc::clone(pool);
     let c = cfg.clone();
     conns.push(std::thread::spawn(move || {
-        let _ = serve_connection(stream, Arc::clone(&st), po, c);
-        st.metrics.open_conns.fetch_sub(1, Ordering::Relaxed);
+        // RAII so a panicking connection thread still releases its slot
+        // in the gauge; leaked slots would eventually make
+        // `admit_threaded` shed every new connection as Busy.
+        struct OpenSlot(Arc<ServeState>);
+        impl Drop for OpenSlot {
+            fn drop(&mut self) {
+                self.0.metrics.open_conns.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let slot = OpenSlot(st);
+        let _ = serve_connection(stream, Arc::clone(&slot.0), po, c);
     }));
 }
 
@@ -924,6 +933,13 @@ const TOK_COMPLETION: u64 = 2;
 #[cfg(target_os = "linux")]
 const TOK_FIRST_CONN: u64 = 3;
 
+/// Floor applied when `fire_timers` re-arms a popped-but-live entry: a
+/// deadline at or before the drain loop's fixed `now` would pop right
+/// back out and livelock the I/O thread, so eviction is allowed to run
+/// this much late instead.
+#[cfg(target_os = "linux")]
+const TIMER_REARM_GRACE: Duration = Duration::from_millis(10);
+
 /// The readiness-polled event loop: every socket nonblocking on one
 /// thread, compute on the worker pool, completions back over
 /// [`CompletionQueue`]. See the module docs for the degradation rules;
@@ -1051,8 +1067,8 @@ impl EpollLoop {
     }
 
     fn arm_timer(&mut self, token: u64) {
-        if let Some(c) = self.conns.get(&token) {
-            self.timers.push(std::cmp::Reverse((c.next_deadline(), token)));
+        if let Some(t) = self.conns.get(&token).and_then(|c| c.next_deadline()) {
+            self.timers.push(std::cmp::Reverse((t, token)));
         }
     }
 
@@ -1071,8 +1087,14 @@ impl EpollLoop {
                 // Idle / slow-loris / stalled-write eviction: drop
                 // silently, exactly like the threaded path's Stop.
                 self.close_conn(token);
-            } else {
-                self.arm_timer(token);
+            } else if let Some(next) = c.next_deadline() {
+                // `next_deadline` mirrors `expired`, so a live
+                // connection's deadline lies in the future — but never
+                // trust that enough to re-push an instant `<= now`:
+                // this drain loop would pop it again immediately (with
+                // `now` fixed) and spin the I/O thread forever.
+                let next = next.max(now + TIMER_REARM_GRACE);
+                self.timers.push(std::cmp::Reverse((next, token)));
             }
         }
         if let Some(t) = self.accept_resume {
@@ -1133,7 +1155,7 @@ impl EpollLoop {
         stream.set_nodelay(true).ok();
         let token = self.next_token;
         self.next_token += 1;
-        let conn = Conn::new(
+        let mut conn = Conn::new(
             stream,
             token,
             now,
@@ -1147,6 +1169,7 @@ impl EpollLoop {
         {
             return; // fd table full; the socket just closes
         }
+        conn.interest = EPOLLIN | EPOLLRDHUP;
         self.state.metrics.connections.fetch_add(1, Ordering::Relaxed);
         self.state.metrics.open_conns.fetch_add(1, Ordering::Relaxed);
         self.conns.insert(token, conn);
@@ -1166,6 +1189,14 @@ impl EpollLoop {
             return;
         };
         if bits & EPOLLERR != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & EPOLLHUP != 0 && (conn.read_closed || conn.closing) {
+            // Both directions are gone and reading already stopped:
+            // nothing queued can ever be delivered, and with read
+            // interest dropped a level-triggered HUP would otherwise
+            // keep waking the loop for a connection it can't advance.
             self.close_conn(token);
             return;
         }
@@ -1195,23 +1226,18 @@ impl EpollLoop {
                     return;
                 }
                 Err(e) => {
-                    // Framing violation: answer Malformed, then hang up
-                    // once the error frame is flushed.
+                    // Framing violation: the stream can never
+                    // resynchronize, so stop reading — but the complete
+                    // frames that arrived coalesced ahead of the bad
+                    // prefix are still answered first (the threaded
+                    // path would have served them before hitting it).
+                    // `process_pending` emits the Malformed error and
+                    // hangs up once `pending` drains.
                     self.state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
                     self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let conn = self.conns.get_mut(&token).expect("checked above");
-                    conn.pending.clear();
-                    let frame = Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    }
-                    .encode();
-                    if conn.queue_frame(&frame, now).is_err() {
-                        self.close_conn(token);
-                        return;
-                    }
-                    let conn = self.conns.get_mut(&token).expect("checked above");
-                    conn.closing = true;
+                    conn.poison = Some(e);
+                    conn.read_closed = true;
                 }
             }
         }
@@ -1238,6 +1264,22 @@ impl EpollLoop {
                 return;
             }
             let Some(body) = conn.pending.pop_front() else {
+                // Every complete frame that preceded a framing
+                // violation has been answered; now the Malformed error
+                // goes out and the connection hangs up.
+                if let Some(e) = conn.poison.take() {
+                    let frame = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    }
+                    .encode();
+                    if conn.queue_frame(&frame, now).is_err() {
+                        self.close_conn(token);
+                        return;
+                    }
+                    let conn = self.conns.get_mut(&token).expect("still open");
+                    conn.closing = true;
+                }
                 return;
             };
             match Request::decode(&body) {
@@ -1315,20 +1357,27 @@ impl EpollLoop {
             self.close_conn(token);
             return;
         }
+        // Read interest must drop once reading has stopped (`closing`
+        // or `read_closed`): with level-triggered epoll, an EOF'd or
+        // unread socket stays permanently readable, and keeping EPOLLIN
+        // registered would spin the loop at 100% CPU while the
+        // connection waits on in-flight compute or a stalled write.
+        let want_read = !conn.closing && !conn.read_closed;
         let want_write = !conn.out.is_empty();
-        if want_write != conn.write_interest {
-            let interest = if want_write {
-                EPOLLIN | EPOLLRDHUP | EPOLLOUT
-            } else {
-                EPOLLIN | EPOLLRDHUP
-            };
-            if self
+        let mut interest = 0u32;
+        if want_read {
+            interest |= EPOLLIN | EPOLLRDHUP;
+        }
+        if want_write {
+            interest |= EPOLLOUT;
+        }
+        if interest != conn.interest
+            && self
                 .poller
                 .modify(conn.stream.as_raw_fd(), interest, token)
                 .is_ok()
-            {
-                conn.write_interest = want_write;
-            }
+        {
+            conn.interest = interest;
         }
         self.arm_timer(token);
     }

@@ -207,6 +207,130 @@ fn pipelined_queries_survive_partial_writes_in_order() {
     handle.join();
 }
 
+/// Regression (timer livelock): a connection whose idle/read deadline
+/// lapses while responses are still buffered server-side must not stall
+/// the event loop. The broken re-arm pushed the same past-due instant
+/// back onto the timer heap inside the drain loop, spinning the single
+/// I/O thread forever — no flushes, no accepts, total deadlock.
+#[test]
+fn lapsed_read_deadline_with_buffered_output_does_not_stall_the_loop() {
+    const BURST: usize = 8;
+    const NSIZES: u64 = 20_000;
+    let handle = start(ServeConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..epoll_config()
+    })
+    .expect("server starts");
+
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let submit = Request::Submit {
+        session: "stall".into(),
+        batch: proto::SampleBatch::from_profile(&synthetic_profile()),
+    };
+    proto::write_frame(&mut raw, &submit.encode()).unwrap();
+    proto::read_frame(&mut raw).unwrap().expect("accepted");
+
+    // ~1.2 MB of responses queue behind a reader that hasn't started.
+    let query = Request::QueryMrc {
+        target: Target::Session("stall".into()),
+        sizes_bytes: (0..NSIZES).map(|i| 4096 + i * 64).collect(),
+    };
+    let frame = query.encode();
+    for _ in 0..BURST {
+        proto::write_frame(&mut raw, &frame).unwrap();
+    }
+
+    // Let the idle deadline lapse while the write buffer is non-empty
+    // (eviction is suppressed by the buffered output, so the deadline
+    // is due-but-unfireable — exactly the livelock precondition).
+    std::thread::sleep(Duration::from_millis(900));
+
+    // The loop must still accept and serve an independent client...
+    let mut active = Client::connect(handle.addr()).unwrap();
+    active.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    active.ping().expect("loop stays responsive during the stalled flush");
+
+    // ...and finish flushing every buffered response.
+    for i in 0..BURST {
+        let body = proto::read_frame(&mut raw)
+            .unwrap()
+            .unwrap_or_else(|| panic!("response {i} missing"));
+        match Response::decode(&body).unwrap() {
+            Response::Mrc { ratios } => assert_eq!(ratios.len(), NSIZES as usize),
+            other => panic!("response {i}: want Mrc, got {other:?}"),
+        }
+    }
+
+    active.shutdown_server().unwrap();
+    handle.join();
+}
+
+/// A client that half-closes (shutdown(SHUT_WR)) after its request
+/// still gets the response: the loop parks read interest on the EOF'd
+/// socket instead of spinning on a level-triggered readable-at-EOF fd,
+/// and closes once everything owed has been delivered.
+#[test]
+fn half_closed_connection_still_receives_its_response() {
+    let handle = start(epoll_config()).expect("server starts");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    proto::write_frame(&mut raw, &Request::Ping.encode()).unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let body = proto::read_frame(&mut raw).unwrap().expect("response");
+    assert!(matches!(Response::decode(&body).unwrap(), Response::Pong));
+    let mut probe = [0u8; 1];
+    assert_eq!(raw.read(&mut probe).unwrap_or(0), 0, "EOF after response");
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown_server().unwrap();
+    handle.join();
+}
+
+/// Complete frames that arrive coalesced ahead of a bad length prefix
+/// are answered before the Malformed error — the order the threaded
+/// path produces for a pipelined client that ends with garbage.
+#[test]
+fn frames_ahead_of_a_bad_prefix_are_answered_before_malformed() {
+    let handle = start(epoll_config()).expect("server starts");
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Two valid pings and a poisoned prefix (length 1 < minimum), all
+    // in one write so they land in the same readiness event.
+    let ping = Request::Ping.encode(); // full frame, prefix included
+    let mut bytes = Vec::new();
+    for _ in 0..2 {
+        bytes.extend_from_slice(&ping);
+    }
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    raw.write_all(&bytes).unwrap();
+
+    for i in 0..2 {
+        let body = proto::read_frame(&mut raw)
+            .unwrap()
+            .unwrap_or_else(|| panic!("pong {i} missing"));
+        match Response::decode(&body).unwrap() {
+            Response::Pong => {}
+            other => panic!("request {i}: want Pong before the violation, got {other:?}"),
+        }
+    }
+    let body = proto::read_frame(&mut raw).unwrap().expect("error frame");
+    match Response::decode(&body).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, proto::ErrorCode::Malformed),
+        other => panic!("want Malformed, got {other:?}"),
+    }
+    let mut probe = [0u8; 1];
+    assert_eq!(raw.read(&mut probe).unwrap_or(0), 0, "EOF after the error");
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "malformed"), 1.0, "violation counted once");
+    c.shutdown_server().unwrap();
+    handle.join();
+}
+
 /// 256 idle connections parked on the event loop while an active client
 /// runs the full request mix — and every response byte matches a
 /// `--io-mode threads` server given the identical sequence. Also pins
