@@ -28,18 +28,30 @@
 //! parked socket) and the client-observed active-request p50/p99, which
 //! must not regress under epoll.
 //!
+//! A fifth scenario, **sustained_load**, drives the open-loop zipf/YCSB
+//! load generator (`repf_serve::loadgen`) against fresh epoll daemons:
+//! per op mix and per connection-herd size it sweeps the target arrival
+//! rate and records throughput-vs-latency curves with
+//! coordinated-omission-safe (intended-start-time) p50/p99/p999, plus a
+//! batched-vs-unbatched I/O comparison at the same target rate with the
+//! server's `io.batch.*` counters alongside.
+//!
 //! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200),
 //! `REPF_SERVE_CLIENTS` (concurrent clients, default 4),
 //! `REPF_SERVE_SESSIONS` (contention clients = distinct sessions,
 //! default 8), `REPF_REPLAY_SESSIONS` / `REPF_REPLAY_ROUNDS` (replay
 //! trace shape, defaults 6 / 4), `REPF_IDLE_CONNS` / `REPF_IDLE_ITERS`
-//! (idle-herd size and active queries, defaults 1000 / 300).
+//! (idle-herd size and active queries, defaults 1000 / 300),
+//! `REPF_LOAD_CONNS` / `REPF_LOAD_RATES` (comma-separated sweep lists,
+//! defaults `1000,8000` and `2000,6000`), `REPF_LOAD_SECS` /
+//! `REPF_LOAD_SESSIONS` (schedule length and zipf session pool,
+//! defaults 2 / 16).
 
 use crate::obs::Json;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
 use repf_serve::{
-    generate_trace, replay_spawned, start, Client, GenConfig, IoMode, MachineId, ReplayConfig,
-    ReplayReport, ServeConfig, Target,
+    generate_trace, replay_spawned, run_load, start, Client, GenConfig, IoMode, LoadConfig,
+    LoadReport, MachineId, OpMix, ReplayConfig, ReplayReport, ServeConfig, Target,
 };
 use repf_sim::Exec;
 use repf_trace::{AccessKind, Pc};
@@ -299,6 +311,76 @@ fn idle_conns_run(mode: IoMode, threads: usize, idle: usize, iters: usize) -> Id
     }
 }
 
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// One sustained-load point: a fresh epoll daemon (batched or unbatched
+/// I/O), the open-loop generator at `rate` with `conns` open sockets,
+/// and the server's own stats snapshot from just before shutdown.
+fn load_point(
+    threads: usize,
+    io_batch: bool,
+    mix: OpMix,
+    conns: usize,
+    rate: f64,
+    secs: f64,
+    sessions: u32,
+) -> (LoadReport, Vec<(String, f64)>) {
+    let handle = start(ServeConfig {
+        threads,
+        io_mode: IoMode::Epoll,
+        io_batch,
+        max_conns: conns + 64,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let addr = handle.addr();
+    let report = run_load(
+        &addr.to_string(),
+        &LoadConfig {
+            seed: 0x10AD_BE4C,
+            mix,
+            rate,
+            duration: std::time::Duration::from_secs_f64(secs),
+            conns,
+            sessions,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("load run");
+    let mut c = Client::connect(addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    c.shutdown_server().expect("shutdown");
+    handle.join();
+    (report, stats)
+}
+
+fn load_point_json(r: &LoadReport) -> Json {
+    Json::obj([
+        ("target_rate", Json::Num(r.cfg.rate)),
+        ("achieved_rate", Json::Num(r.achieved_rate())),
+        ("sent", Json::Num(r.sent as f64)),
+        ("completed", Json::Num(r.completed as f64)),
+        ("busy", Json::Num(r.busy as f64)),
+        ("errors", Json::Num(r.errors as f64)),
+        ("intended_p50_us", Json::Num(r.intended.quantile_us(0.50))),
+        ("intended_p99_us", Json::Num(r.intended.quantile_us(0.99))),
+        ("intended_p999_us", Json::Num(r.intended.quantile_us(0.999))),
+        ("service_p50_us", Json::Num(r.service.quantile_us(0.50))),
+        ("service_p99_us", Json::Num(r.service.quantile_us(0.99))),
+        ("max_send_lag_us", Json::Num(r.max_send_lag_us as f64)),
+    ])
+}
+
 fn idle_json(r: &IdleRun) -> Json {
     Json::obj([
         ("daemon_threads", Json::Num(r.daemon_threads as f64)),
@@ -368,6 +450,124 @@ pub fn run() {
     let idle_iters = env_usize("REPF_IDLE_ITERS", 300);
     let idle_epoll = idle_conns_run(IoMode::Epoll, threads, idle, idle_iters);
     let idle_threads = idle_conns_run(IoMode::Threads, threads, idle, idle_iters);
+
+    // Sustained open-loop load: throughput-vs-latency curves per op mix
+    // and herd size, with coordinated-omission-safe percentiles.
+    // Default herd sizes fit a 20k RLIMIT_NOFILE hard cap (2 fds/conn
+    // in-process); push higher (1k/10k/50k) via REPF_LOAD_CONNS where
+    // the environment allows.
+    let load_conns = env_list("REPF_LOAD_CONNS", &[1000, 8000]);
+    let load_rates = env_list("REPF_LOAD_RATES", &[2000, 6000]);
+    let load_secs = env_usize("REPF_LOAD_SECS", 2) as f64;
+    let load_sessions = env_usize("REPF_LOAD_SESSIONS", 16) as u32;
+    // Everything is loopback in-process: each open connection costs two
+    // descriptors (client socket + accepted socket), so provision 2x.
+    #[cfg(target_os = "linux")]
+    repf_serve::poll::raise_nofile_limit(
+        (load_conns.iter().copied().max().unwrap_or(0) * 2 + 512) as u64,
+    );
+    let mut load_curves: Vec<Json> = Vec::new();
+    for mix in [OpMix::QueryHeavy, OpMix::Scan] {
+        for &conns in &load_conns {
+            let mut points: Vec<Json> = Vec::new();
+            for &rate in &load_rates {
+                let (r, _) = load_point(
+                    threads,
+                    true,
+                    mix,
+                    conns,
+                    rate as f64,
+                    load_secs,
+                    load_sessions,
+                );
+                println!(
+                    "  load {mix} x{conns} conns @ {rate}/s: {:.0}/s achieved, intended p50 {:>6.0} us p99 {:>7.0} us p999 {:>7.0} us ({} busy, {} errors)",
+                    r.achieved_rate(),
+                    r.intended.quantile_us(0.50),
+                    r.intended.quantile_us(0.99),
+                    r.intended.quantile_us(0.999),
+                    r.busy,
+                    r.errors,
+                );
+                points.push(load_point_json(&r));
+            }
+            load_curves.push(Json::obj([
+                ("mix", Json::str(mix.as_str())),
+                ("conns", Json::Num(conns as f64)),
+                ("points", Json::Arr(points)),
+            ]));
+        }
+    }
+
+    // Batched vs. unbatched epoll I/O at the same target rate: the
+    // before/after for the completion-drain + writev + dispatch batching.
+    let cmp_conns = load_conns[0];
+    let cmp_rate = *load_rates.last().unwrap() as f64;
+    let (batched, batched_stats) = load_point(
+        threads,
+        true,
+        OpMix::QueryHeavy,
+        cmp_conns,
+        cmp_rate,
+        load_secs,
+        load_sessions,
+    );
+    let (unbatched, unbatched_stats) = load_point(
+        threads,
+        false,
+        OpMix::QueryHeavy,
+        cmp_conns,
+        cmp_rate,
+        load_secs,
+        load_sessions,
+    );
+    let stat_in = |stats: &[(String, f64)], k: &str| {
+        stats
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        stat_in(&batched_stats, "io.batch.flushes") > 0.0,
+        "batched run must exercise the batched flush path"
+    );
+    println!(
+        "  load batching @ {cmp_rate:.0}/s x{cmp_conns}: batched p99 {:>6.0} us ({:.0} flushes, {:.2} frames/flush) vs unbatched p99 {:>6.0} us",
+        batched.intended.quantile_us(0.99),
+        stat_in(&batched_stats, "io.batch.flushes"),
+        stat_in(&batched_stats, "io.batch.flush_frames")
+            / stat_in(&batched_stats, "io.batch.flushes").max(1.0),
+        unbatched.intended.quantile_us(0.99),
+    );
+    let batch_side = |r: &LoadReport, stats: &[(String, f64)]| {
+        Json::obj([
+            ("point", load_point_json(r)),
+            (
+                "io_batch_flushes",
+                Json::Num(stat_in(stats, "io.batch.flushes")),
+            ),
+            (
+                "io_batch_flush_frames",
+                Json::Num(stat_in(stats, "io.batch.flush_frames")),
+            ),
+            (
+                "io_batch_completion_drains",
+                Json::Num(stat_in(stats, "io.batch.completion_drains")),
+            ),
+            (
+                "io_batch_dispatch_jobs",
+                Json::Num(stat_in(stats, "io.batch.dispatch_jobs")),
+            ),
+        ])
+    };
+    let load_batching = Json::obj([
+        ("mix", Json::str(OpMix::QueryHeavy.as_str())),
+        ("conns", Json::Num(cmp_conns as f64)),
+        ("target_rate", Json::Num(cmp_rate)),
+        ("batched", batch_side(&batched, &batched_stats)),
+        ("unbatched", batch_side(&unbatched, &unbatched_stats)),
+    ]);
 
     let handle = start(ServeConfig {
         threads,
@@ -501,6 +701,15 @@ pub fn run() {
                 ("active_iters", Json::Num(idle_iters as f64)),
                 ("epoll", idle_json(&idle_epoll)),
                 ("threads", idle_json(&idle_threads)),
+            ]),
+        ),
+        (
+            "sustained_load".into(),
+            Json::obj([
+                ("duration_secs", Json::Num(load_secs)),
+                ("sessions", Json::Num(load_sessions as f64)),
+                ("curves", Json::Arr(load_curves)),
+                ("batching", load_batching),
             ]),
         ),
         (

@@ -102,35 +102,99 @@ impl FrameAccumulator {
     }
 }
 
-/// Buffered outbound bytes with partial-write resumption: responses are
-/// appended as fully-encoded frames and flushed as far as the socket
-/// accepts, keeping a cursor so `EPOLLOUT` can continue exactly where
-/// the kernel buffer filled up.
+/// Buffered outbound frames with partial-write resumption: responses
+/// are appended as fully-encoded frames and flushed as far as the
+/// socket accepts, keeping a cursor so `EPOLLOUT` can continue exactly
+/// where the kernel buffer filled up.
+///
+/// Two flush strategies, byte-identical on the wire:
+///
+/// * **vectored** (default) — frames are kept as separate buffers and
+///   flushed with `write_vectored` (`writev`), so queuing a frame never
+///   copies its bytes and a backlog of responses goes out in one
+///   scatter-gather syscall;
+/// * **coalescing** ([`set_coalesce`](Self::set_coalesce)) — frames are
+///   copied into one contiguous buffer and flushed with plain `write`,
+///   the pre-batching reference behavior the unbatched epoll path keeps
+///   for before/after comparison.
 #[derive(Default)]
 pub struct WriteBuf {
-    buf: Vec<u8>,
-    pos: usize,
+    /// Queued frames; in coalescing mode at most one entry that every
+    /// push appends to.
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of `frames[0]` already written.
+    head: usize,
+    coalesce: bool,
 }
 
+/// Most frames handed to one `write_vectored` call; a longer backlog
+/// just takes another call.
+const MAX_IOVECS: usize = 64;
+
 impl WriteBuf {
-    /// An empty buffer.
+    /// An empty buffer (vectored flush).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Switch to the coalescing (contiguous copy + plain `write`)
+    /// strategy. Only meaningful while empty.
+    pub fn set_coalesce(&mut self) {
+        debug_assert!(self.is_empty());
+        self.coalesce = true;
+    }
+
     /// Queue a fully-encoded frame (length prefix included).
     pub fn push_frame(&mut self, frame: &[u8]) {
-        self.buf.extend_from_slice(frame);
+        if self.coalesce {
+            match self.frames.back_mut() {
+                Some(buf) => buf.extend_from_slice(frame),
+                None => self.frames.push_back(frame.to_vec()),
+            }
+        } else {
+            self.frames.push_back(frame.to_vec());
+        }
+    }
+
+    /// Hand over an already-encoded frame without copying it (vectored
+    /// mode's zero-copy entry; coalescing mode still copies).
+    pub fn push_frame_owned(&mut self, frame: Vec<u8>) {
+        if self.coalesce {
+            self.push_frame(&frame);
+        } else {
+            self.frames.push_back(frame);
+        }
     }
 
     /// Unwritten bytes pending.
     pub fn pending(&self) -> usize {
-        self.buf.len() - self.pos
+        self.frames.iter().map(Vec::len).sum::<usize>() - self.head
+    }
+
+    /// Queued frames not yet fully written (in coalescing mode, 0 or 1
+    /// regardless of how many frames were pushed).
+    pub fn frames_pending(&self) -> usize {
+        self.frames.len()
     }
 
     /// `true` when everything queued has been written.
     pub fn is_empty(&self) -> bool {
-        self.pending() == 0
+        self.frames.is_empty()
+    }
+
+    /// Drop `n` written bytes from the front of the queue.
+    fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            let front_left = self.frames[0].len() - self.head;
+            if n >= front_left {
+                n -= front_left;
+                self.head = 0;
+                self.frames.pop_front();
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
     }
 
     /// Write as much as `w` accepts. Returns `Ok(true)` when the buffer
@@ -138,22 +202,32 @@ impl WriteBuf {
     /// bytes still pending. `Interrupted` is retried; `WouldBlock` is
     /// not an error.
     pub fn write_to(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
-        while self.pos < self.buf.len() {
-            match w.write(&self.buf[self.pos..]) {
+        while !self.frames.is_empty() {
+            let wrote = if self.coalesce || self.frames.len() == 1 {
+                w.write(&self.frames[0][self.head..])
+            } else {
+                let mut slices: Vec<std::io::IoSlice<'_>> =
+                    Vec::with_capacity(self.frames.len().min(MAX_IOVECS));
+                slices.push(std::io::IoSlice::new(&self.frames[0][self.head..]));
+                for f in self.frames.iter().skip(1).take(MAX_IOVECS - 1) {
+                    slices.push(std::io::IoSlice::new(f));
+                }
+                w.write_vectored(&slices)
+            };
+            match wrote {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => self.pos += n,
+                Ok(n) => self.consume(n),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
-        self.buf.clear();
-        self.pos = 0;
+        self.head = 0;
         Ok(true)
     }
 }
@@ -316,6 +390,13 @@ impl Conn {
         self.flush(now)
     }
 
+    /// Queue an encoded response frame *without* flushing: the batched
+    /// event loop defers the socket write to one flush pass per poll
+    /// iteration, so several frames go out in a single `writev`.
+    pub fn queue_frame_deferred(&mut self, frame: Vec<u8>) {
+        self.out.push_frame_owned(frame);
+    }
+
     /// Continue writing buffered output (the `EPOLLOUT` handler).
     pub fn flush(&mut self, now: Instant) -> std::io::Result<bool> {
         let drained = self.out.write_to(&mut self.stream)?;
@@ -452,6 +533,86 @@ mod tests {
         assert!(wb.is_empty());
     }
 
+    /// A writer that exercises the scatter-gather path: takes a byte
+    /// budget per call across *all* slices, so partial writes can end
+    /// mid-frame and mid-slice.
+    struct Vectored {
+        taken: Vec<u8>,
+        per_call: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Vectored {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.write_vectored(&[std::io::IoSlice::new(buf)])
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.calls_left -= 1;
+            let mut budget = self.per_call;
+            let mut wrote = 0;
+            for b in bufs {
+                let n = b.len().min(budget);
+                self.taken.extend_from_slice(&b[..n]);
+                wrote += n;
+                budget -= n;
+                if budget == 0 {
+                    break;
+                }
+            }
+            Ok(wrote)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_vectored_preserves_frame_order_across_partial_writes() {
+        let frames: Vec<Vec<u8>> = (0..5u8)
+            .map(|i| frame_of(&vec![i; 3 + i as usize * 4]))
+            .collect();
+        let want: Vec<u8> = frames.iter().flatten().copied().collect();
+
+        let mut wb = WriteBuf::new();
+        for f in &frames {
+            wb.push_frame(f);
+        }
+        assert_eq!(wb.frames_pending(), 5, "vectored mode keeps frames apart");
+        assert_eq!(wb.pending(), want.len());
+
+        // Partial budget cuts mid-frame; the cursor must resume exactly.
+        let mut w = Vectored {
+            taken: Vec::new(),
+            per_call: 7,
+            calls_left: 2,
+        };
+        assert!(!wb.write_to(&mut w).unwrap(), "blocked mid-backlog");
+        assert_eq!(wb.pending(), want.len() - 14);
+        w.calls_left = usize::MAX;
+        assert!(wb.write_to(&mut w).unwrap(), "drains when unblocked");
+        assert_eq!(w.taken, want, "bytes identical and in order");
+        assert!(wb.is_empty());
+
+        // The coalescing reference strategy produces the same bytes.
+        let mut wb = WriteBuf::new();
+        wb.set_coalesce();
+        for f in &frames {
+            wb.push_frame(f);
+        }
+        assert_eq!(wb.frames_pending(), 1, "coalesced into one buffer");
+        assert_eq!(wb.pending(), want.len());
+        let mut w = Vectored {
+            taken: Vec::new(),
+            per_call: 7,
+            calls_left: usize::MAX,
+        };
+        assert!(wb.write_to(&mut w).unwrap());
+        assert_eq!(w.taken, want, "coalescing strategy is byte-identical");
+    }
+
     #[test]
     fn conn_deadlines_follow_frame_completion_not_bytes() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
@@ -529,6 +690,6 @@ mod tests {
         // connection's next deadline is strictly in the future.
         let lapsed = conn.read_deadline + idle;
         assert!(!conn.expired(lapsed));
-        assert!(conn.next_deadline().map_or(true, |t| t > lapsed));
+        assert!(conn.next_deadline().is_none_or(|t| t > lapsed));
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod client;
 pub mod conn;
+pub mod loadgen;
 pub mod metrics;
 #[cfg(target_os = "linux")]
 pub mod poll;
@@ -50,7 +51,10 @@ pub mod session;
 pub mod trace_file;
 
 pub use client::{Client, ClientError};
-pub use metrics::{LatencyHisto, Metrics};
+pub use loadgen::{
+    generate_ops, request_for, run_load, LoadConfig, LoadReport, Op, OpKind, OpMix, ZipfGen,
+};
+pub use metrics::{LatencyHisto, LogHisto, Metrics};
 pub use proto::{
     ErrorCode, MachineId, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
     PROTO_VERSION,

@@ -148,6 +148,14 @@ pub struct ServeConfig {
     pub model_cache: bool,
     /// Connection I/O mode ([`resolve_io_mode`] resolves `Auto`).
     pub io_mode: IoMode,
+    /// Batch the epoll hot path (default): drain the completion queue
+    /// in one lock acquisition per wake, coalesce completion-eventfd
+    /// signals, dispatch decoded frames to the worker pool in chunked
+    /// jobs, and defer response flushes to one `writev` scatter-gather
+    /// pass per poll iteration. Off (`--no-io-batch`) keeps the
+    /// one-at-a-time reference path for before/after measurement; the
+    /// response bytes per connection are identical either way.
+    pub io_batch: bool,
     /// Open-connection cap; accepts past it are shed with a `Busy`
     /// response (`connections.shed`). `0` reads `REPF_SERVE_MAX_CONNS`,
     /// falling back to 4096.
@@ -171,6 +179,7 @@ impl Default for ServeConfig {
             shards: 0,
             model_cache: true,
             io_mode: IoMode::Auto,
+            io_batch: true,
             max_conns: 0,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
@@ -902,24 +911,64 @@ fn send(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
 struct CompletionQueue {
     done: Mutex<VecDeque<(u64, Response)>>,
     ready: EventFd,
+    /// Batched mode: signal the eventfd only on the empty→non-empty
+    /// transition. The I/O thread drains the whole queue per wake
+    /// (`drain_into`), so intermediate signals would only add spurious
+    /// `epoll_wait` round trips and eventfd syscalls.
+    coalesce_signal: bool,
 }
 
 #[cfg(target_os = "linux")]
 impl CompletionQueue {
-    fn new() -> std::io::Result<Self> {
+    fn new(coalesce_signal: bool) -> std::io::Result<Self> {
         Ok(CompletionQueue {
             done: Mutex::new(VecDeque::new()),
             ready: EventFd::new()?,
+            coalesce_signal,
         })
     }
 
     fn push(&self, token: u64, resp: Response) {
-        self.done.lock().expect("completion queue").push_back((token, resp));
-        self.ready.signal();
+        let was_empty = {
+            let mut q = self.done.lock().expect("completion queue");
+            let was_empty = q.is_empty();
+            q.push_back((token, resp));
+            was_empty
+        };
+        if !self.coalesce_signal || was_empty {
+            self.ready.signal();
+        }
+    }
+
+    /// One lock acquisition and at most one eventfd signal for a whole
+    /// chunk of completions (the batched dispatch path).
+    fn push_batch(&self, items: Vec<(u64, Response)>) {
+        if items.is_empty() {
+            return;
+        }
+        let was_empty = {
+            let mut q = self.done.lock().expect("completion queue");
+            let was_empty = q.is_empty();
+            q.extend(items);
+            was_empty
+        };
+        if !self.coalesce_signal || was_empty {
+            self.ready.signal();
+        }
     }
 
     fn pop(&self) -> Option<(u64, Response)> {
         self.done.lock().expect("completion queue").pop_front()
+    }
+
+    /// Take everything queued in one lock acquisition.
+    ///
+    /// Safe with coalesced signals: a worker that pushes after this
+    /// drain sees an empty queue and signals; one that pushed before it
+    /// had its items taken right here.
+    fn drain_into(&self, out: &mut Vec<(u64, Response)>) {
+        let mut q = self.done.lock().expect("completion queue");
+        out.extend(q.drain(..));
     }
 }
 
@@ -957,11 +1006,12 @@ fn epoll_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, t
     poller
         .add(state.wake.fd(), EPOLLIN, TOK_WAKE)
         .expect("register wake eventfd");
-    let completions = Arc::new(CompletionQueue::new().expect("completion eventfd"));
+    let completions = Arc::new(CompletionQueue::new(cfg.io_batch).expect("completion eventfd"));
     poller
         .add(completions.ready.fd(), EPOLLIN, TOK_COMPLETION)
         .expect("register completion eventfd");
 
+    let io_batch = cfg.io_batch;
     let mut lp = EpollLoop {
         state,
         cfg,
@@ -977,6 +1027,11 @@ fn epoll_loop(listener: TcpListener, state: Arc<ServeState>, cfg: ServeConfig, t
         accept_backoff: ACCEPT_BACKOFF_MIN,
         accept_resume: None,
         draining: false,
+        io_batch,
+        touched: Vec::new(),
+        dispatch: Vec::new(),
+        comp_buf: Vec::new(),
+        pool_full: false,
     };
     lp.run();
     lp.pool.shutdown();
@@ -1006,6 +1061,22 @@ struct EpollLoop {
     /// When accept errors paused the listener, the instant to resume.
     accept_resume: Option<Instant>,
     draining: bool,
+    /// Batched hot path (`ServeConfig::io_batch`): readiness and
+    /// completions only *collect* work during the event sweep; decode,
+    /// pool dispatch, and socket flushes run once per poll iteration in
+    /// [`finish_batch`](Self::finish_batch).
+    io_batch: bool,
+    /// Tokens that saw activity this poll iteration (reads, completions)
+    /// and still need pending-frame processing + one deferred flush.
+    touched: Vec<u64>,
+    /// Decoded `(token, request)` pairs awaiting chunked pool submit.
+    dispatch: Vec<(u64, Request)>,
+    /// Reused drain buffer for [`CompletionQueue::drain_into`].
+    comp_buf: Vec<(u64, Response)>,
+    /// Latched when a pool submit fails within the current iteration:
+    /// the rest of the batch answers `Busy` inline instead of retrying a
+    /// queue that was full microseconds ago.
+    pool_full: bool,
 }
 
 #[cfg(target_os = "linux")]
@@ -1025,9 +1096,18 @@ impl EpollLoop {
                     TOK_WAKE => {
                         self.state.wake.drain();
                     }
-                    TOK_COMPLETION => self.completions_ready(now),
+                    TOK_COMPLETION => {
+                        if self.io_batch {
+                            self.completions_ready_batched(now);
+                        } else {
+                            self.completions_ready(now);
+                        }
+                    }
                     token => self.conn_ready(token, ev.events, now),
                 }
+            }
+            if self.io_batch {
+                self.finish_batch(now);
             }
             let now = Instant::now();
             self.fire_timers(now);
@@ -1162,6 +1242,11 @@ impl EpollLoop {
             self.cfg.idle_timeout,
             self.cfg.write_timeout,
         );
+        if !self.io_batch {
+            // The unbatched reference path keeps the pre-batching
+            // contiguous write buffer (one coalesced `write` per flush).
+            conn.out.set_coalesce();
+        }
         if self
             .poller
             .add(conn.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
@@ -1241,7 +1326,13 @@ impl EpollLoop {
                 }
             }
         }
-        self.drive(token, now);
+        if self.io_batch {
+            // Defer decode/dispatch/flush to `finish_batch`, once per
+            // poll iteration across every touched connection.
+            self.touched.push(token);
+        } else {
+            self.drive(token, now);
+        }
     }
 
     /// Dispatch as many queued frames as the in-flight rule allows, then
@@ -1406,6 +1497,240 @@ impl EpollLoop {
                 Err(_) => self.close_conn(token),
             }
         }
+    }
+
+    /// Batched completion intake: drain the eventfd once, take every
+    /// queued completion in one lock acquisition, and only *queue* the
+    /// response frames — the socket writes happen in `finish_batch`'s
+    /// single flush pass.
+    fn completions_ready_batched(&mut self, now: Instant) {
+        self.completions.ready.drain();
+        let mut batch = std::mem::take(&mut self.comp_buf);
+        self.completions.drain_into(&mut batch);
+        if !batch.is_empty() {
+            self.state
+                .metrics
+                .io_batch_completion_drains
+                .fetch_add(1, Ordering::Relaxed);
+            self.state
+                .metrics
+                .io_batch_completions
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        for (token, resp) in batch.drain(..) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // connection died while computing
+            };
+            conn.in_flight = false;
+            if matches!(resp, Response::Error { .. }) {
+                self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.queue_frame_deferred(resp.encode());
+            // The response opens the wait for the next request: restart
+            // the idle clock like the threaded path re-entering
+            // `read_frame_polling`.
+            conn.touch_read(now);
+            self.touched.push(token);
+        }
+        self.comp_buf = batch; // keep the allocation
+    }
+
+    /// The once-per-poll-iteration tail of the batched hot path:
+    /// process every touched connection's pending frames (collecting
+    /// decoded requests into `dispatch`), submit the collected requests
+    /// to the pool in chunked jobs, then flush each touched connection
+    /// exactly once (a `writev` across all its queued frames) and
+    /// settle its interest/timers.
+    fn finish_batch(&mut self, now: Instant) {
+        if self.touched.is_empty() {
+            return;
+        }
+        let mut tokens = std::mem::take(&mut self.touched);
+        tokens.sort_unstable();
+        tokens.dedup();
+        let mut round = tokens.clone();
+        loop {
+            for &token in &round {
+                self.process_pending_batched(token);
+            }
+            if self.dispatch.is_empty() {
+                break;
+            }
+            let batch = std::mem::take(&mut self.dispatch);
+            // Tokens whose submit failed got a Busy answer and cleared
+            // `in_flight`; their next pending frame (if any) still needs
+            // processing, so they loop back around — with `pool_full`
+            // latched, the whole backlog drains as inline Busy.
+            round = self.submit_dispatch(batch);
+            if round.is_empty() {
+                break;
+            }
+        }
+        for &token in &tokens {
+            self.flush_batched(token, now);
+        }
+        self.pool_full = false;
+    }
+
+    /// `process_pending`, batched flavor: identical per-connection
+    /// semantics (arrival order, one in-flight request per connection,
+    /// inline Shutdown/Busy/Malformed), but decoded requests are
+    /// *collected* for chunked pool submission instead of submitted one
+    /// job each, and response frames are queued deferred instead of
+    /// flushed inline.
+    fn process_pending_batched(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.in_flight || conn.closing || self.draining {
+                return;
+            }
+            let Some(body) = conn.pending.pop_front() else {
+                // Every complete frame that preceded a framing violation
+                // has been answered; now the Malformed error goes out
+                // and the connection hangs up.
+                if let Some(e) = conn.poison.take() {
+                    conn.queue_frame_deferred(
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: e.to_string(),
+                        }
+                        .encode(),
+                    );
+                    conn.closing = true;
+                }
+                return;
+            };
+            match Request::decode(&body) {
+                Ok(Request::Shutdown) => {
+                    // Inline, like the unbatched path: the
+                    // pressure-release valve must work with a saturated
+                    // queue. `handle` raises the flag; the drain starts
+                    // at the end of this poll iteration.
+                    let resp = self.state.handle(&Request::Shutdown);
+                    let conn = self.conns.get_mut(&token).expect("still open");
+                    conn.pending.clear();
+                    conn.queue_frame_deferred(resp.encode());
+                    conn.closing = true;
+                    return;
+                }
+                Ok(req) => {
+                    if self.pool_full {
+                        self.state.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                        conn.queue_frame_deferred(Response::Busy.encode());
+                    } else {
+                        self.dispatch.push((token, req));
+                        conn.in_flight = true;
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Payload decode failure: frame boundaries are
+                    // sound, so answer and keep the connection.
+                    self.state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                    self.state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_frame_deferred(
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: e.to_string(),
+                        }
+                        .encode(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Submit the collected dispatch batch as chunked worker-pool jobs:
+    /// each job runs a slice of requests serially and pushes its
+    /// responses back as one `push_batch` (one completion-queue lock,
+    /// at most one eventfd signal). Chunk size adapts — one request per
+    /// job at low load (no added latency), up to `DISPATCH_CHUNK_MAX`
+    /// per job under burst (amortized submit/wake overhead).
+    ///
+    /// Returns the tokens whose requests could not be enqueued: their
+    /// connections were answered `Busy` and cleared `in_flight`, and the
+    /// caller loops them through `process_pending_batched` again so the
+    /// rest of their backlog drains.
+    fn submit_dispatch(&mut self, batch: Vec<(u64, Request)>) -> Vec<u64> {
+        const DISPATCH_CHUNK_MAX: usize = 32;
+        let chunk_size = batch
+            .len()
+            .div_ceil(self.pool.threads().max(1))
+            .clamp(1, DISPATCH_CHUNK_MAX);
+        let mut retry: Vec<u64> = Vec::new();
+        let mut it = batch.into_iter();
+        loop {
+            let chunk: Vec<(u64, Request)> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let tokens: Vec<u64> = chunk.iter().map(|(t, _)| *t).collect();
+            if !self.pool_full {
+                let st = Arc::clone(&self.state);
+                let cq = Arc::clone(&self.completions);
+                let n = chunk.len();
+                let job = Box::new(move || {
+                    let mut done = Vec::with_capacity(n);
+                    for (token, req) in chunk {
+                        done.push((token, st.handle(&req)));
+                    }
+                    cq.push_batch(done);
+                });
+                match self.pool.try_submit(job) {
+                    Ok(()) => {
+                        self.state
+                            .metrics
+                            .io_batch_dispatch_jobs
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.state
+                            .metrics
+                            .io_batch_dispatch_frames
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(SubmitError::Busy) | Err(SubmitError::Closed) => {
+                        self.pool_full = true;
+                        // fall through: answer this chunk Busy below
+                    }
+                }
+            }
+            for token in tokens {
+                self.state.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                conn.in_flight = false;
+                conn.queue_frame_deferred(Response::Busy.encode());
+                retry.push(token);
+            }
+        }
+        retry
+    }
+
+    /// One deferred flush per touched connection per poll iteration: a
+    /// single `writev` covers every frame queued for it this round.
+    fn flush_batched(&mut self, token: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let frames = conn.out.frames_pending();
+        if frames > 0 {
+            if conn.flush(now).is_err() {
+                self.close_conn(token);
+                return;
+            }
+            self.state
+                .metrics
+                .io_batch_flushes
+                .fetch_add(1, Ordering::Relaxed);
+            self.state
+                .metrics
+                .io_batch_flush_frames
+                .fetch_add(frames as u64, Ordering::Relaxed);
+        }
+        self.settle(token);
     }
 
     /// Enter the drain: stop accepting, finish in-flight requests,

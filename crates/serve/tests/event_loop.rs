@@ -149,7 +149,11 @@ fn slow_loris_partial_frames_are_evicted() {
 /// MRC queries with large size lists before reading anything, so the
 /// server's responses overrun the socket buffer and must be buffered,
 /// partially written, and resumed via write-readiness — in request
-/// order, bit-identical to the direct model.
+/// order, bit-identical to the direct model. Runs against both the
+/// batched hot path (deferred `writev` flushes resuming mid-frame,
+/// mid-iovec) and the unbatched reference (contiguous buffer), so the
+/// two are byte-identical under exactly the partial-write pressure that
+/// could tell them apart.
 #[test]
 fn pipelined_queries_survive_partial_writes_in_order() {
     const BURST: usize = 64;
@@ -159,52 +163,77 @@ fn pipelined_queries_survive_partial_writes_in_order() {
     let sizes: Vec<u64> = (0..NSIZES).map(|i| 4096 + i * 640).collect();
     let want: Vec<f64> = sizes.iter().map(|&b| model.miss_ratio_bytes(b)).collect();
 
-    let handle = start(epoll_config()).expect("server starts");
-    let mut raw = TcpStream::connect(handle.addr()).unwrap();
-    raw.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
-    raw.set_nodelay(true).unwrap();
+    for io_batch in [true, false] {
+        let handle = start(ServeConfig {
+            io_batch,
+            ..epoll_config()
+        })
+        .expect("server starts");
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        raw.set_nodelay(true).unwrap();
 
-    // Submit the session on the same connection.
-    let submit = Request::Submit {
-        session: "pipe".into(),
-        batch: proto::SampleBatch::from_profile(&profile),
-    };
-    proto::write_frame(&mut raw, &submit.encode()).unwrap();
-    let body = proto::read_frame(&mut raw).unwrap().expect("accepted");
-    assert!(matches!(
-        Response::decode(&body).unwrap(),
-        Response::Accepted { .. }
-    ));
+        // Submit the session on the same connection.
+        let submit = Request::Submit {
+            session: "pipe".into(),
+            batch: proto::SampleBatch::from_profile(&profile),
+        };
+        proto::write_frame(&mut raw, &submit.encode()).unwrap();
+        let body = proto::read_frame(&mut raw).unwrap().expect("accepted");
+        assert!(matches!(
+            Response::decode(&body).unwrap(),
+            Response::Accepted { .. }
+        ));
 
-    // Burst: ~BURST * NSIZES * 8 B of responses (≈2.5 MB) queue up
-    // behind a reader that hasn't started yet.
-    let query = Request::QueryMrc {
-        target: Target::Session("pipe".into()),
-        sizes_bytes: sizes.clone(),
-    };
-    let frame = query.encode();
-    for _ in 0..BURST {
-        proto::write_frame(&mut raw, &frame).unwrap();
-    }
-
-    for i in 0..BURST {
-        let body = proto::read_frame(&mut raw)
-            .unwrap()
-            .unwrap_or_else(|| panic!("response {i} missing"));
-        match Response::decode(&body).unwrap() {
-            Response::Mrc { ratios } => {
-                assert_eq!(ratios.len(), want.len(), "response {i} length");
-                for (j, (g, w)) in ratios.iter().zip(&want).enumerate() {
-                    assert_eq!(g.to_bits(), w.to_bits(), "response {i} ratio {j}");
-                }
-            }
-            other => panic!("response {i}: want Mrc, got {other:?}"),
+        // Burst: ~BURST * NSIZES * 8 B of responses (≈2.5 MB) queue up
+        // behind a reader that hasn't started yet.
+        let query = Request::QueryMrc {
+            target: Target::Session("pipe".into()),
+            sizes_bytes: sizes.clone(),
+        };
+        let frame = query.encode();
+        for _ in 0..BURST {
+            proto::write_frame(&mut raw, &frame).unwrap();
         }
-    }
 
-    let mut c = Client::connect(handle.addr()).unwrap();
-    c.shutdown_server().unwrap();
-    handle.join();
+        for i in 0..BURST {
+            let body = proto::read_frame(&mut raw)
+                .unwrap()
+                .unwrap_or_else(|| panic!("response {i} missing (io_batch {io_batch})"));
+            match Response::decode(&body).unwrap() {
+                Response::Mrc { ratios } => {
+                    assert_eq!(ratios.len(), want.len(), "response {i} length");
+                    for (j, (g, w)) in ratios.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "response {i} ratio {j} (io_batch {io_batch})"
+                        );
+                    }
+                }
+                other => panic!("response {i}: want Mrc, got {other:?}"),
+            }
+        }
+
+        // The batched path must actually have batched (deferred flushes
+        // observed); the unbatched reference must never touch it.
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let stats = c.stats().unwrap();
+        if io_batch {
+            assert!(
+                stat(&stats, "io.batch.flushes") > 0.0,
+                "batched path recorded no deferred flushes"
+            );
+        } else {
+            assert_eq!(
+                stat(&stats, "io.batch.flushes"),
+                0.0,
+                "unbatched path must not take the deferred-flush path"
+            );
+        }
+        c.shutdown_server().unwrap();
+        handle.join();
+    }
 }
 
 /// Regression (timer livelock): a connection whose idle/read deadline
@@ -424,8 +453,9 @@ fn idle_connections_do_not_perturb_active_traffic() {
     threads.join();
 }
 
-/// The replay digest is invariant across node counts AND io modes: the
-/// event loop changes scheduling, never bytes.
+/// The replay digest is invariant across node counts, io modes AND the
+/// batched/unbatched epoll hot path: batching changes scheduling and
+/// write grouping, never bytes.
 #[test]
 fn replay_digest_matches_across_modes_and_node_counts() {
     let trace = generate_trace(&GenConfig {
@@ -442,12 +472,24 @@ fn replay_digest_matches_across_modes_and_node_counts() {
 
     let e1 = replay_spawned(1, &trace, &mk(IoMode::Epoll), &rcfg).expect("epoll n=1");
     let e3 = replay_spawned(3, &trace, &mk(IoMode::Epoll), &rcfg).expect("epoll n=3");
+    let u1 = replay_spawned(
+        1,
+        &trace,
+        &ServeConfig {
+            io_batch: false,
+            ..mk(IoMode::Epoll)
+        },
+        &rcfg,
+    )
+    .expect("unbatched epoll n=1");
     let t1 = replay_spawned(1, &trace, &mk(IoMode::Threads), &rcfg).expect("threads n=1");
 
     assert!(e1.is_clean(), "epoll n=1 diverged: {:?}", e1.divergences);
     assert!(e3.is_clean(), "epoll n=3 diverged: {:?}", e3.divergences);
+    assert!(u1.is_clean(), "unbatched epoll diverged: {:?}", u1.divergences);
     assert!(t1.is_clean(), "threads n=1 diverged: {:?}", t1.divergences);
     assert_eq!(e1.digest, e3.digest, "digest must not depend on node count");
+    assert_eq!(e1.digest, u1.digest, "digest must not depend on io batching");
     assert_eq!(e1.digest, t1.digest, "digest must not depend on io mode");
 }
 

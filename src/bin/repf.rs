@@ -9,6 +9,7 @@
 //! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
 //! repf serve [--addr H:P]                # profiling-as-a-service daemon
 //! repf query <what> --addr H:P           # query a running daemon
+//! repf load --addr H:P [--rate F]        # open-loop zipf/YCSB load generator
 //! repf record --out FILE [--seed N]      # record a deterministic request trace
 //! repf replay --trace FILE [--nodes N]   # replay a trace against N daemons
 //! ```
@@ -23,8 +24,8 @@ use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
 use repf::serve::{
-    generate_trace, replay_against, replay_spawned, Client, ClientError, GenConfig, IoMode,
-    MachineId, ReplayConfig, ServeConfig, Target, Trace,
+    generate_trace, replay_against, replay_spawned, run_load, Client, ClientError, GenConfig,
+    IoMode, LoadConfig, MachineId, OpMix, ReplayConfig, ServeConfig, Target, Trace,
 };
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
@@ -49,15 +50,23 @@ struct Args {
     shards: usize,
     model_cache: bool,
     io_mode: IoMode,
+    io_batch: bool,
     max_conns: usize,
     out: Option<String>,
     trace: Option<String>,
     nodes: usize,
     check: bool,
-    seed: u64,
-    sessions: u32,
+    seed: Option<u64>,
+    sessions: Option<u32>,
     rounds: u32,
     samples: u32,
+    rate: f64,
+    duration: std::time::Duration,
+    mix: OpMix,
+    conns: usize,
+    drivers: usize,
+    pipeline: usize,
+    zipf: f64,
 }
 
 const GENERAL_USAGE: &str = "\
@@ -71,6 +80,7 @@ commands:
   mix        4-application contention run
   serve      profiling-as-a-service daemon (binary wire protocol)
   query      query a running daemon
+  load       open-loop zipf/YCSB load generator against a daemon
   record     record a deterministic request trace to a file
   replay     replay a trace against N daemons with divergence checking
 
@@ -105,7 +115,8 @@ report per-app speedups, throughput and traffic deltas.",
         Some("serve") => "\
 usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
                   [--budget-mb N] [--shards N] [--no-model-cache]
-                  [--io-mode threads|epoll] [--max-conns N] [--scale F]
+                  [--io-mode threads|epoll] [--no-io-batch]
+                  [--max-conns N] [--scale F]
 
 Start the profiling daemon and block until a client sends the Shutdown
 control message. The bound address is printed on the first stdout line
@@ -122,9 +133,36 @@ control message. The bound address is printed on the first stdout line
                  for all sockets (default on Linux), `threads` = one OS
                  thread per connection (reference path; default elsewhere).
                  Also: REPF_SERVE_IO_MODE
+  --no-io-batch  disable the batched epoll hot path (coalesced completion
+                 drains, chunked pool dispatch, one writev flush pass per
+                 poll iteration) — the unbatched reference for
+                 before/after measurement; response bytes are identical
   --max-conns N  open-connection cap; accepts past it are shed with Busy
                  (default: REPF_SERVE_MAX_CONNS or 4096)
   --scale F      refs scale for server-side benchmark profiling (default 0.05)",
+        Some("load") => "\
+usage: repf load --addr HOST:PORT [--rate F] [--duration D] [--mix M]
+                 [--conns N] [--drivers N] [--pipeline N] [--sessions N]
+                 [--zipf S] [--seed N] [--out FILE]
+
+Open-loop, coordinated-omission-safe load generator: a seeded zipfian
+YCSB-style op schedule is fixed up front and paced at the target rate;
+latency is accounted from each op's *intended* start time, so server
+stalls inflate the tail instead of silently pausing the workload. The
+machine-readable JSON report goes to stdout (and --out FILE), a human
+summary to stderr.\n
+  --addr H:P     daemon to load (required)
+  --rate F       target arrival rate, ops/second (default 1000)
+  --duration D   scheduled run length, e.g. 2s / 500ms (default 2s)
+  --mix M        op mix: submit-heavy|query-heavy|scan (default query-heavy)
+  --conns N      open connections: drivers paced + rest parked (default 8)
+  --drivers N    paced driver connections (default: min(conns, 8))
+  --pipeline N   max in-flight requests per driver; 1 = closed-loop
+                 (default 32)
+  --sessions N   distinct preloaded sessions (default 16)
+  --zipf S       zipf exponent for session popularity (default 0.99)
+  --seed N       schedule seed; same seed = identical op trace
+  --out FILE     also write the JSON report to FILE",
         Some("query") => "\
 usage: repf query <what> [args] --addr HOST:PORT
 
@@ -176,6 +214,20 @@ fn usage_err(cmd: Option<&str>) -> ! {
     std::process::exit(2);
 }
 
+/// Parse a duration like `2s`, `500ms`, or bare seconds (`1.5`).
+fn parse_duration(spec: &str) -> Option<std::time::Duration> {
+    let spec = spec.trim();
+    if let Some(ms) = spec.strip_suffix("ms") {
+        return ms.trim().parse::<u64>().ok().map(std::time::Duration::from_millis);
+    }
+    let secs = spec.strip_suffix('s').unwrap_or(spec);
+    secs.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .map(std::time::Duration::from_secs_f64)
+}
+
 fn parse_sizes(spec: &str) -> Option<Vec<u64>> {
     let mut out = Vec::new();
     for part in spec.split(',') {
@@ -221,16 +273,25 @@ fn parse_args() -> Args {
     let mut shards = 0;
     let mut model_cache = true;
     let mut io_mode = IoMode::Auto;
+    let mut io_batch = true;
     let mut max_conns = 0;
     let mut out = None;
     let mut trace = None;
     let mut nodes = 1;
     let mut check = true;
     let gen_default = GenConfig::default();
-    let mut seed = gen_default.seed;
-    let mut sessions = gen_default.sessions;
+    let mut seed = None;
+    let mut sessions = None;
     let mut rounds = gen_default.rounds;
     let mut samples = gen_default.samples_per_batch;
+    let load_default = LoadConfig::default();
+    let mut rate = load_default.rate;
+    let mut duration = load_default.duration;
+    let mut mix = load_default.mix;
+    let mut conns = load_default.conns;
+    let mut drivers = load_default.drivers;
+    let mut pipeline = load_default.pipeline;
+    let mut zipf = load_default.zipf_s;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -301,9 +362,51 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--no-io-batch" => io_batch = false,
             "--max-conns" => {
                 max_conns =
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--rate" => {
+                rate = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage_err(cmd))
+            }
+            "--duration" => {
+                duration = it
+                    .next()
+                    .as_deref()
+                    .and_then(parse_duration)
+                    .unwrap_or_else(|| usage_err(cmd))
+            }
+            "--mix" => {
+                mix = match it.next().as_deref().map(str::parse) {
+                    Some(Ok(m)) => m,
+                    other => {
+                        eprintln!("bad --mix {other:?} (submit-heavy|query-heavy|scan)");
+                        usage_err(cmd)
+                    }
+                }
+            }
+            "--conns" => {
+                conns = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--drivers" => {
+                drivers =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--pipeline" => {
+                pipeline =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--zipf" => {
+                zipf = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage_err(cmd))
             }
             "--out" => out = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
@@ -312,11 +415,14 @@ fn parse_args() -> Args {
             }
             "--no-check" => check = false,
             "--seed" => {
-                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+                seed = Some(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
             }
             "--sessions" => {
-                sessions =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+                sessions = Some(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
             }
             "--rounds" => {
                 rounds = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
@@ -351,6 +457,7 @@ fn parse_args() -> Args {
         shards,
         model_cache,
         io_mode,
+        io_batch,
         max_conns,
         out,
         trace,
@@ -360,6 +467,13 @@ fn parse_args() -> Args {
         sessions,
         rounds,
         samples,
+        rate,
+        duration,
+        mix,
+        conns,
+        drivers,
+        pipeline,
+        zipf,
     }
 }
 
@@ -518,6 +632,7 @@ fn cmd_serve(a: &Args) {
         shards: a.shards,
         model_cache: a.model_cache,
         io_mode: a.io_mode,
+        io_batch: a.io_batch,
         max_conns: a.max_conns,
         refs_scale: a.scale,
         ..ServeConfig::default()
@@ -619,14 +734,67 @@ fn cmd_query(a: &Args) {
     }
 }
 
+fn cmd_load(a: &Args) {
+    let addr = a.addr.as_deref().unwrap_or_else(|| {
+        eprintln!("load needs --addr HOST:PORT");
+        usage_err(Some("load"))
+    });
+    let defaults = LoadConfig::default();
+    let cfg = LoadConfig {
+        seed: a.seed.unwrap_or(defaults.seed),
+        mix: a.mix,
+        rate: a.rate,
+        duration: a.duration,
+        conns: a.conns,
+        drivers: a.drivers,
+        pipeline: a.pipeline,
+        sessions: a.sessions.unwrap_or(defaults.sessions),
+        zipf_s: a.zipf,
+    };
+    let report = run_load(addr, &cfg).unwrap_or_else(|e| {
+        eprintln!("load failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "loadgen: sent {} completed {} busy {} errors {} ({:.0}/s achieved of {:.0}/s target)",
+        report.sent,
+        report.completed,
+        report.busy,
+        report.errors,
+        report.achieved_rate(),
+        cfg.rate,
+    );
+    eprintln!(
+        "  intended p50/p99/p999: {}/{}/{} us | service p50/p99: {}/{} us | max send lag {} us",
+        report.intended.quantile_us(0.50),
+        report.intended.quantile_us(0.99),
+        report.intended.quantile_us(0.999),
+        report.service.quantile_us(0.50),
+        report.service.quantile_us(0.99),
+        report.max_send_lag_us,
+    );
+    let json = report.to_json().render();
+    println!("{json}");
+    if let Some(path) = a.out.as_deref() {
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.errors > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_record(a: &Args) {
     let out = a.out.as_deref().unwrap_or_else(|| {
         eprintln!("record needs --out FILE");
         usage_err(Some("record"))
     });
+    let gen_default = GenConfig::default();
     let cfg = GenConfig {
-        seed: a.seed,
-        sessions: a.sessions,
+        seed: a.seed.unwrap_or(gen_default.seed),
+        sessions: a.sessions.unwrap_or(gen_default.sessions),
         rounds: a.rounds,
         samples_per_batch: a.samples,
     };
@@ -728,6 +896,7 @@ fn main() {
         Some("mix") => cmd_mix(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
+        Some("load") => cmd_load(&args),
         Some("record") => cmd_record(&args),
         Some("replay") => cmd_replay(&args),
         other => usage_err(other),
