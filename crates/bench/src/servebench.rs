@@ -36,6 +36,13 @@
 //! batched-vs-unbatched I/O comparison at the same target rate with the
 //! server's `io.batch.*` counters alongside.
 //!
+//! A sixth scenario, **cluster_fanout**, installs a 3-node consistent-
+//! hash ring, fans the same zipf load out over it (every op routed to
+//! its session's ring owner), and records the fleet-wide `model_cache`
+//! hit ratio, forwarded/remote-hit counters, and — after draining one
+//! node mid-fleet — the per-session migration pause p50/p99 from the
+//! drained daemon's `latency.migration.*` histogram.
+//!
 //! Knobs: `REPF_SERVE_ITERS` (queries per client per class, default 200),
 //! `REPF_SERVE_CLIENTS` (concurrent clients, default 4),
 //! `REPF_SERVE_SESSIONS` (contention clients = distinct sessions,
@@ -50,8 +57,9 @@
 use crate::obs::Json;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
 use repf_serve::{
-    generate_trace, replay_spawned, run_load, start, Client, GenConfig, IoMode, LoadConfig,
-    LoadReport, MachineId, OpMix, ReplayConfig, ReplayReport, ServeConfig, Target,
+    apply_membership, generate_trace, replay_spawned, run_load, start, Client, GenConfig, IoMode,
+    LoadConfig, LoadReport, MachineId, OpMix, ReplayConfig, ReplayReport, RingSpec, ServeConfig,
+    Target, DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use repf_sim::Exec;
 use repf_trace::{AccessKind, Pc};
@@ -345,7 +353,7 @@ fn load_point(
     .expect("serve start");
     let addr = handle.addr();
     let report = run_load(
-        &addr.to_string(),
+        &[addr.to_string()],
         &LoadConfig {
             seed: 0x10AD_BE4C,
             mix,
@@ -378,6 +386,121 @@ fn load_point_json(r: &LoadReport) -> Json {
         ("service_p50_us", Json::Num(r.service.quantile_us(0.50))),
         ("service_p99_us", Json::Num(r.service.quantile_us(0.99))),
         ("max_send_lag_us", Json::Num(r.max_send_lag_us as f64)),
+    ])
+}
+
+/// The cluster fan-out scenario: a 3-node ring, the open-loop zipf load
+/// fanned out over it through the same ring, then one node drained live
+/// — measuring fleet-wide plan-cache sharing and the migration pause.
+fn cluster_fanout_run(threads: usize, rate: f64, secs: f64, sessions: u32) -> Json {
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            start(ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            })
+            .expect("serve start")
+        })
+        .collect();
+    let members: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: DEFAULT_RING_SEED,
+            vnodes: DEFAULT_VNODES,
+            nodes: members.clone(),
+        },
+    )
+    .expect("install ring");
+
+    let report = run_load(
+        &members,
+        &LoadConfig {
+            seed: 0x0010_ADC1,
+            mix: OpMix::QueryHeavy,
+            rate,
+            duration: std::time::Duration::from_secs_f64(secs),
+            conns: 24,
+            sessions,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("cluster load run");
+
+    let stat_in = |stats: &[(String, f64)], k: &str| {
+        stats
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let mut hits = 0.0;
+    let mut misses = 0.0;
+    let mut forwarded = 0.0;
+    let mut remote_hits = 0.0;
+    for m in &members {
+        let mut c = Client::connect(m.as_str()).expect("connect");
+        let s = c.stats().expect("stats");
+        hits += stat_in(&s, "model_cache.hits");
+        misses += stat_in(&s, "model_cache.misses");
+        forwarded += stat_in(&s, "cluster.forwarded");
+        remote_hits += stat_in(&s, "cluster.model.remote_hits");
+    }
+    let hit_ratio = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+
+    // Drain the last node live and read the migration pause histogram
+    // off the drained daemon: how long each session was in flight.
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: DEFAULT_RING_SEED,
+            vnodes: DEFAULT_VNODES,
+            nodes: members[..2].to_vec(),
+        },
+    )
+    .expect("drain third node");
+    let mut drained = Client::connect(members[2].as_str()).expect("connect drained");
+    let dstats = drained.stats().expect("stats");
+    let migrated = stat_in(&dstats, "cluster.migrations.sessions");
+    let pause_p50 = stat_in(&dstats, "latency.migration.p50_us");
+    let pause_p99 = stat_in(&dstats, "latency.migration.p99_us");
+
+    println!(
+        "  cluster x3 @ {rate:.0}/s: {:.0}/s achieved, fleet cache hit ratio {:.3} ({:.0}h/{:.0}m), {:.0} forwarded, {:.0} remote model hits; drain moved {:.0} sessions, pause p50 {:>5.0} us p99 {:>5.0} us",
+        report.achieved_rate(),
+        hit_ratio,
+        hits,
+        misses,
+        forwarded,
+        remote_hits,
+        migrated,
+        pause_p50,
+        pause_p99,
+    );
+
+    for m in &members {
+        let mut c = Client::connect(m.as_str()).expect("connect");
+        c.shutdown_server().expect("shutdown");
+    }
+    for h in handles {
+        h.join();
+    }
+
+    Json::obj([
+        ("nodes", Json::Num(3.0)),
+        ("point", load_point_json(&report)),
+        ("model_cache_hits", Json::Num(hits)),
+        ("model_cache_misses", Json::Num(misses)),
+        ("model_cache_hit_ratio", Json::Num(hit_ratio)),
+        ("cluster_forwarded", Json::Num(forwarded)),
+        ("cluster_model_remote_hits", Json::Num(remote_hits)),
+        ("drain_migrated_sessions", Json::Num(migrated)),
+        ("migration_pause_p50_us", Json::Num(pause_p50)),
+        ("migration_pause_p99_us", Json::Num(pause_p99)),
     ])
 }
 
@@ -569,6 +692,15 @@ pub fn run() {
         ("unbatched", batch_side(&unbatched, &unbatched_stats)),
     ]);
 
+    // Cluster fan-out: ring-routed zipf load over 3 nodes, then a live
+    // drain — plan-cache sharing and the migration pause, quantified.
+    let cluster_fanout = cluster_fanout_run(
+        threads,
+        load_rates[0] as f64,
+        load_secs,
+        load_sessions,
+    );
+
     let handle = start(ServeConfig {
         threads,
         ..ServeConfig::default()
@@ -712,6 +844,7 @@ pub fn run() {
                 ("batching", load_batching),
             ]),
         ),
+        ("cluster_fanout".into(), cluster_fanout),
         (
             "replay".into(),
             Json::obj([

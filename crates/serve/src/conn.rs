@@ -284,6 +284,11 @@ pub struct Conn {
     /// Peer sent EOF (or `shutdown(SHUT_WR)`): stop reading, but finish
     /// answering what was already received before closing.
     pub read_closed: bool,
+    /// A cluster peer-protocol frame was seen on this connection:
+    /// pooled node-to-node connections sit idle between forwards by
+    /// design, so the idle deadline stops evicting (the write deadline
+    /// still applies — a stuck peer is still a stuck peer).
+    pub is_peer: bool,
     idle_timeout: Duration,
     write_timeout: Duration,
 }
@@ -310,6 +315,7 @@ impl Conn {
             read_deadline: now + idle_timeout,
             write_deadline: None,
             read_closed: false,
+            is_peer: false,
             idle_timeout,
             write_timeout,
         }
@@ -333,7 +339,7 @@ impl Conn {
     /// write buffer drains) passes through the server's `settle`, which
     /// re-arms from here.
     pub fn next_deadline(&self) -> Option<Instant> {
-        let read_armed = !self.in_flight && self.out.is_empty();
+        let read_armed = !self.in_flight && self.out.is_empty() && !self.is_peer;
         match (self.write_deadline, read_armed) {
             (Some(w), true) => Some(w.min(self.read_deadline)),
             (Some(w), false) => Some(w),
@@ -351,7 +357,7 @@ impl Conn {
                 return true;
             }
         }
-        now >= self.read_deadline && !self.in_flight && self.out.is_empty()
+        now >= self.read_deadline && !self.in_flight && self.out.is_empty() && !self.is_peer
     }
 
     /// Pull everything the socket has, feeding the frame parser.

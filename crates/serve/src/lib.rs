@@ -34,11 +34,19 @@
 //! * [`trace_file`] — versioned binary trace files capturing request
 //!   frames for record/replay.
 //! * [`replay`] — the deterministic multi-node record/replay harness:
-//!   seeded trace generation, session-hash partitioned replay against
-//!   1..N daemons, a direct StatStack/analyze oracle and a divergence
-//!   reporter that dumps the minimal offending request prefix.
+//!   seeded trace generation, ring-partitioned replay against 1..N
+//!   daemons (with optional mid-trace node drain/join churn), a direct
+//!   StatStack/analyze oracle and a divergence reporter that dumps the
+//!   minimal offending request prefix.
+//! * [`ring`] — the seeded consistent-hash ring with virtual nodes that
+//!   owns session → node placement for every party (daemons, replay,
+//!   loadgen, CLI).
+//! * [`cluster`] — the cluster tier: ring epochs, the peer connection
+//!   pool, request forwarding, live session migration with tombstone
+//!   chasing, and the losers-first membership orchestrator.
 
 pub mod client;
+pub mod cluster;
 pub mod conn;
 pub mod loadgen;
 pub mod metrics;
@@ -46,27 +54,33 @@ pub mod metrics;
 pub mod poll;
 pub mod proto;
 pub mod replay;
+pub mod ring;
 pub mod server;
 pub mod session;
 pub mod trace_file;
 
 pub use client::{Client, ClientError};
+pub use cluster::{
+    apply_membership, ClusterState, NodeAck, RingChangeReport, RingSpec, Route, MAX_FORWARD_HOPS,
+};
 pub use loadgen::{
-    generate_ops, request_for, run_load, LoadConfig, LoadReport, Op, OpKind, OpMix, ZipfGen,
+    fd_budget, generate_ops, request_for, run_load, LoadConfig, LoadReport, Op, OpKind, OpMix,
+    ZipfGen, FD_RESERVE,
 };
 pub use metrics::{LatencyHisto, LogHisto, Metrics};
 pub use proto::{
-    ErrorCode, MachineId, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
+    ErrorCode, MachineId, ModelWire, PlanWire, ProtoError, Request, Response, SampleBatch, Target,
     PROTO_VERSION,
 };
+pub use ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
 pub use replay::{
-    generate_trace, replay_against, replay_spawned, Divergence, GenConfig, Oracle, ReplayConfig,
-    ReplayReport, ReplayRng,
+    generate_trace, replay_against, replay_clustered, replay_spawned, ChurnEvent, Divergence,
+    GenConfig, Oracle, ReplayConfig, ReplayReport, ReplayRng, RingChange,
 };
 pub use server::{
     resolve_io_mode, resolve_max_conns, resolve_shards, start, IoMode, ServeConfig, ServerHandle,
 };
 pub use session::{
-    ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
+    SessionExport, ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
 };
 pub use trace_file::{Trace, TraceError, TraceRecorder, TRACE_MAGIC, TRACE_VERSION};

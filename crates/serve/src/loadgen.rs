@@ -41,6 +41,7 @@
 use crate::metrics::LogHisto;
 use crate::proto::{self, FrameReadError, Request, Response, SampleBatch, Target};
 use crate::replay::ReplayRng;
+use crate::ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
 use repf_metrics::json::Json;
 use repf_sampling::{ReuseSample, StrideSample};
 use repf_trace::{AccessKind, Pc};
@@ -149,6 +150,10 @@ pub struct LoadConfig {
     pub sessions: u32,
     /// Zipf exponent for session popularity (YCSB default 0.99).
     pub zipf_s: f64,
+    /// Ring seed for cluster fan-out: must match the daemons' ring so
+    /// every op lands on its session's owner (zero misdirected
+    /// requests, the cross-node plan-cache numbers stay honest).
+    pub ring_seed: u64,
 }
 
 impl Default for LoadConfig {
@@ -163,6 +168,7 @@ impl Default for LoadConfig {
             pipeline: 32,
             sessions: 16,
             zipf_s: 0.99,
+            ring_seed: DEFAULT_RING_SEED,
         }
     }
 }
@@ -344,10 +350,12 @@ pub fn preload_request(cfg: &LoadConfig, i: u32) -> Request {
 pub struct LoadReport {
     /// The config that produced it.
     pub cfg: LoadConfig,
+    /// Target nodes the run fanned out over.
+    pub nodes: usize,
     /// Connections actually opened (drivers + parked; may fall short of
     /// `cfg.conns` if the OS ran out of descriptors).
     pub conns_open: usize,
-    /// Resolved driver count.
+    /// Resolved driver count (across all nodes).
     pub drivers: usize,
     /// Requests put on the wire.
     pub sent: u64,
@@ -402,6 +410,7 @@ impl LoadReport {
                 "duration_secs",
                 Json::Num(self.cfg.duration.as_secs_f64()),
             ),
+            ("nodes", Json::Num(self.nodes as f64)),
             ("conns", Json::Num(self.conns_open as f64)),
             ("drivers", Json::Num(self.drivers as f64)),
             ("pipeline", Json::Num(self.cfg.pipeline as f64)),
@@ -622,32 +631,87 @@ fn run_driver(
     Ok(out)
 }
 
-/// Run one open-loop load against a live server.
+/// Descriptors the preflight reserves beyond the herd itself: the
+/// preload clients, stdio, and whatever the allocator/runtime holds.
+pub const FD_RESERVE: u64 = 64;
+
+/// The descriptor budget one run needs: the full connection herd, one
+/// extra descriptor per driver (the reader half is a `try_clone`), and
+/// a fixed reserve.
+pub fn fd_budget(conns: usize, total_drivers: usize) -> u64 {
+    conns.max(total_drivers) as u64 + total_drivers as u64 + FD_RESERVE
+}
+
+/// Fail-fast check that `RLIMIT_NOFILE` covers [`fd_budget`] — after a
+/// best-effort raise. A herd that half-opens because the OS ran out of
+/// descriptors mid-run produces silently wrong latency numbers; better
+/// to stop up front and say exactly what `ulimit -n` value is needed.
+#[cfg(target_os = "linux")]
+fn preflight_fd_budget(conns: usize, total_drivers: usize) -> std::io::Result<()> {
+    let need = fd_budget(conns, total_drivers);
+    let have = crate::poll::raise_nofile_limit(need);
+    if have < need {
+        return Err(std::io::Error::other(format!(
+            "fd budget: need {need} descriptors ({} connections + {total_drivers} driver reader \
+             clones + {FD_RESERVE} reserve) but RLIMIT_NOFILE allows {have}; \
+             raise it with `ulimit -n {need}` or lower --conns",
+            conns.max(total_drivers),
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn preflight_fd_budget(_conns: usize, _total_drivers: usize) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Run one open-loop load against one or more live servers.
 ///
-/// Preloads every session, parks `conns - drivers` idle connections,
-/// then paces the generated schedule over the driver connections and
-/// merges their measurements.
-pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
-    let drivers = if cfg.drivers == 0 {
+/// With a single address this is the classic single-node run. With
+/// several, the generator builds the same consistent-hash ring the
+/// daemons use (`cfg.ring_seed`) and fans out: each node gets its own
+/// driver set, every op is sent to its session's owner, and sessions
+/// are preloaded through their owners — so a correctly-seeded run never
+/// relies on peer forwarding and the fleet-wide plan-cache numbers
+/// measure sharing, not misdirection.
+///
+/// Preloads every session, parks `conns - drivers` idle connections
+/// (spread round-robin over the nodes), then paces the generated
+/// schedule over the driver connections and merges their measurements.
+pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    if addrs.is_empty() {
+        return Err(std::io::Error::other("load needs at least one address"));
+    }
+    let nodes = addrs.len();
+    let drivers_per_node = if cfg.drivers == 0 {
         cfg.conns.clamp(1, 8)
     } else {
         cfg.drivers.min(cfg.conns.max(1)).max(1)
     };
-    #[cfg(target_os = "linux")]
-    crate::poll::raise_nofile_limit(cfg.conns as u64 + 128);
+    let total_drivers = drivers_per_node * nodes;
+    preflight_fd_budget(cfg.conns, total_drivers)?;
 
-    // Preload sessions on a throwaway connection so queries never see
-    // UnknownSession.
+    let ring = Ring::new(cfg.ring_seed, DEFAULT_VNODES, addrs.to_vec());
+
+    // Preload sessions on throwaway connections — through each
+    // session's ring owner — so queries never see UnknownSession and no
+    // session starts life on the wrong node.
     {
-        let mut pre = crate::client::Client::connect(addr)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        pre.set_timeout(Some(Duration::from_secs(10)))
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut pre: Vec<crate::client::Client> = Vec::with_capacity(nodes);
+        for addr in addrs {
+            let mut c = crate::client::Client::connect(addr.as_str())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            c.set_timeout(Some(Duration::from_secs(10)))
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            pre.push(c);
+        }
         for s in 0..cfg.sessions {
+            let owner = ring.owner_index(&session_name(s)).unwrap_or(0);
             let req = preload_request(cfg, s);
             let mut tries = 0;
             loop {
-                match pre.call(&req) {
+                match pre[owner].call(&req) {
                     Ok(_) => break,
                     Err(crate::client::ClientError::Busy) if tries < 50 => {
                         tries += 1;
@@ -666,29 +730,35 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     // Driver connections first (they must exist) — including the reader
     // half's descriptor clone, so parking the herd can never starve a
     // driver of its fds — then the rest of the herd, stopping early if
-    // the OS runs out of descriptors.
-    let mut driver_streams = Vec::with_capacity(drivers);
-    for _ in 0..drivers {
-        let s = TcpStream::connect(addr)?;
+    // the OS runs out of descriptors. Driver `d` talks to node
+    // `d / drivers_per_node`.
+    let mut driver_streams = Vec::with_capacity(total_drivers);
+    for d in 0..total_drivers {
+        let s = TcpStream::connect(addrs[d / drivers_per_node].as_str())?;
         s.set_nodelay(true).ok();
         let rd = s.try_clone()?;
         driver_streams.push((s, rd));
     }
     let mut idle: Vec<TcpStream> = Vec::new();
-    for _ in drivers..cfg.conns {
-        match TcpStream::connect(addr) {
+    for i in total_drivers..cfg.conns {
+        match TcpStream::connect(addrs[i % nodes].as_str()) {
             Ok(s) => idle.push(s),
             Err(_) => break,
         }
     }
-    let conns_open = drivers + idle.len();
+    let conns_open = total_drivers + idle.len();
 
-    // Generate, partition round-robin, pre-encode (so encoding cost
-    // never perturbs pacing).
+    // Generate, route each op to its session's owner, round-robin over
+    // that node's drivers, pre-encode (so encoding cost never perturbs
+    // pacing).
     let ops = generate_ops(cfg);
-    let mut per: Vec<Vec<EncodedOp>> = (0..drivers).map(|_| Vec::new()).collect();
-    for (i, op) in ops.iter().enumerate() {
-        per[i % drivers].push(EncodedOp {
+    let mut per: Vec<Vec<EncodedOp>> = (0..total_drivers).map(|_| Vec::new()).collect();
+    let mut next_on_node = vec![0usize; nodes];
+    for op in &ops {
+        let node = ring.owner_index(&session_name(op.session)).unwrap_or(0);
+        let lane = node * drivers_per_node + next_on_node[node] % drivers_per_node;
+        next_on_node[node] += 1;
+        per[lane].push(EncodedOp {
             offset_us: op.offset_us,
             kind: op.kind,
             frame: request_for(op).encode(),
@@ -696,7 +766,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     }
 
     let t0 = Instant::now();
-    let mut handles = Vec::with_capacity(drivers);
+    let mut handles = Vec::with_capacity(total_drivers);
     for ((stream, rd), ops) in driver_streams.into_iter().zip(per) {
         let pipeline = cfg.pipeline;
         handles.push(
@@ -708,8 +778,9 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
 
     let mut report = LoadReport {
         cfg: cfg.clone(),
+        nodes,
         conns_open,
-        drivers,
+        drivers: total_drivers,
         sent: 0,
         completed: 0,
         busy: 0,

@@ -19,8 +19,20 @@ use repf_metrics::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Request classes tracked separately (indexes into the counter arrays).
-pub const REQUEST_KINDS: [&str; 7] =
-    ["ping", "submit", "mrc", "pc_mrc", "plan", "stats", "shutdown"];
+pub const REQUEST_KINDS: [&str; 12] = [
+    "ping",
+    "submit",
+    "mrc",
+    "pc_mrc",
+    "plan",
+    "stats",
+    "shutdown",
+    "ring_get",
+    "ring_set",
+    "peer_forward",
+    "session_import",
+    "model_pull",
+];
 
 fn kind_index(kind: &str) -> usize {
     REQUEST_KINDS
@@ -251,12 +263,33 @@ pub struct Metrics {
     pub io_batch_dispatch_jobs: AtomicU64,
     /// Decoded request frames dispatched inside those jobs.
     pub io_batch_dispatch_frames: AtomicU64,
+    /// Requests this node forwarded to a peer (misdirected arrivals).
+    pub cluster_forwarded: AtomicU64,
+    /// Forwarded requests this node received and handled for a peer.
+    pub cluster_peer_requests: AtomicU64,
+    /// Ring adoptions that had at least one session to migrate away.
+    pub cluster_migrations_started: AtomicU64,
+    /// Migration sweeps that moved every departing session successfully.
+    pub cluster_migrations_completed: AtomicU64,
+    /// Sessions shipped to their new owner across all sweeps.
+    pub cluster_migrated_sessions: AtomicU64,
+    /// Model-cache entries received from peers (migration or pull)
+    /// instead of being refit locally.
+    pub cluster_model_remote_hits: AtomicU64,
+    /// Ring epoch in force (gauge; 0 = un-clustered).
+    pub cluster_ring_epoch: AtomicU64,
+    /// Ring member count (gauge).
+    pub cluster_ring_nodes: AtomicU64,
+    /// This node's ring ownership share, in parts-per-million (gauge).
+    pub cluster_ring_share_ppm: AtomicU64,
     /// Latency of MRC-class queries (application and per-PC).
     pub mrc_latency: LatencyHisto,
     /// Latency of plan queries.
     pub plan_latency: LatencyHisto,
     /// Latency of submits.
     pub submit_latency: LatencyHisto,
+    /// Per-session migration pause (export → peer import → removal).
+    pub migration_latency: LatencyHisto,
 }
 
 impl Metrics {
@@ -330,10 +363,35 @@ impl Metrics {
             "io.batch.dispatch_frames".into(),
             g(&self.io_batch_dispatch_frames),
         ));
+        out.push(("cluster.forwarded".into(), g(&self.cluster_forwarded)));
+        out.push(("cluster.peer_requests".into(), g(&self.cluster_peer_requests)));
+        out.push((
+            "cluster.migrations.started".into(),
+            g(&self.cluster_migrations_started),
+        ));
+        out.push((
+            "cluster.migrations.completed".into(),
+            g(&self.cluster_migrations_completed),
+        ));
+        out.push((
+            "cluster.migrations.sessions".into(),
+            g(&self.cluster_migrated_sessions),
+        ));
+        out.push((
+            "cluster.model.remote_hits".into(),
+            g(&self.cluster_model_remote_hits),
+        ));
+        out.push(("cluster.ring.epoch".into(), g(&self.cluster_ring_epoch)));
+        out.push(("cluster.ring.nodes".into(), g(&self.cluster_ring_nodes)));
+        out.push((
+            "cluster.ring.share_ppm".into(),
+            g(&self.cluster_ring_share_ppm),
+        ));
         for (label, h) in [
             ("mrc", &self.mrc_latency),
             ("plan", &self.plan_latency),
             ("submit", &self.submit_latency),
+            ("migration", &self.migration_latency),
         ] {
             out.push((format!("latency.{label}.count"), h.count() as f64));
             out.push((format!("latency.{label}.mean_us"), h.mean_us()));

@@ -268,6 +268,17 @@ pub fn raise_nofile_limit(want: u64) -> u64 {
     }
 }
 
+/// The current open-file soft limit, or 0 when it cannot be read. The
+/// load generator's preflight compares this against its fd budget so a
+/// too-small limit fails fast instead of half-opening the herd.
+pub fn nofile_limit() -> u64 {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    lim.cur
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,7 @@
 //! bytes are as malformed as missing ones.
 
 use repf_sampling::{DanglingSample, ReuseSample, StrideSample};
+use repf_statstack::ModelParts;
 use repf_trace::{AccessKind, Pc};
 use repf_workloads::BenchmarkId;
 use std::io::{Read, Write};
@@ -214,6 +215,54 @@ impl PlanWire {
     }
 }
 
+/// A fitted StatStack model on the wire: the serialization of
+/// [`repf_statstack::ModelParts`], shipped between cluster nodes so a
+/// session profiled on its owner is never refit elsewhere. Canonical
+/// ordering (sorted distances, PC-sorted per-PC entries) means the wire
+/// bytes are a pure function of the model and a round trip reassembles a
+/// bit-identical fit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelWire {
+    /// Line size the underlying profile used.
+    pub line_bytes: u64,
+    /// Dangling (never-reused) sample count.
+    pub dangling: u64,
+    /// All completed distances, sorted ascending.
+    pub sorted: Vec<u64>,
+    /// Per-PC `(pc, dangling, sorted distances)`, sorted by PC.
+    pub per_pc: Vec<(u32, u64, Vec<u64>)>,
+}
+
+impl ModelWire {
+    /// Wire form of disassembled model parts.
+    pub fn from_parts(parts: &ModelParts) -> Self {
+        ModelWire {
+            line_bytes: parts.line_bytes,
+            dangling: parts.dangling,
+            sorted: parts.sorted.clone(),
+            per_pc: parts
+                .per_pc
+                .iter()
+                .map(|(pc, distances, dangling)| (pc.0, *dangling, distances.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild the model parts this wire form describes.
+    pub fn to_parts(&self) -> ModelParts {
+        ModelParts {
+            line_bytes: self.line_bytes,
+            sorted: self.sorted.clone(),
+            dangling: self.dangling,
+            per_pc: self
+                .per_pc
+                .iter()
+                .map(|(pc, dangling, distances)| (Pc(*pc), distances.clone(), *dangling))
+                .collect(),
+        }
+    }
+}
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -256,6 +305,54 @@ pub enum Request {
     Stats,
     /// Control message: stop accepting, drain in-flight work, exit.
     Shutdown,
+    /// Cluster admin: report the node's current ring membership.
+    RingGet,
+    /// Cluster admin: adopt a new consistent-hash ring. The node
+    /// synchronously migrates every session it no longer owns to the new
+    /// owner before acknowledging; stale epochs are rejected (the ack
+    /// carries the node's current epoch either way).
+    RingSet {
+        /// Monotone configuration epoch; must exceed the node's current.
+        epoch: u64,
+        /// Ring seed (all parties must agree).
+        seed: u64,
+        /// Virtual nodes per member.
+        vnodes: u32,
+        /// Member identities (advertised addresses).
+        nodes: Vec<String>,
+    },
+    /// Peer message: handle the wrapped request on behalf of the sender.
+    /// `frame` is an encoded [`Request`] body (version + type + payload,
+    /// no length prefix). The receiver answers it *locally* — except
+    /// when the session has a tombstone pointing at a newer owner and
+    /// `hops` has budget left — so misdirected requests can never loop.
+    PeerForward {
+        /// Forwarding hops already taken (tombstone chains bound this).
+        hops: u8,
+        /// The wrapped request frame body.
+        frame: Vec<u8>,
+    },
+    /// Peer message: install a migrated session — full profile, version
+    /// counter, and the cached model fit if the exporter had one —
+    /// replacing any local entry and clearing any tombstone.
+    SessionImport {
+        /// Session name.
+        session: String,
+        /// Version counter carried over from the exporting node.
+        version: u64,
+        /// The session's full accumulated profile.
+        batch: SampleBatch,
+        /// The exporter's cached fit for `version`, if it had one.
+        model: Option<ModelWire>,
+    },
+    /// Peer message: fetch the cached model for `(session, version)` if
+    /// this node has exactly that fit. Never triggers a fit.
+    ModelPull {
+        /// Session name.
+        session: String,
+        /// Exact version the fit must be for.
+        version: u64,
+    },
 }
 
 /// A server response.
@@ -286,6 +383,35 @@ pub enum Response {
     Stats(Vec<(String, f64)>),
     /// Acknowledges [`Request::Shutdown`]; the server drains and exits.
     ShuttingDown,
+    /// Reply to [`Request::RingGet`]: the node's current ring.
+    RingInfo {
+        /// Current configuration epoch (0 = never clustered).
+        epoch: u64,
+        /// Ring seed.
+        seed: u64,
+        /// Virtual nodes per member.
+        vnodes: u32,
+        /// Member identities.
+        nodes: Vec<String>,
+        /// This node's advertised identity.
+        self_addr: String,
+    },
+    /// Reply to [`Request::RingSet`]: the epoch now in force and how
+    /// many sessions were migrated away while adopting it.
+    RingAck {
+        /// The node's epoch after the request (unchanged if stale).
+        epoch: u64,
+        /// Sessions exported to their new owners.
+        migrated: u64,
+    },
+    /// Reply to [`Request::SessionImport`].
+    Imported,
+    /// Reply to [`Request::ModelPull`]: the cached fit, if present at
+    /// exactly the requested version.
+    ModelEntry {
+        /// The fit, or `None` on a cache miss / version mismatch.
+        model: Option<ModelWire>,
+    },
     /// The bounded request queue is full — retry later.
     Busy,
     /// The request failed.
@@ -305,6 +431,11 @@ const T_QUERY_PC_MRC: u8 = 0x04;
 const T_QUERY_PLAN: u8 = 0x05;
 const T_STATS: u8 = 0x06;
 const T_SHUTDOWN: u8 = 0x07;
+const T_RING_GET: u8 = 0x10;
+const T_RING_SET: u8 = 0x11;
+const T_PEER_FORWARD: u8 = 0x12;
+const T_SESSION_IMPORT: u8 = 0x13;
+const T_MODEL_PULL: u8 = 0x14;
 const T_PONG: u8 = 0x81;
 const T_ACCEPTED: u8 = 0x82;
 const T_MRC: u8 = 0x83;
@@ -312,6 +443,10 @@ const T_PC_MRC: u8 = 0x84;
 const T_PLAN: u8 = 0x85;
 const T_STATS_REPLY: u8 = 0x86;
 const T_SHUTTING_DOWN: u8 = 0x87;
+const T_RING_INFO: u8 = 0x90;
+const T_RING_ACK: u8 = 0x91;
+const T_IMPORTED: u8 = 0x92;
+const T_MODEL_ENTRY: u8 = 0x93;
 const T_BUSY: u8 = 0xE0;
 const T_ERROR: u8 = 0xE1;
 
@@ -527,6 +662,79 @@ fn dec_batch(d: &mut Dec) -> Result<SampleBatch, ProtoError> {
     })
 }
 
+fn enc_nodes(e: &mut Enc, nodes: &[String]) {
+    e.u32(nodes.len() as u32);
+    for n in nodes {
+        e.string(n);
+    }
+}
+
+fn dec_nodes(d: &mut Dec) -> Result<Vec<String>, ProtoError> {
+    let n = d.count(2)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.string()?);
+    }
+    Ok(v)
+}
+
+fn enc_bytes(e: &mut Enc, bytes: &[u8]) {
+    e.u32(bytes.len() as u32);
+    e.0.extend_from_slice(bytes);
+}
+
+fn dec_bytes(d: &mut Dec) -> Result<Vec<u8>, ProtoError> {
+    let n = d.count(1)?;
+    Ok(d.take(n)?.to_vec())
+}
+
+fn enc_u64s(e: &mut Enc, v: &[u64]) {
+    e.u32(v.len() as u32);
+    for &x in v {
+        e.u64(x);
+    }
+}
+
+fn dec_u64s(d: &mut Dec) -> Result<Vec<u64>, ProtoError> {
+    let n = d.count(8)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.u64()?);
+    }
+    Ok(v)
+}
+
+fn enc_model(e: &mut Enc, m: &ModelWire) {
+    e.u64(m.line_bytes);
+    e.u64(m.dangling);
+    enc_u64s(e, &m.sorted);
+    e.u32(m.per_pc.len() as u32);
+    for (pc, dangling, distances) in &m.per_pc {
+        e.u32(*pc);
+        e.u64(*dangling);
+        enc_u64s(e, distances);
+    }
+}
+
+fn dec_model(d: &mut Dec) -> Result<ModelWire, ProtoError> {
+    let line_bytes = d.u64()?;
+    let dangling = d.u64()?;
+    let sorted = dec_u64s(d)?;
+    let n = d.count(16)?; // pc + dangling + count
+    let mut per_pc = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pc = d.u32()?;
+        let pc_dangling = d.u64()?;
+        per_pc.push((pc, pc_dangling, dec_u64s(d)?));
+    }
+    Ok(ModelWire {
+        line_bytes,
+        dangling,
+        sorted,
+        per_pc,
+    })
+}
+
 fn enc_sizes(e: &mut Enc, sizes: &[u64]) {
     e.u32(sizes.len() as u32);
     for &s in sizes {
@@ -588,6 +796,47 @@ impl Request {
             }
             Request::Stats => e.u8(T_STATS),
             Request::Shutdown => e.u8(T_SHUTDOWN),
+            Request::RingGet => e.u8(T_RING_GET),
+            Request::RingSet {
+                epoch,
+                seed,
+                vnodes,
+                nodes,
+            } => {
+                e.u8(T_RING_SET);
+                e.u64(*epoch);
+                e.u64(*seed);
+                e.u32(*vnodes);
+                enc_nodes(&mut e, nodes);
+            }
+            Request::PeerForward { hops, frame } => {
+                e.u8(T_PEER_FORWARD);
+                e.u8(*hops);
+                enc_bytes(&mut e, frame);
+            }
+            Request::SessionImport {
+                session,
+                version,
+                batch,
+                model,
+            } => {
+                e.u8(T_SESSION_IMPORT);
+                e.string(session);
+                e.u64(*version);
+                enc_batch(&mut e, batch);
+                match model {
+                    None => e.u8(0),
+                    Some(m) => {
+                        e.u8(1);
+                        enc_model(&mut e, m);
+                    }
+                }
+            }
+            Request::ModelPull { session, version } => {
+                e.u8(T_MODEL_PULL);
+                e.string(session);
+                e.u64(*version);
+            }
         }
         frame(e.0)
     }
@@ -623,6 +872,31 @@ impl Request {
             },
             T_STATS => Request::Stats,
             T_SHUTDOWN => Request::Shutdown,
+            T_RING_GET => Request::RingGet,
+            T_RING_SET => Request::RingSet {
+                epoch: d.u64()?,
+                seed: d.u64()?,
+                vnodes: d.u32()?,
+                nodes: dec_nodes(&mut d)?,
+            },
+            T_PEER_FORWARD => Request::PeerForward {
+                hops: d.u8()?,
+                frame: dec_bytes(&mut d)?,
+            },
+            T_SESSION_IMPORT => Request::SessionImport {
+                session: d.string()?,
+                version: d.u64()?,
+                batch: dec_batch(&mut d)?,
+                model: match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_model(&mut d)?),
+                    _ => return Err(ProtoError::Malformed("option tag")),
+                },
+            },
+            T_MODEL_PULL => Request::ModelPull {
+                session: d.string()?,
+                version: d.u64()?,
+            },
             other => return Err(ProtoError::BadType(other)),
         };
         d.finish()?;
@@ -639,7 +913,26 @@ impl Request {
             Request::QueryPlan { .. } => "plan",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::RingGet => "ring_get",
+            Request::RingSet { .. } => "ring_set",
+            Request::PeerForward { .. } => "peer_forward",
+            Request::SessionImport { .. } => "session_import",
+            Request::ModelPull { .. } => "model_pull",
         }
+    }
+
+    /// True for the node-to-node / cluster-admin message kinds: a
+    /// connection that sends one is a peer (or the ring CLI), not a
+    /// latency-sensitive client, and is exempted from idle eviction.
+    pub fn is_peer_kind(&self) -> bool {
+        matches!(
+            self,
+            Request::RingGet
+                | Request::RingSet { .. }
+                | Request::PeerForward { .. }
+                | Request::SessionImport { .. }
+                | Request::ModelPull { .. }
+        )
     }
 }
 
@@ -698,6 +991,36 @@ impl Response {
                 }
             }
             Response::ShuttingDown => e.u8(T_SHUTTING_DOWN),
+            Response::RingInfo {
+                epoch,
+                seed,
+                vnodes,
+                nodes,
+                self_addr,
+            } => {
+                e.u8(T_RING_INFO);
+                e.u64(*epoch);
+                e.u64(*seed);
+                e.u32(*vnodes);
+                enc_nodes(&mut e, nodes);
+                e.string(self_addr);
+            }
+            Response::RingAck { epoch, migrated } => {
+                e.u8(T_RING_ACK);
+                e.u64(*epoch);
+                e.u64(*migrated);
+            }
+            Response::Imported => e.u8(T_IMPORTED),
+            Response::ModelEntry { model } => {
+                e.u8(T_MODEL_ENTRY);
+                match model {
+                    None => e.u8(0),
+                    Some(m) => {
+                        e.u8(1);
+                        enc_model(&mut e, m);
+                    }
+                }
+            }
             Response::Busy => e.u8(T_BUSY),
             Response::Error { code, message } => {
                 e.u8(T_ERROR);
@@ -772,6 +1095,25 @@ impl Response {
                 Response::Stats(pairs)
             }
             T_SHUTTING_DOWN => Response::ShuttingDown,
+            T_RING_INFO => Response::RingInfo {
+                epoch: d.u64()?,
+                seed: d.u64()?,
+                vnodes: d.u32()?,
+                nodes: dec_nodes(&mut d)?,
+                self_addr: d.string()?,
+            },
+            T_RING_ACK => Response::RingAck {
+                epoch: d.u64()?,
+                migrated: d.u64()?,
+            },
+            T_IMPORTED => Response::Imported,
+            T_MODEL_ENTRY => Response::ModelEntry {
+                model: match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_model(&mut d)?),
+                    _ => return Err(ProtoError::Malformed("option tag")),
+                },
+            },
             T_BUSY => Response::Busy,
             T_ERROR => Response::Error {
                 code: ErrorCode::from_u16(d.u16()?)?,
@@ -973,6 +1315,120 @@ mod tests {
             let f = resp.encode();
             assert_eq!(Response::decode(&f[4..]).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    fn sample_model() -> ModelWire {
+        ModelWire {
+            line_bytes: 64,
+            dangling: 3,
+            sorted: vec![1, 5, 9, 400_000],
+            per_pc: vec![(100, 1, vec![5, 400_000]), (200, 2, vec![1, 9])],
+        }
+    }
+
+    #[test]
+    fn peer_request_roundtrip_all_types() {
+        let reqs = vec![
+            Request::RingGet,
+            Request::RingSet {
+                epoch: 7,
+                seed: 0xDEAD,
+                vnodes: 64,
+                nodes: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+            },
+            Request::PeerForward {
+                hops: 2,
+                frame: Request::Ping.encode()[4..].to_vec(),
+            },
+            Request::SessionImport {
+                session: "replay-s1".into(),
+                version: 4,
+                batch: SampleBatch {
+                    total_refs: 99,
+                    sample_period: 7,
+                    line_bytes: 64,
+                    reuse: vec![],
+                    dangling: vec![],
+                    strides: vec![],
+                },
+                model: Some(sample_model()),
+            },
+            Request::SessionImport {
+                session: "bare".into(),
+                version: 1,
+                batch: SampleBatch::default(),
+                model: None,
+            },
+            Request::ModelPull {
+                session: "s".into(),
+                version: 2,
+            },
+        ];
+        for req in reqs {
+            let f = req.encode();
+            assert_eq!(Request::decode(&f[4..]).unwrap(), req, "{req:?}");
+            for cut in 0..f.len() - 5 {
+                assert!(Request::decode(&f[4..4 + cut]).is_err(), "truncation at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_response_roundtrip_all_types() {
+        let resps = vec![
+            Response::RingInfo {
+                epoch: 3,
+                seed: 11,
+                vnodes: 32,
+                nodes: vec!["a:1".into(), "b:2".into(), "c:3".into()],
+                self_addr: "b:2".into(),
+            },
+            Response::RingAck {
+                epoch: 3,
+                migrated: 17,
+            },
+            Response::Imported,
+            Response::ModelEntry { model: None },
+            Response::ModelEntry {
+                model: Some(sample_model()),
+            },
+        ];
+        for resp in resps {
+            let f = resp.encode();
+            assert_eq!(Response::decode(&f[4..]).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn model_wire_parts_roundtrip() {
+        use repf_statstack::StatStackModel;
+        let wire = sample_model();
+        let parts = wire.to_parts();
+        assert_eq!(ModelWire::from_parts(&parts), wire);
+        let model = StatStackModel::from_parts(parts);
+        assert_eq!(model.sample_count(), 4 + 3);
+        assert_eq!(model.line_bytes(), 64);
+        assert_eq!(
+            ModelWire::from_parts(&model.to_parts()),
+            wire,
+            "model → parts → wire is canonical"
+        );
+    }
+
+    #[test]
+    fn hostile_model_counts_do_not_allocate() {
+        // A ModelEntry claiming u32::MAX sorted distances in 4 bytes.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_MODEL_ENTRY);
+        e.u8(1);
+        e.u64(64);
+        e.u64(0);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Response::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //! across node counts and is what the golden-trace regression test pins.
 
 use crate::client::{Client, ClientError};
+use crate::cluster::{apply_membership, RingSpec};
 use crate::proto::{ErrorCode, MachineId, Request, Response, SampleBatch, Target};
+use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::server::{start, ServeConfig, ServerHandle};
 use crate::trace_file::{Trace, TraceRecorder};
 use repf_core::analyze;
@@ -230,22 +232,17 @@ pub fn session_of(req: &Request) -> Option<&str> {
     }
 }
 
-/// Seeded session→node partitioning: FNV-1a over the name, mixed with
-/// the seed. Stable for a given `(seed, nodes)`, so a session's entire
-/// history lands on one node in recorded order.
-pub fn node_of(req: &Request, index: usize, nodes: usize, seed: u64) -> usize {
+/// Session→node partitioning, delegated to the cluster tier's
+/// consistent-hash [`Ring`] — the same placement the daemons, the load
+/// generator and the `repf ring` CLI compute, so a session's entire
+/// history lands on its ring owner in recorded order. Returns an index
+/// into [`Ring::nodes`] (the sorted member list).
+pub fn node_of(req: &Request, index: usize, ring: &Ring) -> usize {
     match session_of(req) {
-        Some(name) => {
-            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
-            for &b in name.as_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            (h % nodes as u64) as usize
-        }
+        Some(name) => ring.owner_index(name).expect("replay ring is non-empty"),
         // Session-less requests (ping, stats, benchmark queries) round-
         // robin deterministically by trace position.
-        None => index % nodes,
+        None => index % ring.len(),
     }
 }
 
@@ -392,6 +389,13 @@ impl Oracle {
                 None
             }
             Request::Stats | Request::Shutdown => None,
+            // Peer-protocol requests never appear in client traces; a
+            // recorded one is skipped by the replay loop anyway.
+            Request::RingGet
+            | Request::RingSet { .. }
+            | Request::PeerForward { .. }
+            | Request::SessionImport { .. }
+            | Request::ModelPull { .. } => None,
         }
     }
 }
@@ -572,59 +576,61 @@ fn body(resp: &Response) -> Vec<u8> {
     resp.encode()[4..].to_vec()
 }
 
-/// Replay `trace` against already-running daemons at `addrs`, in trace
-/// order with one in-flight request — barrier-free but fully
-/// reproducible. Returns the report; transport failures abort the run.
-pub fn replay_against(
-    addrs: &[SocketAddr],
-    trace: &Trace,
-    cfg: &ReplayConfig,
-) -> Result<ReplayReport, ClientError> {
-    assert!(!addrs.is_empty(), "replay needs at least one node");
-    let mut clients = Vec::with_capacity(addrs.len());
-    for a in addrs {
-        let mut c = Client::connect(a)?;
-        c.set_timeout(Some(cfg.timeout))?;
-        clients.push(c);
-    }
-    let mut oracle = Oracle::new();
-    let mut history: FxHashMap<String, Vec<usize>> = FxHashMap::default();
-    let mut report = ReplayReport {
-        requests: 0,
-        skipped: 0,
-        per_node: vec![0; addrs.len()],
-        checked: 0,
-        digest: 0xcbf2_9ce4_8422_2325,
-        divergences: Vec::new(),
-    };
-    for (i, req) in trace.records.iter().enumerate() {
-        if matches!(req, Request::Shutdown) {
-            report.skipped += 1;
-            continue;
+/// The per-request replay machinery shared by the static and the
+/// churned entry points: oracle tracking, Busy backoff, digest folding
+/// and divergence capture. The caller owns routing.
+struct ReplayCore<'a> {
+    trace: &'a Trace,
+    cfg: &'a ReplayConfig,
+    oracle: Oracle,
+    history: FxHashMap<String, Vec<usize>>,
+    report: ReplayReport,
+}
+
+impl<'a> ReplayCore<'a> {
+    fn new(trace: &'a Trace, cfg: &'a ReplayConfig, nodes: usize) -> Self {
+        ReplayCore {
+            trace,
+            cfg,
+            oracle: Oracle::new(),
+            history: FxHashMap::default(),
+            report: ReplayReport {
+                requests: 0,
+                skipped: 0,
+                per_node: vec![0; nodes],
+                checked: 0,
+                digest: 0xcbf2_9ce4_8422_2325,
+                divergences: Vec::new(),
+            },
         }
-        let node = node_of(req, i, addrs.len(), cfg.seed);
-        report.per_node[node] += 1;
-        report.requests += 1;
+    }
+
+    /// Send `trace.records[i]` to `client` (node `node` for the
+    /// report), check it, and fold it into the digest.
+    fn step(&mut self, i: usize, node: usize, client: &mut Client) -> Result<(), ClientError> {
+        let req = &self.trace.records[i];
+        self.report.per_node[node] += 1;
+        self.report.requests += 1;
         // A sequential replay keeps at most one request in any node's
         // queue, but an externally-shared daemon may still shed load —
         // back off briefly on Busy rather than failing the run.
-        let mut resp = clients[node].call_any(req)?;
+        let mut resp = client.call_any(req)?;
         let mut retries = 0;
         while matches!(resp, Response::Busy) && retries < 50 {
             std::thread::sleep(Duration::from_millis(10));
-            resp = clients[node].call_any(req)?;
+            resp = client.call_any(req)?;
             retries += 1;
         }
         let session = session_of(req).map(str::to_string);
-        let expected = oracle.expected(req);
+        let expected = self.oracle.expected(req);
         if let Some(name) = &session {
-            history.entry(name.clone()).or_default().push(i);
+            self.history.entry(name.clone()).or_default().push(i);
         }
         if digestible(&resp) && !matches!(req, Request::Stats) {
-            fnv1a(&mut report.digest, &body(&resp));
+            fnv1a(&mut self.report.digest, &body(&resp));
         }
-        if !cfg.check {
-            continue;
+        if !self.cfg.check {
+            return Ok(());
         }
         let mut diverge = |reason: &'static str, got: Vec<u8>, want: Vec<u8>| {
             let first_diff = got
@@ -633,13 +639,13 @@ pub fn replay_against(
                 .position(|(g, w)| g != w)
                 .unwrap_or_else(|| got.len().min(want.len()));
             let prefix = match &session {
-                Some(name) => history[name]
+                Some(name) => self.history[name]
                     .iter()
-                    .map(|&ix| trace.records[ix].clone())
+                    .map(|&ix| self.trace.records[ix].clone())
                     .collect(),
                 None => vec![req.clone()],
             };
-            report.divergences.push(Divergence {
+            self.report.divergences.push(Divergence {
                 index: i,
                 node,
                 session: session.clone(),
@@ -653,7 +659,7 @@ pub fn replay_against(
         };
         match expected {
             Some(want) => {
-                report.checked += 1;
+                self.report.checked += 1;
                 let got_b = body(&resp);
                 let want_b = body(&want);
                 if got_b != want_b {
@@ -666,13 +672,164 @@ pub fn replay_against(
                 }
             }
         }
+        Ok(())
     }
-    Ok(report)
+}
+
+/// Replay `trace` against already-running daemons at `addrs`, in trace
+/// order with one in-flight request — barrier-free but fully
+/// reproducible. Routing is the cluster ring over the address strings
+/// (seeded by `cfg.seed`); `per_node` in the report is indexed by the
+/// `addrs` argument order. Transport failures abort the run.
+pub fn replay_against(
+    addrs: &[SocketAddr],
+    trace: &Trace,
+    cfg: &ReplayConfig,
+) -> Result<ReplayReport, ClientError> {
+    assert!(!addrs.is_empty(), "replay needs at least one node");
+    let names: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let ring = Ring::new(cfg.seed, DEFAULT_VNODES, names.clone());
+    // The ring sorts members; map ring indexes back to argument order.
+    let order: Vec<usize> = ring
+        .nodes()
+        .iter()
+        .map(|n| names.iter().position(|a| a == n).expect("member from input"))
+        .collect();
+    let mut clients = Vec::with_capacity(addrs.len());
+    for a in addrs {
+        let mut c = Client::connect(a)?;
+        c.set_timeout(Some(cfg.timeout))?;
+        clients.push(c);
+    }
+    let mut core = ReplayCore::new(trace, cfg, addrs.len());
+    for i in 0..trace.records.len() {
+        if matches!(trace.records[i], Request::Shutdown) {
+            core.report.skipped += 1;
+            continue;
+        }
+        let node = order[node_of(&trace.records[i], i, &ring)];
+        core.step(i, node, &mut clients[node])?;
+    }
+    Ok(core.report)
+}
+
+/// A ring-membership change injected mid-trace by
+/// [`replay_clustered`].
+#[derive(Clone, Debug)]
+pub enum RingChange {
+    /// Remove the node at this spawn index from the ring (the daemon
+    /// keeps running and forwards stragglers — drain, not kill).
+    Drain(usize),
+    /// Spawn a fresh node and add it to the ring.
+    Join,
+}
+
+/// When to inject a [`RingChange`]: before sending trace record `at`.
+#[derive(Clone, Debug)]
+pub struct ChurnEvent {
+    /// Trace index the change precedes.
+    pub at: usize,
+    /// The membership change.
+    pub change: RingChange,
+}
+
+/// Replay `trace` against an `n`-node *cluster*: the daemons share a
+/// consistent-hash ring (installed via `RingSet`, epoch 1), sessions
+/// are routed to their ring owner, and each [`ChurnEvent`] injects a
+/// live membership change — drain or join — mid-trace, with the
+/// affected sessions migrating between nodes while the replay
+/// continues. The response digest must equal a single-node replay of
+/// the same trace; that equality is the cluster tier's core
+/// correctness test.
+pub fn replay_clustered(
+    n: usize,
+    trace: &Trace,
+    serve_cfg: &ServeConfig,
+    replay_cfg: &ReplayConfig,
+    churn: &[ChurnEvent],
+) -> Result<ReplayReport, ClientError> {
+    let spawn = || {
+        start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            peers: Vec::new(),
+            ..serve_cfg.clone()
+        })
+    };
+    let mut nodes: Vec<ServerHandle> = Vec::new();
+    for _ in 0..n.max(1) {
+        nodes.push(spawn()?);
+    }
+    let addr_of = |h: &ServerHandle| h.addr().to_string();
+    let mut members: Vec<String> = nodes.iter().map(addr_of).collect();
+    let spec = |members: &[String]| RingSpec {
+        seed: replay_cfg.seed,
+        vnodes: DEFAULT_VNODES,
+        nodes: members.to_vec(),
+    };
+    let run = (|| -> Result<ReplayReport, ClientError> {
+        apply_membership(&members, &spec(&members))?;
+        let mut ring = Ring::new(replay_cfg.seed, DEFAULT_VNODES, members.clone());
+        let mut clients: FxHashMap<String, Client> = FxHashMap::default();
+        // Reserve report slots for joiners up front so `per_node` is
+        // indexed by spawn order across the whole run.
+        let joins = churn
+            .iter()
+            .filter(|c| matches!(c.change, RingChange::Join))
+            .count();
+        let mut core = ReplayCore::new(trace, replay_cfg, nodes.len() + joins);
+        let mut churn = churn.to_vec();
+        churn.sort_by_key(|c| c.at);
+        let mut next_churn = 0usize;
+        for i in 0..trace.records.len() {
+            while next_churn < churn.len() && churn[next_churn].at <= i {
+                let contacts: Vec<String> = nodes.iter().map(addr_of).collect();
+                match churn[next_churn].change {
+                    RingChange::Drain(k) => {
+                        let gone = addr_of(&nodes[k]);
+                        members.retain(|m| *m != gone);
+                        assert!(!members.is_empty(), "drain would empty the ring");
+                    }
+                    RingChange::Join => {
+                        let h = spawn()?;
+                        members.push(addr_of(&h));
+                        nodes.push(h);
+                    }
+                }
+                // Losers-first ordering happens inside apply_membership;
+                // it returns only when every migration has completed.
+                apply_membership(&contacts, &spec(&members))?;
+                ring = Ring::new(replay_cfg.seed, DEFAULT_VNODES, members.clone());
+                next_churn += 1;
+            }
+            if matches!(trace.records[i], Request::Shutdown) {
+                core.report.skipped += 1;
+                continue;
+            }
+            let addr = ring.nodes()[node_of(&trace.records[i], i, &ring)].clone();
+            let node = nodes
+                .iter()
+                .position(|h| addr_of(h) == addr)
+                .expect("ring member is a spawned node");
+            if !clients.contains_key(&addr) {
+                let mut c = Client::connect(addr.as_str())?;
+                c.set_timeout(Some(replay_cfg.timeout))?;
+                clients.insert(addr.clone(), c);
+            }
+            core.step(i, node, clients.get_mut(&addr).expect("just inserted"))?;
+        }
+        Ok(core.report)
+    })();
+    for node in nodes {
+        node.shutdown();
+    }
+    run
 }
 
 /// Start `n` loopback daemons on ephemeral ports with `serve_cfg`
 /// (address overridden), replay `trace` against them, then shut every
 /// node down. The convenience entry the tests, CLI and bench share.
+/// The nodes are *independent* (no shared ring) — see
+/// [`replay_clustered`] for the clustered variant.
 pub fn replay_spawned(
     n: usize,
     trace: &Trace,
@@ -724,11 +881,13 @@ mod tests {
     fn routing_is_stable_and_session_sticky() {
         let trace = generate_trace(&GenConfig::default());
         for nodes in [1usize, 2, 3, 5] {
+            let members: Vec<String> = (0..nodes).map(|k| format!("127.0.0.1:{}", 9000 + k)).collect();
+            let ring = Ring::new(7, DEFAULT_VNODES, members);
             let mut session_node: FxHashMap<String, usize> = FxHashMap::default();
             for (i, req) in trace.records.iter().enumerate() {
-                let n = node_of(req, i, nodes, 7);
+                let n = node_of(req, i, &ring);
                 assert!(n < nodes);
-                assert_eq!(n, node_of(req, i, nodes, 7), "stable");
+                assert_eq!(n, node_of(req, i, &ring), "stable");
                 if let Some(s) = session_of(req) {
                     let prev = session_node.entry(s.to_string()).or_insert(n);
                     assert_eq!(*prev, n, "session {s} stays on one node");

@@ -40,8 +40,10 @@
 //!   acceptor, lets every connection finish its in-flight request,
 //!   drains the worker queue, and joins all threads.
 
+use crate::cluster::{ClusterState, Route, MAX_FORWARD_HOPS, MIGRATE_REDO_MAX};
 use crate::metrics::Metrics;
-use crate::proto::{self, ErrorCode, MachineId, Request, Response, SampleBatch, Target};
+use crate::proto::{self, ErrorCode, MachineId, ModelWire, Request, Response, SampleBatch, Target};
+use crate::ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
 use crate::session::{ShardedSessionStore, SubmitRejected};
 use repf_core::{analyze, analyze_with_model};
 use repf_sim::{amd_phenom_ii, intel_i7_2600k, Exec, PlanCache, SubmitError, WorkerPool};
@@ -167,6 +169,22 @@ pub struct ServeConfig {
     /// Run-length scale for server-side benchmark profiling (the
     /// `BuildOptions::refs_scale` behind `Target::Benchmark` queries).
     pub refs_scale: f64,
+    /// Other cluster members' advertised addresses. Non-empty starts
+    /// the node clustered: the initial ring (epoch 1) is built over
+    /// `peers ∪ {advertise}` and session-addressed requests whose ring
+    /// owner is another node are forwarded there. Empty (default) keeps
+    /// the single-node behavior bit-identical to before the cluster
+    /// tier existed; the node can still be clustered later by `RingSet`.
+    pub peers: Vec<String>,
+    /// The address this node is known by on the ring (what peers and
+    /// the `repf ring` CLI dial). Defaults to the bound address — set
+    /// it explicitly when binding a wildcard or port 0 behind a NAT.
+    pub advertise: Option<String>,
+    /// Consistent-hash ring seed for the initial `--peers` ring; every
+    /// member must agree.
+    pub cluster_seed: u64,
+    /// Virtual nodes per ring member for the initial `--peers` ring.
+    pub vnodes: u32,
 }
 
 impl Default for ServeConfig {
@@ -184,6 +202,10 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             refs_scale: 0.05,
+            peers: Vec::new(),
+            advertise: None,
+            cluster_seed: DEFAULT_RING_SEED,
+            vnodes: DEFAULT_VNODES,
         }
     }
 }
@@ -224,6 +246,8 @@ pub(crate) struct ServeState {
     plans_intel: PlanCache,
     /// Server metrics, readable through the `Stats` request.
     pub metrics: Metrics,
+    /// Cluster-tier state: ring epochs, self identity, peer pool.
+    pub(crate) cluster: ClusterState,
     shutting_down: AtomicBool,
     /// Wakes the I/O loop (epoll) or acceptor (threads) out of its
     /// poll when shutdown is requested from another thread.
@@ -246,6 +270,7 @@ impl ServeState {
             plans_amd: PlanCache::lazy(&amd_phenom_ii(), &opts),
             plans_intel: PlanCache::lazy(&intel_i7_2600k(), &opts),
             metrics: Metrics::new(),
+            cluster: ClusterState::new(),
             shutting_down: AtomicBool::new(false),
             #[cfg(target_os = "linux")]
             wake: EventFd::new()?,
@@ -273,10 +298,58 @@ impl ServeState {
         }
     }
 
-    /// Execute one request against the shared state. Pure
-    /// request-in/response-out — called on a worker thread.
+    /// Execute one request against the shared state — called on a
+    /// worker thread. Peer-protocol requests dispatch to their cluster
+    /// handlers; session-addressed client requests consult the ring and
+    /// are forwarded to their owner when that is another node; all else
+    /// (and everything on an un-clustered node) runs locally.
     pub(crate) fn handle(&self, req: &Request) -> Response {
         self.metrics.count_request(req.kind_name());
+        match req {
+            Request::RingGet => return self.handle_ring_get(),
+            Request::RingSet {
+                epoch,
+                seed,
+                vnodes,
+                nodes,
+            } => return self.handle_ring_set(*epoch, *seed, *vnodes, nodes),
+            Request::PeerForward { hops, frame } => return self.handle_peer_forward(*hops, frame),
+            Request::SessionImport {
+                session,
+                version,
+                batch,
+                model,
+            } => return self.handle_session_import(session, *version, batch, model),
+            Request::ModelPull { session, version } => {
+                return self.handle_model_pull(session, *version)
+            }
+            _ => {}
+        }
+        if let Some((session, is_submit)) = Self::session_target(req) {
+            match self.cluster.route(session, is_submit, &self.sessions) {
+                Route::Forward(dest) => return self.forward(&dest, req),
+                Route::Local => {
+                    let resp = self.handle_local(req);
+                    // Routing said local but the session migrated away
+                    // between the check and the handler (a ring change
+                    // raced us): chase the tombstone it left behind
+                    // instead of answering "unknown session".
+                    if Self::is_unknown_session(&resp) {
+                        if let Some(dest) = self.sessions.tombstone_of(session) {
+                            return self.forward(&dest, req);
+                        }
+                    }
+                    return resp;
+                }
+            }
+        }
+        self.handle_local(req)
+    }
+
+    /// Execute one request on this node, no routing. Forwarded peer
+    /// frames land here too, so this must never re-forward — that is
+    /// what makes forwarding loop-free.
+    fn handle_local(&self, req: &Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
             Request::Submit { session, batch } => self.handle_submit(session, batch),
@@ -306,6 +379,325 @@ impl ServeState {
                 self.request_shutdown();
                 Response::ShuttingDown
             }
+            // Peer-protocol requests are dispatched in `handle` before
+            // routing; one arriving here was nested inside a forward.
+            Request::RingGet
+            | Request::RingSet { .. }
+            | Request::PeerForward { .. }
+            | Request::SessionImport { .. }
+            | Request::ModelPull { .. } => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "peer request cannot be forwarded".into(),
+            },
+        }
+    }
+
+    /// The session a request addresses, and whether it creates state.
+    fn session_target(req: &Request) -> Option<(&str, bool)> {
+        match req {
+            Request::Submit { session, .. } => Some((session, true)),
+            Request::QueryMrc {
+                target: Target::Session(s),
+                ..
+            }
+            | Request::QueryPcMrc {
+                target: Target::Session(s),
+                ..
+            }
+            | Request::QueryPlan {
+                target: Target::Session(s),
+                ..
+            } => Some((s, false)),
+            _ => None,
+        }
+    }
+
+    fn is_unknown_session(resp: &Response) -> bool {
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        )
+    }
+
+    // --- cluster tier ---
+
+    fn handle_ring_get(&self) -> Response {
+        let (epoch, ring) = self.cluster.snapshot();
+        let (seed, vnodes, nodes) = match &ring {
+            Some(r) => (r.seed(), r.vnodes(), r.nodes().to_vec()),
+            None => (DEFAULT_RING_SEED, DEFAULT_VNODES, Vec::new()),
+        };
+        Response::RingInfo {
+            epoch,
+            seed,
+            vnodes,
+            nodes,
+            self_addr: self.cluster.self_addr().to_string(),
+        }
+    }
+
+    /// Adopt a new ring, then synchronously migrate away every session
+    /// this node no longer owns before acknowledging — the orchestrator
+    /// applies changes losers-first, so once the ack is out the new
+    /// owners hold the state (or a tombstone points at them).
+    fn handle_ring_set(&self, epoch: u64, seed: u64, vnodes: u32, nodes: &[String]) -> Response {
+        let ring = Ring::new(seed, vnodes, nodes.to_vec());
+        match self.cluster.install_ring(epoch, ring) {
+            Err(current) => Response::RingAck {
+                epoch: current,
+                migrated: 0,
+            },
+            Ok(()) => {
+                self.metrics
+                    .cluster_ring_epoch
+                    .store(epoch, Ordering::Relaxed);
+                self.metrics
+                    .cluster_ring_nodes
+                    .store(nodes.len() as u64, Ordering::Relaxed);
+                self.update_share_gauge();
+                let migrated = self.migrate_departed();
+                Response::RingAck { epoch, migrated }
+            }
+        }
+    }
+
+    fn update_share_gauge(&self) {
+        let (_, ring) = self.cluster.snapshot();
+        let share = ring
+            .as_ref()
+            .and_then(|r| r.index_of(self.cluster.self_addr()).map(|i| r.share(i)))
+            .unwrap_or(0.0);
+        self.metrics
+            .cluster_ring_share_ppm
+            .store((share * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Ship every session whose ring owner is no longer this node to
+    /// its new home. Returns how many moved.
+    fn migrate_departed(&self) -> u64 {
+        let (_, Some(ring)) = self.cluster.snapshot() else {
+            return 0;
+        };
+        let me = self.cluster.self_addr();
+        let departing: Vec<(String, String)> = self
+            .sessions
+            .session_names()
+            .into_iter()
+            .filter_map(|name| match ring.owner(&name) {
+                Some(owner) if owner != me => Some((name, owner.to_string())),
+                _ => None,
+            })
+            .collect();
+        if departing.is_empty() {
+            return 0;
+        }
+        self.metrics
+            .cluster_migrations_started
+            .fetch_add(1, Ordering::Relaxed);
+        let mut moved = 0u64;
+        let mut failed = 0u64;
+        for (name, owner) in &departing {
+            let start = Instant::now();
+            if self.migrate_session(name, owner) {
+                moved += 1;
+                self.metrics
+                    .cluster_migrated_sessions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .migration_latency
+                    .record_us(start.elapsed().as_micros() as u64);
+            } else {
+                failed += 1;
+            }
+        }
+        if failed == 0 {
+            self.metrics
+                .cluster_migrations_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        moved
+    }
+
+    /// Move one session to `dest`: export a snapshot, push it as a
+    /// `SessionImport`, then remove the local copy — but only if the
+    /// version is still the one exported. A submit racing the snapshot
+    /// fails that check and the loop re-exports; on exhaustion (or an
+    /// unreachable peer) the session stays local and keeps being
+    /// served correctly here. Returns `true` when the session is gone
+    /// from this node.
+    fn migrate_session(&self, name: &str, dest: &str) -> bool {
+        for _ in 0..MIGRATE_REDO_MAX {
+            let Some(export) = self.sessions.export(name) else {
+                return true; // evicted or already migrated: nothing to move
+            };
+            let model = export
+                .model
+                .as_ref()
+                .map(|m| ModelWire::from_parts(&m.to_parts()));
+            let req = Request::SessionImport {
+                session: name.to_string(),
+                version: export.version,
+                batch: export.batch,
+                model,
+            };
+            match self.cluster.call(dest, &req) {
+                Ok(Response::Imported) => {
+                    if self.sessions.remove_migrated(name, export.version, dest) {
+                        let bytes = self.sessions.bytes();
+                        self.metrics.store_bytes.store(bytes, Ordering::Relaxed);
+                        return true;
+                    }
+                    // A submit landed between export and removal; the
+                    // peer holds a stale snapshot we are about to
+                    // overwrite with a fresh one.
+                }
+                Ok(_) | Err(_) => return false,
+            }
+        }
+        false
+    }
+
+    /// A request another node decided belongs here. Handle it locally —
+    /// chasing at most `hops` tombstones if the session has already
+    /// moved on — and never re-route, so forwarding cannot loop.
+    fn handle_peer_forward(&self, hops: u8, frame: &[u8]) -> Response {
+        self.metrics
+            .cluster_peer_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let inner = match Request::decode(frame) {
+            Ok(Request::PeerForward { .. }) => {
+                self.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: "nested peer forward".into(),
+                };
+            }
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!("forwarded frame: {e}"),
+                };
+            }
+        };
+        self.metrics.count_request(inner.kind_name());
+        if let Some((session, _)) = Self::session_target(&inner) {
+            if hops > 0 && !self.sessions.contains(session) {
+                if let Some(dest) = self.sessions.tombstone_of(session) {
+                    return self.forward_frame(&dest, frame.to_vec(), hops - 1);
+                }
+            }
+        }
+        let resp = self.handle_local(&inner);
+        if hops > 0 && Self::is_unknown_session(&resp) {
+            if let Some((session, _)) = Self::session_target(&inner) {
+                if let Some(dest) = self.sessions.tombstone_of(session) {
+                    return self.forward_frame(&dest, frame.to_vec(), hops - 1);
+                }
+            }
+        }
+        resp
+    }
+
+    /// Accept a migrated session: whole profile, version counter, and
+    /// the cached model when the source had a fresh one (sparing this
+    /// node the refit — counted as a remote model hit).
+    fn handle_session_import(
+        &self,
+        session: &str,
+        version: u64,
+        batch: &SampleBatch,
+        model: &Option<ModelWire>,
+    ) -> Response {
+        let model = model
+            .as_ref()
+            .map(|w| Arc::new(StatStackModel::from_parts(w.to_parts())));
+        let had_model = model.is_some();
+        match self.sessions.import(session, version, batch.clone(), model) {
+            Ok(o) => {
+                self.metrics
+                    .evictions
+                    .fetch_add(o.evicted as u64, Ordering::Relaxed);
+                self.metrics
+                    .store_bytes
+                    .store(o.store_bytes, Ordering::Relaxed);
+                if had_model {
+                    self.metrics
+                        .cluster_model_remote_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Imported
+            }
+            Err(SubmitRejected::InconsistentLineBytes) => Response::Error {
+                code: ErrorCode::InconsistentBatch,
+                message: "imported batch has inconsistent line_bytes".into(),
+            },
+        }
+    }
+
+    /// A peer asks for our cached model of `(session, version)` so it
+    /// can skip its own fit. Answers `None` unless the exact version is
+    /// cached — never triggers a fit here.
+    fn handle_model_pull(&self, session: &str, version: u64) -> Response {
+        Response::ModelEntry {
+            model: self
+                .sessions
+                .cached_model_at(session, version)
+                .map(|m| ModelWire::from_parts(&m.to_parts())),
+        }
+    }
+
+    /// Before fitting a session model locally, try to fetch the fit
+    /// from the one peer that plausibly has it (the session's owner
+    /// under the previous ring). Saves the fleet from refitting a model
+    /// that already exists somewhere — a fit happens at most once per
+    /// session version cluster-wide.
+    fn try_pull_model(&self, name: &str) {
+        let Some(peer) = self.cluster.pull_candidate(name) else {
+            return;
+        };
+        let Some(version) = self.sessions.version_of(name) else {
+            return;
+        };
+        if self.sessions.cached_model_at(name, version).is_some() {
+            return;
+        }
+        let req = Request::ModelPull {
+            session: name.to_string(),
+            version,
+        };
+        if let Ok(Response::ModelEntry { model: Some(w) }) = self.cluster.call(&peer, &req) {
+            let model = Arc::new(StatStackModel::from_parts(w.to_parts()));
+            if self.sessions.install_model(name, version, model) {
+                self.metrics
+                    .cluster_model_remote_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Relay `req` to `dest` wrapped in a `PeerForward`, and relay the
+    /// answer back verbatim. Encoding is canonical, so the bytes the
+    /// client sees are identical to `dest` answering it directly —
+    /// which is what keeps replay digests placement-invariant.
+    fn forward(&self, dest: &str, req: &Request) -> Response {
+        self.forward_frame(dest, req.encode()[4..].to_vec(), MAX_FORWARD_HOPS)
+    }
+
+    fn forward_frame(&self, dest: &str, frame: Vec<u8>, hops: u8) -> Response {
+        self.metrics
+            .cluster_forwarded
+            .fetch_add(1, Ordering::Relaxed);
+        match self.cluster.call(dest, &Request::PeerForward { hops, frame }) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("peer {dest} unreachable: {e}"),
+            },
         }
     }
 
@@ -314,6 +706,10 @@ impl ServeState {
     /// answer is consistent per shard.
     fn stats_pairs(&self) -> Vec<(String, f64)> {
         let mut out = self.metrics.snapshot();
+        out.push((
+            "cluster.tombstones".into(),
+            self.sessions.tombstone_count() as f64,
+        ));
         let shards = self.sessions.shard_stats();
         out.push(("sessions.shards".into(), shards.len() as f64));
         for (i, s) in shards.iter().enumerate() {
@@ -380,6 +776,7 @@ impl ServeState {
         match target {
             Target::Session(name) => {
                 if self.model_cache {
+                    self.try_pull_model(name);
                     match self.sessions.model(name) {
                         None => Response::Error {
                             code: ErrorCode::UnknownSession,
@@ -548,6 +945,22 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServeState::new(&cfg)?);
+    // Cluster identity and the optional static `--peers` ring: the
+    // advertised address is what every other party dials and hashes,
+    // defaulting to the just-bound address (resolving port 0).
+    let self_addr = cfg.advertise.clone().unwrap_or_else(|| addr.to_string());
+    state.cluster.set_self_addr(self_addr.clone());
+    if !cfg.peers.is_empty() {
+        let mut members = cfg.peers.clone();
+        members.push(self_addr);
+        let ring = Ring::new(cfg.cluster_seed, cfg.vnodes, members);
+        let n = ring.len() as u64;
+        if state.cluster.install_ring(1, ring).is_ok() {
+            state.metrics.cluster_ring_epoch.store(1, Ordering::Relaxed);
+            state.metrics.cluster_ring_nodes.store(n, Ordering::Relaxed);
+            state.update_share_gauge();
+        }
+    }
     let threads = if cfg.threads == 0 {
         Exec::from_env().threads()
     } else {
@@ -813,8 +1226,18 @@ fn serve_connection(
     stream.set_write_timeout(Some(cfg.write_timeout))?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
+    // Once a cluster peer-protocol frame is seen, the connection is a
+    // pooled node-to-node link: it sits idle between forwards by
+    // design, so the idle timeout stretches to effectively-forever
+    // (shutdown still interrupts the poll loop).
+    let mut is_peer = false;
     loop {
-        match read_frame_polling(&mut reader, &state, cfg.idle_timeout) {
+        let idle = if is_peer {
+            Duration::from_secs(24 * 3600)
+        } else {
+            cfg.idle_timeout
+        };
+        match read_frame_polling(&mut reader, &state, idle) {
             ReadOutcome::Eof | ReadOutcome::Stop | ReadOutcome::Io => return Ok(()),
             ReadOutcome::Frame(body) => {
                 match Request::decode(&body) {
@@ -833,6 +1256,7 @@ fn serve_connection(
                         return Ok(());
                     }
                     Ok(req) => {
+                        is_peer = is_peer || req.is_peer_kind();
                         let resp = dispatch(&state, &pool, req);
                         send(&mut writer, &resp)?;
                     }
@@ -1391,6 +1815,9 @@ impl EpollLoop {
                     return;
                 }
                 Ok(req) => {
+                    if req.is_peer_kind() {
+                        conn.is_peer = true;
+                    }
                     let st = Arc::clone(&self.state);
                     let cq = Arc::clone(&self.completions);
                     let job = Box::new(move || {
@@ -1616,6 +2043,9 @@ impl EpollLoop {
                     return;
                 }
                 Ok(req) => {
+                    if req.is_peer_kind() {
+                        conn.is_peer = true;
+                    }
                     if self.pool_full {
                         self.state.metrics.busy.fetch_add(1, Ordering::Relaxed);
                         conn.queue_frame_deferred(Response::Busy.encode());

@@ -58,6 +58,22 @@ struct SessionEntry {
     last_used: u64,
 }
 
+/// A portable snapshot of one session — everything a peer needs to take
+/// ownership without refitting: the full raw profile as a wire batch,
+/// the version counter (so fleet-wide `(session, version)` model keys
+/// stay continuous across moves), and the cached fit when it covers the
+/// snapshotted version.
+pub struct SessionExport {
+    /// The complete profile as one submit-shaped batch.
+    pub batch: SampleBatch,
+    /// The session's version counter at snapshot time.
+    pub version: u64,
+    /// The cached model, only when it is valid for `version` — a stale
+    /// cache is not shipped (the importer would refit at the *new*
+    /// version anyway, which no node has fit yet).
+    pub model: Option<Arc<StatStackModel>>,
+}
+
 /// Outcome of a successful submit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubmitOutcome {
@@ -89,12 +105,20 @@ pub struct SessionStore {
     entries: Vec<SessionEntry>,
     /// Name → index into `entries`, maintained across `swap_remove`.
     index: FxHashMap<String, usize>,
+    /// Migrated-away sessions: name → the address the session now lives
+    /// at, left behind by [`SessionStore::remove_migrated`] so the old
+    /// owner can forward in-flight requests during the handoff window.
+    tombstones: FxHashMap<String, String>,
     clock: u64,
     bytes: usize,
     evictions: u64,
     model_hits: u64,
     model_misses: u64,
 }
+
+/// Tombstones beyond this count evict arbitrarily-chosen older ones —
+/// they are a forwarding hint for the handoff window, not durable state.
+const MAX_TOMBSTONES: usize = 4096;
 
 impl SessionStore {
     /// An empty store with the given byte budget (clamped to ≥ 1 so a
@@ -104,6 +128,7 @@ impl SessionStore {
             budget_bytes: budget_bytes.max(1),
             entries: Vec::new(),
             index: FxHashMap::default(),
+            tombstones: FxHashMap::default(),
             clock: 0,
             bytes: 0,
             evictions: 0,
@@ -142,6 +167,8 @@ impl SessionStore {
         let ix = match self.index_of(name) {
             Some(ix) => ix,
             None => {
+                // A fresh local session supersedes any forwarding hint.
+                self.tombstones.remove(name);
                 self.entries.push(SessionEntry {
                     name: name.to_string(),
                     profile: Profile {
@@ -281,6 +308,139 @@ impl SessionStore {
     pub fn model_misses(&self) -> u64 {
         self.model_misses
     }
+
+    /// True when `name` is live, *without* refreshing recency — routing
+    /// probes must not distort the LRU order.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// `name`'s version counter (no recency refresh).
+    pub fn version_of(&self, name: &str) -> Option<u64> {
+        self.index_of(name).map(|ix| self.entries[ix].version)
+    }
+
+    /// Names of every live session, in no particular order — the
+    /// migration sweep's work list.
+    pub fn session_names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Non-destructive snapshot of `name` for migration: the full
+    /// profile as one batch, the version counter, and the cached model
+    /// when it covers that exact version. No recency refresh — the
+    /// session is about to leave.
+    pub fn export(&self, name: &str) -> Option<SessionExport> {
+        let e = &self.entries[self.index_of(name)?];
+        let model = match &e.cached {
+            Some((v, m)) if *v == e.version => Some(Arc::clone(m)),
+            _ => None,
+        };
+        Some(SessionExport {
+            batch: SampleBatch::from_profile(&e.profile),
+            version: e.version,
+            model,
+        })
+    }
+
+    /// Complete a migration: drop `name` *iff* its version still equals
+    /// `version` (no submit raced the snapshot) and leave a tombstone
+    /// pointing at `dest`. Returns `false` when the version moved — the
+    /// caller must re-export and try again.
+    pub fn remove_migrated(&mut self, name: &str, version: u64, dest: &str) -> bool {
+        let Some(ix) = self.index_of(name) else {
+            return true; // already gone (evicted) — nothing to move
+        };
+        if self.entries[ix].version != version {
+            return false;
+        }
+        let e = self.remove_at(ix);
+        self.bytes -= e.bytes;
+        if self.tombstones.len() >= MAX_TOMBSTONES {
+            let drop = self.tombstones.keys().next().cloned();
+            if let Some(k) = drop {
+                self.tombstones.remove(&k);
+            }
+        }
+        self.tombstones.insert(name.to_string(), dest.to_string());
+        true
+    }
+
+    /// Install a migrated session wholesale, replacing any local entry
+    /// and clearing any tombstone. The version counter continues from
+    /// the exporter's value; when `model` is present it is published as
+    /// the cached fit for that version, so the importer never refits
+    /// (otherwise the full batch is staged as pending for the next
+    /// query's fit). LRU eviction applies as for submits.
+    pub fn import(
+        &mut self,
+        name: &str,
+        version: u64,
+        batch: SampleBatch,
+        model: Option<Arc<StatStackModel>>,
+    ) -> Result<SubmitOutcome, SubmitRejected> {
+        if let Some(ix) = self.index_of(name) {
+            let e = self.remove_at(ix);
+            self.bytes -= e.bytes;
+        }
+        self.tombstones.remove(name);
+        let out = self.submit(name, batch)?;
+        if let Some(ix) = self.index_of(name) {
+            // submit() set version 1 and staged the batch as pending;
+            // rewrite both to reflect the exporter's state.
+            let e = &mut self.entries[ix];
+            e.version = version;
+            if let Some(m) = model {
+                e.pending.clear();
+                e.cached = Some((version, m));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Where `name` migrated to, if a tombstone is held for it.
+    pub fn tombstone_of(&self, name: &str) -> Option<&str> {
+        self.tombstones.get(name).map(String::as_str)
+    }
+
+    /// Live tombstone count.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// The cached fit for `name` *iff* it covers exactly `version`.
+    /// No recency refresh and never fits — peer model pulls must stay
+    /// cheap on the answering side.
+    pub fn cached_model_at(&self, name: &str, version: u64) -> Option<Arc<StatStackModel>> {
+        let e = &self.entries[self.index_of(name)?];
+        match &e.cached {
+            Some((v, m)) if *v == version => Some(Arc::clone(m)),
+            _ => None,
+        }
+    }
+
+    /// Publish a model fitted elsewhere as `name`'s cached fit,
+    /// provided the session still sits at exactly `version` (a racing
+    /// submit voids the pull). The model covers the whole profile at
+    /// that version, so staged pending batches are superseded by it.
+    /// Returns whether it was installed.
+    pub fn install_model(
+        &mut self,
+        name: &str,
+        version: u64,
+        model: Arc<StatStackModel>,
+    ) -> bool {
+        let Some(ix) = self.index_of(name) else {
+            return false;
+        };
+        let e = &mut self.entries[ix];
+        if e.version != version {
+            return false;
+        }
+        e.pending.clear();
+        e.cached = Some((version, model));
+        true
+    }
 }
 
 /// A point-in-time summary of one shard, surfaced through the `Stats`
@@ -417,6 +577,98 @@ impl ShardedSessionStore {
     /// Lifetime evictions across all shards.
     pub fn evictions(&self) -> u64 {
         self.shards.iter().map(|s| s.store.lock().unwrap().evictions()).sum()
+    }
+
+    /// True when `name` is live (no recency refresh).
+    pub fn contains(&self, name: &str) -> bool {
+        self.shards[self.shard_of(name)].store.lock().unwrap().contains(name)
+    }
+
+    /// `name`'s version counter (no recency refresh).
+    pub fn version_of(&self, name: &str) -> Option<u64> {
+        self.shards[self.shard_of(name)].store.lock().unwrap().version_of(name)
+    }
+
+    /// Names of every live session across all shards.
+    pub fn session_names(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.store.lock().unwrap().session_names())
+            .collect()
+    }
+
+    /// Snapshot `name` for migration (see [`SessionStore::export`]).
+    pub fn export(&self, name: &str) -> Option<SessionExport> {
+        self.shards[self.shard_of(name)].store.lock().unwrap().export(name)
+    }
+
+    /// Drop `name` iff still at `version`, leaving a tombstone → `dest`
+    /// (see [`SessionStore::remove_migrated`]).
+    pub fn remove_migrated(&self, name: &str, version: u64, dest: &str) -> bool {
+        let shard = &self.shards[self.shard_of(name)];
+        let mut store = shard.store.lock().unwrap();
+        let ok = store.remove_migrated(name, version, dest);
+        shard.bytes.store(store.bytes() as u64, Ordering::Relaxed);
+        ok
+    }
+
+    /// Install a migrated session (see [`SessionStore::import`]).
+    pub fn import(
+        &self,
+        name: &str,
+        version: u64,
+        batch: SampleBatch,
+        model: Option<Arc<StatStackModel>>,
+    ) -> Result<SubmitOutcome, SubmitRejected> {
+        let shard = &self.shards[self.shard_of(name)];
+        let out = {
+            let mut store = shard.store.lock().unwrap();
+            let out = store.import(name, version, batch, model)?;
+            shard.bytes.store(store.bytes() as u64, Ordering::Relaxed);
+            out
+        };
+        Ok(SubmitOutcome {
+            store_bytes: self.bytes(),
+            evicted: out.evicted,
+        })
+    }
+
+    /// Where `name` migrated to, if a tombstone is held.
+    pub fn tombstone_of(&self, name: &str) -> Option<String> {
+        self.shards[self.shard_of(name)]
+            .store
+            .lock()
+            .unwrap()
+            .tombstone_of(name)
+            .map(str::to_string)
+    }
+
+    /// The cached fit for `name` iff it covers exactly `version` (see
+    /// [`SessionStore::cached_model_at`]).
+    pub fn cached_model_at(&self, name: &str, version: u64) -> Option<Arc<StatStackModel>> {
+        self.shards[self.shard_of(name)]
+            .store
+            .lock()
+            .unwrap()
+            .cached_model_at(name, version)
+    }
+
+    /// Publish a remotely-fitted model for `name` at `version` (see
+    /// [`SessionStore::install_model`]).
+    pub fn install_model(&self, name: &str, version: u64, model: Arc<StatStackModel>) -> bool {
+        self.shards[self.shard_of(name)]
+            .store
+            .lock()
+            .unwrap()
+            .install_model(name, version, model)
+    }
+
+    /// Live tombstones across all shards.
+    pub fn tombstone_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.store.lock().unwrap().tombstone_count())
+            .sum()
     }
 
     /// Per-shard statistics in shard order.
@@ -587,6 +839,119 @@ mod tests {
             );
         }
         assert_eq!(m.sample_count(), direct.sample_count());
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_model_and_version() {
+        let mut a = SessionStore::new(1 << 20);
+        a.submit("s", batch(40)).unwrap();
+        a.submit("s", batch(10)).unwrap();
+        let (fitted, _) = a.model("s").unwrap();
+        let ex = a.export("s").unwrap();
+        assert_eq!(ex.version, 2);
+        assert!(Arc::ptr_eq(ex.model.as_ref().unwrap(), &fitted));
+        assert_eq!(ex.batch.reuse.len(), 50);
+
+        let mut b = SessionStore::new(1 << 20);
+        b.import("s", ex.version, ex.batch, ex.model).unwrap();
+        assert_eq!(b.version_of("s"), Some(2));
+        let (m, hit) = b.model("s").unwrap();
+        assert!(hit, "imported model serves without a refit");
+        assert!(Arc::ptr_eq(&m, &fitted));
+        assert_eq!(b.model_misses(), 0);
+        // Profile carried over losslessly: a post-import submit extends
+        // incrementally and matches a from-scratch fit.
+        b.submit("s", batch(7)).unwrap();
+        assert_eq!(b.version_of("s"), Some(3));
+        let (m2, _) = b.model("s").unwrap();
+        let direct = StatStackModel::from_profile(b.get("s").unwrap());
+        for lines in [0u64, 5, 40, 500] {
+            assert_eq!(m2.miss_ratio(lines).to_bits(), direct.miss_ratio(lines).to_bits());
+        }
+    }
+
+    #[test]
+    fn export_without_fresh_fit_ships_no_model() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("s", batch(20)).unwrap();
+        s.model("s").unwrap();
+        s.submit("s", batch(5)).unwrap(); // cache now stale
+        let ex = s.export("s").unwrap();
+        assert!(ex.model.is_none(), "stale cache must not travel");
+        let mut b = SessionStore::new(1 << 20);
+        b.import("s", ex.version, ex.batch, ex.model).unwrap();
+        let (m, hit) = b.model("s").unwrap();
+        assert!(!hit);
+        assert_eq!(m.sample_count(), 25, "pending holds the full profile");
+    }
+
+    #[test]
+    fn remove_migrated_is_version_guarded_and_leaves_tombstone() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("s", batch(10)).unwrap();
+        let ex = s.export("s").unwrap();
+        // A submit racing the snapshot bumps the version → removal must
+        // refuse so the new samples are not silently dropped.
+        s.submit("s", batch(3)).unwrap();
+        assert!(!s.remove_migrated("s", ex.version, "peer:1"));
+        assert!(s.contains("s"));
+        let ex2 = s.export("s").unwrap();
+        assert!(s.remove_migrated("s", ex2.version, "peer:1"));
+        assert!(!s.contains("s"));
+        assert_eq!(s.tombstone_of("s"), Some("peer:1"));
+        assert_eq!(s.tombstone_count(), 1);
+        // Removing an already-gone session is a success (evicted is fine).
+        assert!(s.remove_migrated("never", 9, "peer:2"));
+        // A fresh local submit clears the forwarding hint.
+        s.submit("s", batch(1)).unwrap();
+        assert_eq!(s.tombstone_of("s"), None);
+    }
+
+    #[test]
+    fn import_replaces_existing_entry_and_clears_tombstone() {
+        let mut s = SessionStore::new(1 << 20);
+        s.submit("s", batch(30)).unwrap();
+        let ex = s.export("s").unwrap();
+        assert!(s.remove_migrated("s", ex.version, "elsewhere"));
+        // The session comes back (ring flapped): import must clear the
+        // tombstone and install the authoritative copy.
+        let mut other = SessionStore::new(1 << 20);
+        other.submit("s", batch(30)).unwrap();
+        other.submit("s", batch(4)).unwrap();
+        let back = other.export("s").unwrap();
+        s.import("s", back.version, back.batch, back.model).unwrap();
+        assert_eq!(s.tombstone_of("s"), None);
+        assert_eq!(s.version_of("s"), Some(2));
+        assert_eq!(s.get("s").unwrap().reuse.len(), 34);
+        let bytes = s.bytes();
+        assert!(bytes <= s.budget_bytes());
+    }
+
+    #[test]
+    fn sharded_export_import_and_tombstones() {
+        let a = ShardedSessionStore::new(1 << 20, 4);
+        for i in 0..6u32 {
+            a.submit(&format!("s{i}"), batch(10 + i as usize)).unwrap();
+        }
+        let mut names = a.session_names();
+        names.sort();
+        assert_eq!(names, (0..6).map(|i| format!("s{i}")).collect::<Vec<_>>());
+        let b = ShardedSessionStore::new(1 << 20, 2);
+        for name in &names {
+            let ex = a.export(name).unwrap();
+            b.import(name, ex.version, ex.batch, ex.model).unwrap();
+            assert!(a.remove_migrated(name, ex.version, "b:0"));
+        }
+        assert!(a.is_empty());
+        assert_eq!(a.bytes(), 0, "byte gauges drained with the sessions");
+        assert_eq!(a.tombstone_count(), 6);
+        assert_eq!(a.tombstone_of("s3"), Some("b:0".to_string()));
+        assert_eq!(b.len(), 6);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(b.version_of(name), Some(1));
+            assert!(b.contains(name));
+            b.with_profile(name, |p| assert_eq!(p.reuse.len(), 10 + i)).unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Cluster-tier integration tests over real sockets: ring-routed
+//! replay digests, live drain/join churn, fleet-wide fit-at-most-once,
+//! migration model shipping and tombstone-chase forwarding.
+
+use repf_sampling::ReuseSample;
+use repf_serve::{
+    apply_membership, generate_trace, replay_against, replay_clustered, replay_spawned, start,
+    ChurnEvent, Client, GenConfig, LogHisto, ReplayConfig, RingChange, RingSpec, SampleBatch,
+    ServeConfig, Target, DEFAULT_VNODES,
+};
+use repf_trace::{AccessKind, Pc};
+use std::net::SocketAddr;
+
+fn stat(pairs: &[(String, f64)], name: &str) -> f64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("missing stat '{name}'"))
+}
+
+fn batch(salt: u64) -> SampleBatch {
+    let mut b = SampleBatch {
+        total_refs: 100_000 + salt,
+        sample_period: 1009,
+        line_bytes: 64,
+        ..SampleBatch::default()
+    };
+    for i in 0..40u64 {
+        b.reuse.push(ReuseSample {
+            start_pc: Pc(100 + (i % 3) as u32 * 100),
+            start_kind: AccessKind::Load,
+            end_pc: Pc(100 + (i % 3) as u32 * 100),
+            end_kind: AccessKind::Load,
+            distance: 1 + (i * 37 + salt) % 500_000,
+            start_index: i * 1000,
+        });
+    }
+    b
+}
+
+/// Property test for the fleet-wide latency accounting: per-node
+/// `LogHisto` histograms merged in *any* order equal the single
+/// histogram built from the concatenated sample stream. This is what
+/// lets the cluster fan-out report sum per-driver/per-node histograms
+/// without caring who recorded what.
+#[test]
+fn log_histo_merge_is_order_insensitive_and_matches_concatenation() {
+    let mut seed = 0x1057_0611u64;
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let same = |a: &LogHisto, b: &LogHisto, what: &str| {
+        assert_eq!(a.count(), b.count(), "{what}: count");
+        assert_eq!(a.max_us(), b.max_us(), "{what}: max");
+        assert!((a.mean_us() - b.mean_us()).abs() < 1e-9, "{what}: mean");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile_us(q), b.quantile_us(q), "{what}: q{q}");
+        }
+    };
+    for trial in 0..40 {
+        // A random number of nodes, each with a random sample stream
+        // spanning the exact and logarithmic bucket regions.
+        let nodes = 1 + (next() % 6) as usize;
+        let mut per_node: Vec<LogHisto> = (0..nodes).map(|_| LogHisto::new()).collect();
+        let mut single = LogHisto::new();
+        for (i, h) in per_node.iter_mut().enumerate() {
+            let samples = next() % 400;
+            for _ in 0..samples {
+                let us = match next() % 3 {
+                    0 => next() % 64,            // exact buckets
+                    1 => next() % 100_000,       // log region
+                    _ => next() % 10_000_000,    // deep tail
+                };
+                h.record_us(us);
+                single.record_us(us);
+            }
+            // Distinguishable per-node shapes: node i gets i extra spikes.
+            for _ in 0..i {
+                h.record_us(777);
+                single.record_us(777);
+            }
+        }
+
+        // Forward order ...
+        let mut fwd = LogHisto::new();
+        for h in &per_node {
+            fwd.merge(h);
+        }
+        // ... reverse order ...
+        let mut rev = LogHisto::new();
+        for h in per_node.iter().rev() {
+            rev.merge(h);
+        }
+        // ... and a seeded shuffle.
+        let mut order: Vec<usize> = (0..nodes).collect();
+        for i in (1..nodes).rev() {
+            order.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let mut shuffled = LogHisto::new();
+        for &i in &order {
+            shuffled.merge(&per_node[i]);
+        }
+
+        same(&fwd, &rev, &format!("trial {trial}: fwd vs rev"));
+        same(&fwd, &shuffled, &format!("trial {trial}: fwd vs shuffled"));
+        same(
+            &fwd,
+            &single,
+            &format!("trial {trial}: merged vs concatenated stream"),
+        );
+    }
+}
+
+/// The acceptance criterion in one test: the replay response digest is
+/// bit-identical across one node, a 3-node ring, and a 3-node ring with
+/// a drain *and* a join injected mid-trace.
+#[test]
+fn replay_digest_is_invariant_across_cluster_shapes_and_churn() {
+    let trace = generate_trace(&GenConfig::default());
+    let serve_cfg = ServeConfig::default();
+    let rcfg = ReplayConfig::default();
+
+    let single = replay_spawned(1, &trace, &serve_cfg, &rcfg).expect("single-node replay");
+    assert!(single.is_clean(), "{:?}", single.divergences.first());
+
+    let ring3 = replay_clustered(3, &trace, &serve_cfg, &rcfg, &[]).expect("3-node ring replay");
+    assert!(ring3.is_clean(), "{:?}", ring3.divergences.first());
+    assert_eq!(
+        ring3.digest, single.digest,
+        "3-node ring digest must equal the single-node digest"
+    );
+    assert_eq!(ring3.requests, single.requests);
+
+    let n = trace.records.len();
+    let churn = [
+        ChurnEvent {
+            at: n / 3,
+            change: RingChange::Drain(2),
+        },
+        ChurnEvent {
+            at: 2 * n / 3,
+            change: RingChange::Join,
+        },
+    ];
+    let churned =
+        replay_clustered(3, &trace, &serve_cfg, &rcfg, &churn).expect("churned ring replay");
+    assert!(churned.is_clean(), "{:?}", churned.divergences.first());
+    assert_eq!(
+        churned.digest, single.digest,
+        "mid-trace drain + join must not change a single response byte"
+    );
+    // The drained node must have actually given up its load and the
+    // joiner must have picked some up.
+    assert!(churned.per_node.len() == 4);
+}
+
+/// Fleet-wide fit-at-most-once: the summed `model_cache.misses` across
+/// a 3-node ring equals the single-node count — no session is ever
+/// refit because clustering moved or re-targeted it — and a replay that
+/// agrees with the daemons' ring never needs forwarding.
+#[test]
+fn models_fit_at_most_once_fleet_wide() {
+    let trace = generate_trace(&GenConfig::default());
+    let rcfg = ReplayConfig {
+        seed: 11,
+        ..Default::default()
+    };
+
+    let solo = start(ServeConfig::default()).expect("start single node");
+    let rep = replay_against(&[solo.addr()], &trace, &rcfg).expect("single replay");
+    assert!(rep.is_clean());
+    let mut c = Client::connect(solo.addr()).expect("connect");
+    let baseline = stat(&c.stats().expect("stats"), "model_cache.misses");
+    drop(c);
+    solo.shutdown();
+    assert!(baseline > 0.0, "the trace must force some fits");
+
+    let nodes: Vec<_> = (0..3)
+        .map(|_| start(ServeConfig::default()).expect("start node"))
+        .collect();
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|h| h.addr()).collect();
+    let members: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: rcfg.seed,
+            vnodes: DEFAULT_VNODES,
+            nodes: members.clone(),
+        },
+    )
+    .expect("install ring");
+    let rep = replay_against(&addrs, &trace, &rcfg).expect("ring replay");
+    assert!(rep.is_clean(), "{:?}", rep.divergences.first());
+
+    let mut misses = 0.0;
+    let mut forwarded = 0.0;
+    for a in &addrs {
+        let mut c = Client::connect(a).expect("connect");
+        let s = c.stats().expect("stats");
+        misses += stat(&s, "model_cache.misses");
+        forwarded += stat(&s, "cluster.forwarded");
+        assert!(stat(&s, "cluster.ring.epoch") >= 1.0);
+        assert_eq!(stat(&s, "cluster.ring.nodes"), 3.0);
+    }
+    assert_eq!(
+        misses, baseline,
+        "a session's model is fit exactly once fleet-wide per version"
+    );
+    assert_eq!(
+        forwarded, 0.0,
+        "a replay that shares the daemons' ring never misdirects"
+    );
+    for h in nodes {
+        h.shutdown();
+    }
+}
+
+/// Drains ship cached models with the sessions (counted as remote model
+/// hits on the receiver, sparing a refit), leave tombstones behind, and
+/// the drained daemon keeps forwarding stragglers through them — a
+/// client with a stale map gets byte-identical answers, never a
+/// wrong-node error.
+#[test]
+fn drain_migrates_models_and_forwards_stragglers() {
+    let a = start(ServeConfig::default()).expect("start a");
+    let b = start(ServeConfig::default()).expect("start b");
+    let members: Vec<String> = vec![a.addr().to_string(), b.addr().to_string()];
+    let spec = |nodes: Vec<String>| RingSpec {
+        seed: 7,
+        vnodes: DEFAULT_VNODES,
+        nodes,
+    };
+    apply_membership(&members, &spec(members.clone())).expect("install ring");
+
+    // Submit + query through node A only: sessions owned by B are
+    // forwarded over the peer protocol, and the query forces a fit (and
+    // a cached model) at each session's owner.
+    let sessions: Vec<String> = (0..8).map(|i| format!("drain-s{i}")).collect();
+    let mut ca = Client::connect(a.addr()).expect("connect a");
+    for (i, s) in sessions.iter().enumerate() {
+        ca.submit_batch(s, batch(i as u64)).expect("submit");
+        let r = ca
+            .query_mrc(Target::Session(s.clone()), vec![64 << 10, 1 << 20])
+            .expect("query");
+        assert_eq!(r.len(), 2);
+    }
+    let sa = ca.stats().expect("stats a");
+    let mut cb = Client::connect(b.addr()).expect("connect b");
+    let sb = cb.stats().expect("stats b");
+    assert!(
+        stat(&sa, "cluster.forwarded") > 0.0,
+        "some sessions must be owned by B and get forwarded"
+    );
+    let fits_before = stat(&sa, "model_cache.misses") + stat(&sb, "model_cache.misses");
+    assert_eq!(fits_before, sessions.len() as f64);
+    let b_sessions = stat(&sb, "sessions.shard.0.sessions"); // may be 0 per shard
+    let _ = b_sessions;
+
+    // Drain B: its sessions (and their cached models) move to A.
+    let report =
+        apply_membership(&members, &spec(vec![members[0].clone()])).expect("drain node b");
+    assert!(report.migrated() > 0, "B must have owned some sessions");
+    let sb = cb.stats().expect("stats b after drain");
+    assert_eq!(stat(&sb, "cluster.migrations.started"), 1.0);
+    assert_eq!(stat(&sb, "cluster.migrations.completed"), 1.0);
+    assert_eq!(stat(&sb, "cluster.migrations.sessions"), report.migrated() as f64);
+    assert!(stat(&sb, "cluster.tombstones") >= report.migrated() as f64);
+    let sa = ca.stats().expect("stats a after drain");
+    assert_eq!(
+        stat(&sa, "cluster.model.remote_hits"),
+        report.migrated() as f64,
+        "every migrated session shipped its cached model"
+    );
+
+    // Every session now answers on A without a single new fit.
+    for s in &sessions {
+        ca.query_mrc(Target::Session(s.clone()), vec![64 << 10, 1 << 20])
+            .expect("post-drain query");
+    }
+    let sa = ca.stats().expect("stats a final");
+    let sb = cb.stats().expect("stats b final");
+    assert_eq!(
+        stat(&sa, "model_cache.misses") + stat(&sb, "model_cache.misses"),
+        fits_before,
+        "migration must not force any refit"
+    );
+
+    // A straggler still talking to the drained node gets forwarded
+    // through the tombstone and sees byte-identical bytes.
+    for s in &sessions {
+        let req = repf_serve::Request::QueryMrc {
+            target: Target::Session(s.clone()),
+            sizes_bytes: vec![64 << 10, 256 << 10],
+        };
+        let via_b = cb.call_any(&req).expect("stale-map query via B");
+        let via_a = ca.call_any(&req).expect("direct query via A");
+        assert_eq!(
+            via_b.encode(),
+            via_a.encode(),
+            "forwarded answer for '{s}' must be byte-identical"
+        );
+    }
+
+    a.shutdown();
+    b.shutdown();
+}

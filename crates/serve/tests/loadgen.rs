@@ -173,6 +173,7 @@ fn stalled_server_inflates_intended_p99_far_beyond_service_p99() {
         pipeline: 1, // closed loop: at most one request outstanding
         sessions: 2,
         zipf_s: 0.99,
+        ..LoadConfig::default()
     };
 
     // Fatten the sessions before the run so each refit is slow.
@@ -185,7 +186,7 @@ fn stalled_server_inflates_intended_p99_far_beyond_service_p99() {
         }
     }
 
-    let report = run_load(&addr, &cfg).expect("load run");
+    let report = run_load(std::slice::from_ref(&addr), &cfg).expect("load run");
     assert_eq!(report.errors, 0, "no protocol errors under stall");
     assert!(report.completed > 50, "enough completions to quantile");
 

@@ -48,5 +48,5 @@ pub mod window;
 
 pub use builder::StatStackBuilder;
 pub use curve::MissRatioCurve;
-pub use model::StatStackModel;
+pub use model::{ModelParts, StatStackModel};
 pub use window::WindowedModel;

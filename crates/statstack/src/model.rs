@@ -51,6 +51,24 @@ pub(crate) fn prefix_sums(sorted: &[u64]) -> Vec<u64> {
     prefix
 }
 
+/// A fitted model disassembled into plain, canonically-ordered vectors —
+/// the serialization surface for shipping a [`StatStackModel`] between
+/// nodes without refitting it. `per_pc` is sorted by PC and the prefix
+/// sums are *not* carried (they are recomputed on import), so the parts
+/// of a model are a pure function of the model and reassembly is exact:
+/// a round-tripped model answers every query bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelParts {
+    /// Line size the underlying profile used.
+    pub line_bytes: u64,
+    /// All completed distances, sorted ascending.
+    pub sorted: Vec<u64>,
+    /// Dangling (never-reused) sample count.
+    pub dangling: u64,
+    /// Per-PC `(pc, sorted distances, dangling)`, sorted by PC.
+    pub per_pc: Vec<(Pc, Vec<u64>, u64)>,
+}
+
 impl StatStackModel {
     /// Fit the model to a sampling profile.
     pub fn from_profile(p: &Profile) -> Self {
@@ -226,6 +244,61 @@ impl StatStackModel {
     pub fn pc_sample_count(&self, pc: Pc) -> u64 {
         self.per_pc.get(&pc).map_or(0, |s| s.total())
     }
+
+    /// Disassemble the fit into [`ModelParts`] for shipping to another
+    /// node. Canonical (PC-sorted) ordering makes the output a pure
+    /// function of the model.
+    pub fn to_parts(&self) -> ModelParts {
+        let mut per_pc: Vec<(Pc, Vec<u64>, u64)> = self
+            .per_pc
+            .iter()
+            .map(|(pc, s)| (*pc, s.distances.clone(), s.dangling))
+            .collect();
+        per_pc.sort_unstable_by_key(|(pc, _, _)| *pc);
+        ModelParts {
+            line_bytes: self.line_bytes,
+            sorted: self.sorted.clone(),
+            dangling: self.dangling,
+            per_pc,
+        }
+    }
+
+    /// Reassemble a model from [`ModelParts`] without refitting. The
+    /// prefix sums are recomputed from the sorted distances, so the
+    /// result is bit-identical to the exported model for every query.
+    /// Unsorted distance vectors (a hostile or corrupt peer) are
+    /// re-sorted rather than trusted — sortedness is a query invariant.
+    pub fn from_parts(parts: ModelParts) -> Self {
+        let ModelParts {
+            line_bytes,
+            mut sorted,
+            dangling,
+            per_pc,
+        } = parts;
+        if !sorted.is_sorted() {
+            sorted.sort_unstable();
+        }
+        let prefix = prefix_sums(&sorted);
+        let mut map: FxHashMap<Pc, PcSamples> = FxHashMap::default();
+        for (pc, mut distances, pc_dangling) in per_pc {
+            if !distances.is_sorted() {
+                distances.sort_unstable();
+            }
+            let entry = map.entry(pc).or_default();
+            entry.distances.extend(distances);
+            if !entry.distances.is_sorted() {
+                entry.distances.sort_unstable(); // duplicate-PC merge
+            }
+            entry.dangling += pc_dangling;
+        }
+        StatStackModel {
+            line_bytes,
+            sorted,
+            prefix,
+            dangling,
+            per_pc: map,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +461,53 @@ mod tests {
         assert_eq!(m.miss_ratio(100), 0.0);
         assert_eq!(m.sample_count(), 0);
         assert!(m.sampled_pcs().is_empty());
+    }
+
+    #[test]
+    fn parts_roundtrip_is_bit_identical() {
+        let mut src = PointerChase::new(PointerChaseCfg {
+            chase_pc: Pc(1),
+            payload_pcs: vec![Pc(2), Pc(3)],
+            base: 0,
+            node_bytes: 64,
+            nodes: 2048,
+            steps_per_pass: 2048,
+            passes: 8,
+            seed: 11,
+            run_len: 1,
+        });
+        let m = model_of(&mut src, 7);
+        let back = StatStackModel::from_parts(m.to_parts());
+        assert_eq!(back.sorted, m.sorted);
+        assert_eq!(back.prefix, m.prefix);
+        assert_eq!(back.dangling, m.dangling);
+        assert_eq!(back.line_bytes, m.line_bytes);
+        assert_eq!(back.sampled_pcs(), m.sampled_pcs());
+        for lines in [0u64, 1, 7, 64, 1024, 1 << 20] {
+            assert_eq!(m.miss_ratio(lines).to_bits(), back.miss_ratio(lines).to_bits());
+            for pc in m.sampled_pcs() {
+                assert_eq!(
+                    m.pc_miss_ratio(pc, lines).map(f64::to_bits),
+                    back.pc_miss_ratio(pc, lines).map(f64::to_bits)
+                );
+            }
+        }
+        // Canonical ordering: exporting twice gives identical parts.
+        assert_eq!(m.to_parts(), back.to_parts());
+    }
+
+    #[test]
+    fn hostile_parts_are_resorted_not_trusted() {
+        let parts = ModelParts {
+            line_bytes: 64,
+            sorted: vec![9, 3, 7], // deliberately unsorted
+            dangling: 1,
+            per_pc: vec![(Pc(5), vec![9, 3, 7], 1)],
+        };
+        let m = StatStackModel::from_parts(parts);
+        assert_eq!(m.sorted, vec![3, 7, 9]);
+        assert_eq!(m.prefix, vec![0, 3, 10, 19]);
+        assert!(m.pc_miss_ratio(Pc(5), 1).is_some());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! repf analyze <bench> [--machine amd|intel]   # MDDLI + plan (+ pseudo-asm)
 //! repf run <bench> [--machine M] [--policy P]  # timed solo run
 //! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
-//! repf serve [--addr H:P]                # profiling-as-a-service daemon
+//! repf serve [--addr H:P] [--peers LIST] # profiling-as-a-service daemon
 //! repf query <what> --addr H:P           # query a running daemon
-//! repf load --addr H:P [--rate F]        # open-loop zipf/YCSB load generator
+//! repf ring <status|set|join|drain>      # consistent-hash ring membership
+//! repf load --addr H:P[,H:P...]          # open-loop zipf/YCSB load generator
 //! repf record --out FILE [--seed N]      # record a deterministic request trace
 //! repf replay --trace FILE [--nodes N]   # replay a trace against N daemons
 //! ```
@@ -24,8 +25,10 @@ use repf::core::asm::render_plan;
 use repf::metrics::weighted_speedup;
 use repf::sampling::{Sampler, SamplerConfig};
 use repf::serve::{
-    generate_trace, replay_against, replay_spawned, run_load, Client, ClientError, GenConfig,
-    IoMode, LoadConfig, MachineId, OpMix, ReplayConfig, ServeConfig, Target, Trace,
+    apply_membership, generate_trace, replay_against, replay_clustered, replay_spawned, run_load,
+    ChurnEvent, Client, ClientError, GenConfig, IoMode, LoadConfig, MachineId, OpMix,
+    ReplayConfig, Request, Response, Ring, RingChange, RingSpec, ServeConfig, Target, Trace,
+    DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
@@ -67,6 +70,14 @@ struct Args {
     drivers: usize,
     pipeline: usize,
     zipf: f64,
+    peers: Vec<String>,
+    advertise: Option<String>,
+    ring_seed: Option<u64>,
+    vnodes: Option<u32>,
+    node: Option<String>,
+    ring_nodes: Vec<String>,
+    drain_at: Option<usize>,
+    join_at: Option<usize>,
 }
 
 const GENERAL_USAGE: &str = "\
@@ -80,7 +91,8 @@ commands:
   mix        4-application contention run
   serve      profiling-as-a-service daemon (binary wire protocol)
   query      query a running daemon
-  load       open-loop zipf/YCSB load generator against a daemon
+  ring       inspect or change cluster ring membership (join/drain nodes)
+  load       open-loop zipf/YCSB load generator against one or more daemons
   record     record a deterministic request trace to a file
   replay     replay a trace against N daemons with divergence checking
 
@@ -117,6 +129,8 @@ usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
                   [--budget-mb N] [--shards N] [--no-model-cache]
                   [--io-mode threads|epoll] [--no-io-batch]
                   [--max-conns N] [--scale F]
+                  [--peers H:P[,H:P...]] [--advertise H:P]
+                  [--ring-seed N] [--vnodes N]
 
 Start the profiling daemon and block until a client sends the Shutdown
 control message. The bound address is printed on the first stdout line
@@ -139,11 +153,41 @@ control message. The bound address is printed on the first stdout line
                  before/after measurement; response bytes are identical
   --max-conns N  open-connection cap; accepts past it are shed with Busy
                  (default: REPF_SERVE_MAX_CONNS or 4096)
-  --scale F      refs scale for server-side benchmark profiling (default 0.05)",
+  --scale F      refs scale for server-side benchmark profiling (default 0.05)
+  --peers LIST   other cluster members (comma-separated): install a ring
+                 over peers + self at startup; sessions are owned by their
+                 ring node, misdirected requests are forwarded
+  --advertise A  address peers reach this node at (default: the bind addr;
+                 required when binding 0.0.0.0 or port 0 in a cluster)
+  --ring-seed N  consistent-hash ring seed (must match fleet-wide)
+  --vnodes N     virtual nodes per member (default 64)",
+        Some("ring") => "\
+usage: repf ring status --addr HOST:PORT
+       repf ring set   --nodes H:P[,H:P...] [--ring-seed N] [--vnodes N]
+       repf ring join  --node HOST:PORT --addr HOST:PORT
+       repf ring drain --node HOST:PORT --addr HOST:PORT
+
+Inspect or change the cluster's consistent-hash ring membership.
+
+  status   print the contacted node's ring: epoch, seed, members, shares
+  set      install an explicit member list; contacts every listed node
+           (and the current members reachable through them), bumps the
+           epoch past the fleet maximum, and waits for every ack —
+           departing nodes migrate their sessions before acking
+  join     add --node to the membership seen by --addr
+  drain    remove --node from the membership; its sessions (profile
+           bytes, version, cached model) migrate to the new owners and
+           tombstones forward stragglers\n
+  --addr H:P     a current cluster member to consult
+  --node H:P     the node joining or draining
+  --nodes LIST   the full member list for `set`
+  --ring-seed N  ring seed for `set` (default 0xc1057e55eed5)
+  --vnodes N     virtual nodes per member for `set` (default 64)",
         Some("load") => "\
-usage: repf load --addr HOST:PORT [--rate F] [--duration D] [--mix M]
-                 [--conns N] [--drivers N] [--pipeline N] [--sessions N]
-                 [--zipf S] [--seed N] [--out FILE]
+usage: repf load --addr HOST:PORT[,HOST:PORT...] [--rate F] [--duration D]
+                 [--mix M] [--conns N] [--drivers N] [--pipeline N]
+                 [--sessions N] [--zipf S] [--seed N] [--ring-seed N]
+                 [--out FILE]
 
 Open-loop, coordinated-omission-safe load generator: a seeded zipfian
 YCSB-style op schedule is fixed up front and paced at the target rate;
@@ -151,7 +195,10 @@ latency is accounted from each op's *intended* start time, so server
 stalls inflate the tail instead of silently pausing the workload. The
 machine-readable JSON report goes to stdout (and --out FILE), a human
 summary to stderr.\n
-  --addr H:P     daemon to load (required)
+  --addr LIST    daemon(s) to load (required); several comma-separated
+                 addresses fan out over the cluster ring — each op goes
+                 to its session's owner (drivers/conns are per node)
+  --ring-seed N  ring seed for cluster fan-out; must match the daemons'
   --rate F       target arrival rate, ops/second (default 1000)
   --duration D   scheduled run length, e.g. 2s / 500ms (default 2s)
   --mix M        op mix: submit-heavy|query-heavy|scan (default query-heavy)
@@ -193,16 +240,23 @@ file. The same seed always produces a byte-identical trace.\n
         Some("replay") => "\
 usage: repf replay --trace FILE [--nodes N] [--no-check]
                    [--io-mode threads|epoll] [--addr H:P[,H:P...]]
+                   [--drain-at REC] [--join-at REC]
 
 Replay a recorded trace with a fixed interleaving, partitioning
-sessions across nodes by seeded hash, and bit-compare every
-deterministic response (MRC, per-PC MRC, plan) against a direct
-in-process StatStack/analyze oracle. Exits non-zero on divergence and
-writes the minimal offending request prefix to FILE.diverged.\n
+sessions across nodes by the cluster's consistent-hash ring, and
+bit-compare every deterministic response (MRC, per-PC MRC, plan)
+against a direct in-process StatStack/analyze oracle. Exits non-zero on
+divergence and writes the minimal offending request prefix to
+FILE.diverged.\n
   --trace FILE   trace file to replay (required)
   --nodes N      loopback daemons to spawn and drive (default 1)
   --io-mode M    connection I/O mode for spawned nodes (threads|epoll)
   --addr LIST    replay against running daemons instead (comma-separated)
+  --drain-at REC spawn a *clustered* ring and drain the last node before
+                 record REC — live migration under a deterministic trace;
+                 the digest must match the churn-free run
+  --join-at REC  spawn a clustered ring and join a fresh node before
+                 record REC (combines with --drain-at)
   --no-check     skip oracle comparison (overhead baseline)",
         _ => GENERAL_USAGE,
     }
@@ -292,6 +346,21 @@ fn parse_args() -> Args {
     let mut drivers = load_default.drivers;
     let mut pipeline = load_default.pipeline;
     let mut zipf = load_default.zipf_s;
+    let mut peers = Vec::new();
+    let mut advertise = None;
+    let mut ring_seed = None;
+    let mut vnodes = None;
+    let mut node = None;
+    let mut ring_nodes = Vec::new();
+    let mut drain_at = None;
+    let mut join_at = None;
+    let split_list = |s: String| -> Vec<String> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect()
+    };
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -411,7 +480,14 @@ fn parse_args() -> Args {
             "--out" => out = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
             "--trace" => trace = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
             "--nodes" => {
-                nodes = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+                // `repf ring set --nodes` takes a member list; everywhere
+                // else (replay) it is a spawn count.
+                let v = it.next().unwrap_or_else(|| usage_err(cmd));
+                if cmd == Some("ring") {
+                    ring_nodes = split_list(v);
+                } else {
+                    nodes = v.parse().ok().unwrap_or_else(|| usage_err(cmd));
+                }
             }
             "--no-check" => check = false,
             "--seed" => {
@@ -430,6 +506,39 @@ fn parse_args() -> Args {
             "--samples" => {
                 samples =
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
+            }
+            "--peers" => {
+                peers = split_list(it.next().unwrap_or_else(|| usage_err(cmd)));
+            }
+            "--advertise" => advertise = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
+            "--ring-seed" => {
+                ring_seed = Some(
+                    it.next()
+                        .and_then(|s| {
+                            let s = s.trim();
+                            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                                None => s.parse().ok(),
+                            }
+                        })
+                        .unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--vnodes" => {
+                vnodes = Some(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--node" => node = Some(it.next().unwrap_or_else(|| usage_err(cmd))),
+            "--drain-at" => {
+                drain_at = Some(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--join-at" => {
+                join_at = Some(
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
+                )
             }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -474,6 +583,14 @@ fn parse_args() -> Args {
         drivers,
         pipeline,
         zipf,
+        peers,
+        advertise,
+        ring_seed,
+        vnodes,
+        node,
+        ring_nodes,
+        drain_at,
+        join_at,
     }
 }
 
@@ -635,8 +752,13 @@ fn cmd_serve(a: &Args) {
         io_batch: a.io_batch,
         max_conns: a.max_conns,
         refs_scale: a.scale,
+        peers: a.peers.clone(),
+        advertise: a.advertise.clone(),
+        cluster_seed: a.ring_seed.unwrap_or(DEFAULT_RING_SEED),
+        vnodes: a.vnodes.unwrap_or(DEFAULT_VNODES),
         ..ServeConfig::default()
     };
+    let clustered = !cfg.peers.is_empty();
     let handle = repf::serve::start(cfg).unwrap_or_else(|e| {
         eprintln!("bind failed: {e}");
         std::process::exit(1);
@@ -644,6 +766,9 @@ fn cmd_serve(a: &Args) {
     // First stdout line is machine-readable: scripts parse the port.
     println!("repf-serve listening on {}", handle.addr());
     eprintln!("io-mode: {}", handle.io_mode());
+    if clustered {
+        eprintln!("cluster: ring over peers + self installed at epoch 1");
+    }
     std::io::stdout().flush().ok();
     handle.join();
     eprintln!("repf-serve: drained and stopped");
@@ -734,11 +859,151 @@ fn cmd_query(a: &Args) {
     }
 }
 
+/// `RingGet` against one node, unwrapped: what membership does it
+/// currently believe in?
+fn fetch_ring_info(addr: &str) -> (u64, u64, u32, Vec<String>, String) {
+    let mut c = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    match c.call_any(&Request::RingGet) {
+        Ok(Response::RingInfo {
+            epoch,
+            seed,
+            vnodes,
+            nodes,
+            self_addr,
+        }) => (epoch, seed, vnodes, nodes, self_addr),
+        Ok(_) => {
+            eprintln!("{addr} answered RingGet with an unexpected response type");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("RingGet against {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_change_report(report: &repf::serve::RingChangeReport) {
+    println!(
+        "ring epoch {} installed on {} node(s), {} session(s) migrated",
+        report.epoch,
+        report.acks.len(),
+        report.migrated()
+    );
+    for ack in &report.acks {
+        println!("  {}: epoch {} ({} migrated)", ack.addr, ack.epoch, ack.migrated);
+    }
+}
+
+fn cmd_ring(a: &Args) {
+    let contact = |what: &str| -> &str {
+        a.addr.as_deref().unwrap_or_else(|| {
+            eprintln!("ring {what} needs --addr HOST:PORT");
+            usage_err(Some("ring"))
+        })
+    };
+    let apply = |contacts: &[String], spec: RingSpec| {
+        let report = apply_membership(contacts, &spec).unwrap_or_else(|e| {
+            eprintln!("membership change failed: {e}");
+            std::process::exit(1);
+        });
+        print_change_report(&report);
+    };
+    match a.positional.get(1).map(String::as_str) {
+        Some("status") => {
+            let addr = contact("status");
+            let (epoch, seed, vnodes, nodes, self_addr) = fetch_ring_info(addr);
+            if nodes.is_empty() {
+                println!("{addr} ({self_addr}): no ring installed (epoch {epoch})");
+                return;
+            }
+            println!(
+                "{addr} ({self_addr}): epoch {epoch}, seed {seed:#x}, {vnodes} vnodes, {} member(s)",
+                nodes.len()
+            );
+            let ring = Ring::new(seed, vnodes, nodes.clone());
+            for (i, n) in nodes.iter().enumerate() {
+                println!("  {n}  share {:.1}%", ring.share(i) * 100.0);
+            }
+        }
+        Some("set") => {
+            if a.ring_nodes.is_empty() {
+                eprintln!("ring set needs --nodes H:P[,H:P...]");
+                usage_err(Some("ring"));
+            }
+            // Contact the new member list plus the current members known
+            // to --addr (so nodes being dropped still migrate out).
+            let mut contacts = a.ring_nodes.clone();
+            if let Some(addr) = a.addr.as_deref() {
+                let (_, _, _, members, _) = fetch_ring_info(addr);
+                contacts.extend(members);
+            }
+            apply(
+                &contacts,
+                RingSpec {
+                    seed: a.ring_seed.unwrap_or(DEFAULT_RING_SEED),
+                    vnodes: a.vnodes.unwrap_or(DEFAULT_VNODES),
+                    nodes: a.ring_nodes.clone(),
+                },
+            );
+        }
+        Some(sub @ ("join" | "drain")) => {
+            let addr = contact(sub);
+            let node = a.node.as_deref().unwrap_or_else(|| {
+                eprintln!("ring {sub} needs --node HOST:PORT");
+                usage_err(Some("ring"))
+            });
+            let (epoch, seed, vnodes, mut members, self_addr) = fetch_ring_info(addr);
+            if members.is_empty() && epoch == 0 {
+                // The contact has no ring yet: it becomes the first member.
+                members.push(if self_addr.is_empty() {
+                    addr.to_string()
+                } else {
+                    self_addr
+                });
+            }
+            let mut contacts = members.clone();
+            if sub == "join" {
+                if !members.iter().any(|m| m == node) {
+                    members.push(node.to_string());
+                }
+                contacts.push(node.to_string());
+            } else {
+                members.retain(|m| m != node);
+                if members.is_empty() {
+                    eprintln!("refusing to drain the last member; use shutdown instead");
+                    std::process::exit(1);
+                }
+            }
+            apply(
+                &contacts,
+                RingSpec {
+                    seed: a.ring_seed.unwrap_or(seed),
+                    vnodes: a.vnodes.unwrap_or(vnodes),
+                    nodes: members,
+                },
+            );
+        }
+        _ => usage_err(Some("ring")),
+    }
+}
+
 fn cmd_load(a: &Args) {
     let addr = a.addr.as_deref().unwrap_or_else(|| {
-        eprintln!("load needs --addr HOST:PORT");
+        eprintln!("load needs --addr HOST:PORT[,HOST:PORT...]");
         usage_err(Some("load"))
     });
+    let addrs: Vec<String> = addr
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(String::from)
+        .collect();
+    if addrs.is_empty() {
+        usage_err(Some("load"));
+    }
     let defaults = LoadConfig::default();
     let cfg = LoadConfig {
         seed: a.seed.unwrap_or(defaults.seed),
@@ -750,8 +1015,9 @@ fn cmd_load(a: &Args) {
         pipeline: a.pipeline,
         sessions: a.sessions.unwrap_or(defaults.sessions),
         zipf_s: a.zipf,
+        ring_seed: a.ring_seed.unwrap_or(defaults.ring_seed),
     };
-    let report = run_load(addr, &cfg).unwrap_or_else(|e| {
+    let report = run_load(&addrs, &cfg).unwrap_or_else(|e| {
         eprintln!("load failed: {e}");
         std::process::exit(1);
     });
@@ -851,7 +1117,27 @@ fn cmd_replay(a: &Args) {
                 refs_scale: a.scale,
                 ..ServeConfig::default()
             };
-            replay_spawned(a.nodes, &trace, &serve_cfg, &rcfg)
+            if a.drain_at.is_some() || a.join_at.is_some() {
+                // Live-migration replay: a real ring plus mid-trace churn.
+                // The digest must come out identical to the plain run.
+                let mut churn = Vec::new();
+                if let Some(at) = a.drain_at {
+                    churn.push(ChurnEvent {
+                        at,
+                        change: RingChange::Drain(a.nodes.saturating_sub(1)),
+                    });
+                }
+                if let Some(at) = a.join_at {
+                    churn.push(ChurnEvent {
+                        at,
+                        change: RingChange::Join,
+                    });
+                }
+                churn.sort_by_key(|e| e.at);
+                replay_clustered(a.nodes, &trace, &serve_cfg, &rcfg, &churn)
+            } else {
+                replay_spawned(a.nodes, &trace, &serve_cfg, &rcfg)
+            }
         }
     };
     let report = report.unwrap_or_else(|e| {
@@ -896,6 +1182,7 @@ fn main() {
         Some("mix") => cmd_mix(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
+        Some("ring") => cmd_ring(&args),
         Some("load") => cmd_load(&args),
         Some("record") => cmd_record(&args),
         Some("replay") => cmd_replay(&args),
