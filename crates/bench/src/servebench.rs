@@ -59,7 +59,7 @@ use repf_sampling::{Profile, ReuseSample, StrideSample};
 use repf_serve::{
     apply_membership, generate_trace, replay_spawned, run_load, start, Client, GenConfig, IoMode,
     LoadConfig, LoadReport, MachineId, OpMix, ReplayConfig, ReplayReport, RingSpec, ServeConfig,
-    Target, DEFAULT_RING_SEED, DEFAULT_VNODES,
+    StorePolicy, Target, DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use repf_sim::Exec;
 use repf_trace::{AccessKind, Pc};
@@ -370,6 +370,77 @@ fn load_point(
     c.shutdown_server().expect("shutdown");
     handle.join();
     (report, stats)
+}
+
+/// One store-policy A/B side: a fresh daemon with a deliberately tight
+/// session budget and the given eviction policy, hit with the seeded
+/// `scan-churn` load (zipf queries at s=0.99 polluted by a 10% stream
+/// of one-shot submits). Same seed, same budget, same schedule for both
+/// policies — the only variable is admission.
+fn store_policy_point(
+    threads: usize,
+    policy: StorePolicy,
+    budget_bytes: usize,
+    rate: f64,
+    secs: f64,
+    sessions: u32,
+) -> LoadReport {
+    let handle = start(ServeConfig {
+        threads,
+        io_mode: IoMode::Epoll,
+        session_budget_bytes: budget_bytes,
+        // One shard: the scenario compares eviction policies, not shard
+        // scaling, and a single slice keeps the byte pressure exact.
+        shards: 1,
+        store_policy: Some(policy),
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let addr = handle.addr();
+    let report = run_load(
+        &[addr.to_string()],
+        &LoadConfig {
+            seed: 0x10AD_0CA5,
+            mix: OpMix::ScanChurn,
+            rate,
+            duration: std::time::Duration::from_secs_f64(secs),
+            conns: 16,
+            sessions,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("store-policy load run");
+    let mut c = Client::connect(addr).expect("connect");
+    c.shutdown_server().expect("shutdown");
+    handle.join();
+    report
+}
+
+fn store_policy_side_json(r: &LoadReport) -> Json {
+    let s = r.server.unwrap_or_default();
+    Json::obj([
+        ("point", load_point_json(r)),
+        ("unknown", Json::Num(r.unknown as f64)),
+        ("query_hits", Json::Num(r.query_hits as f64)),
+        (
+            "session_hit_ratio",
+            r.session_hit_ratio().map_or(Json::Null, Json::Num),
+        ),
+        ("sessions_evictions", Json::Num(s.evictions as f64)),
+        ("model_cache_hits", Json::Num(s.model_cache_hits as f64)),
+        (
+            "model_cache_misses",
+            Json::Num(s.model_cache_misses as f64),
+        ),
+        (
+            "admission_accepted",
+            Json::Num(s.admission_accepted as f64),
+        ),
+        (
+            "admission_rejected",
+            Json::Num(s.admission_rejected as f64),
+        ),
+    ])
 }
 
 fn load_point_json(r: &LoadReport) -> Json {
@@ -692,6 +763,73 @@ pub fn run() {
         ("unbatched", batch_side(&unbatched, &unbatched_stats)),
     ]);
 
+    // Store-policy A/B: the same seeded scan-churn schedule against a
+    // tight session budget under LRU and under W-TinyLFU. Hit ratio is
+    // the fraction of queries answered from a live session; admission
+    // must be what makes the difference (rejected > 0), not luck.
+    // 48 KiB leaves ~5 KiB of slack over the ~43 KiB preloaded zipf
+    // working set: recency alone cannot save the hot tail (a session's
+    // inter-touch gap exceeds the churn stream's turnover of the
+    // slack), admission can.
+    let policy_budget = env_usize("REPF_STORE_POLICY_BUDGET", 48 << 10);
+    let policy_rate = *load_rates.last().unwrap() as f64;
+    let lru_run = store_policy_point(
+        threads,
+        StorePolicy::Lru,
+        policy_budget,
+        policy_rate,
+        load_secs,
+        load_sessions,
+    );
+    let lfu_run = store_policy_point(
+        threads,
+        StorePolicy::TinyLfu,
+        policy_budget,
+        policy_rate,
+        load_secs,
+        load_sessions,
+    );
+    let hit_ratio_of = |r: &LoadReport| r.session_hit_ratio().unwrap_or(0.0);
+    assert_eq!(
+        lru_run.errors + lfu_run.errors,
+        0,
+        "store-policy runs must be error-free (evicted sessions count as unknown)"
+    );
+    assert!(
+        lfu_run.server.is_some_and(|s| s.admission_rejected > 0),
+        "tinylfu run must exercise the admission filter"
+    );
+    assert!(
+        hit_ratio_of(&lfu_run) > hit_ratio_of(&lru_run),
+        "tinylfu session hit ratio ({:.4}) must beat lru ({:.4}) on the same schedule",
+        hit_ratio_of(&lfu_run),
+        hit_ratio_of(&lru_run),
+    );
+    println!(
+        "  store policy @ {policy_rate:.0}/s, {policy_budget} B budget: tinylfu hit ratio {:.4} ({} unknown, {} evictions, {} rejected) vs lru {:.4} ({} unknown, {} evictions); p99 {:>6.0} vs {:>6.0} us",
+        hit_ratio_of(&lfu_run),
+        lfu_run.unknown,
+        lfu_run.server.map_or(0, |s| s.evictions),
+        lfu_run.server.map_or(0, |s| s.admission_rejected),
+        hit_ratio_of(&lru_run),
+        lru_run.unknown,
+        lru_run.server.map_or(0, |s| s.evictions),
+        lfu_run.intended.quantile_us(0.99),
+        lru_run.intended.quantile_us(0.99),
+    );
+    let store_policy = Json::obj([
+        ("mix", Json::str(OpMix::ScanChurn.as_str())),
+        ("budget_bytes", Json::Num(policy_budget as f64)),
+        ("target_rate", Json::Num(policy_rate)),
+        ("sessions", Json::Num(load_sessions as f64)),
+        ("lru", store_policy_side_json(&lru_run)),
+        ("tinylfu", store_policy_side_json(&lfu_run)),
+        (
+            "hit_ratio_delta",
+            Json::Num(hit_ratio_of(&lfu_run) - hit_ratio_of(&lru_run)),
+        ),
+    ]);
+
     // Cluster fan-out: ring-routed zipf load over 3 nodes, then a live
     // drain — plan-cache sharing and the migration pause, quantified.
     let cluster_fanout = cluster_fanout_run(
@@ -844,6 +982,7 @@ pub fn run() {
                 ("batching", load_batching),
             ]),
         ),
+        ("store_policy".into(), store_policy),
         ("cluster_fanout".into(), cluster_fanout),
         (
             "replay".into(),

@@ -57,6 +57,7 @@ pub mod replay;
 pub mod ring;
 pub mod server;
 pub mod session;
+pub mod tinylfu;
 pub mod trace_file;
 
 pub use client::{Client, ClientError};
@@ -64,8 +65,8 @@ pub use cluster::{
     apply_membership, ClusterState, NodeAck, RingChangeReport, RingSpec, Route, MAX_FORWARD_HOPS,
 };
 pub use loadgen::{
-    fd_budget, generate_ops, request_for, run_load, LoadConfig, LoadReport, Op, OpKind, OpMix,
-    ZipfGen, FD_RESERVE,
+    fd_budget, generate_ops, op_session_name, preflight_fd_budget, request_for, run_load,
+    LoadConfig, LoadReport, Op, OpKind, OpMix, ServerStatsDelta, ZipfGen, FD_RESERVE,
 };
 pub use metrics::{LatencyHisto, LogHisto, Metrics};
 pub use proto::{
@@ -78,9 +79,12 @@ pub use replay::{
     GenConfig, Oracle, ReplayConfig, ReplayReport, ReplayRng, RingChange,
 };
 pub use server::{
-    resolve_io_mode, resolve_max_conns, resolve_shards, start, IoMode, ServeConfig, ServerHandle,
+    resolve_io_mode, resolve_max_conns, resolve_shards, resolve_store_policy, start, IoMode,
+    ServeConfig, ServerHandle,
 };
 pub use session::{
-    SessionExport, ShardStats, ShardedSessionStore, SessionStore, SubmitOutcome, SubmitRejected,
+    SessionExport, ShardStats, ShardedSessionStore, SessionStore, StorePolicy, SubmitOutcome,
+    SubmitRejected,
 };
+pub use tinylfu::{Doorkeeper, FreqSketch, TinyLfu};
 pub use trace_file::{Trace, TraceError, TraceRecorder, TRACE_MAGIC, TRACE_VERSION};

@@ -61,6 +61,12 @@ pub enum OpMix {
     /// 100% per-PC MRC sweeps over a 16-point size ladder — the most
     /// expensive read path, every op walks a full curve.
     Scan,
+    /// The query-heavy mix polluted by a 10% stream of one-shot submits
+    /// to never-queried `churn-c{i}` sessions — the cache-pollution
+    /// workload the store-policy comparison is built on: under a tight
+    /// byte budget an LRU store lets the churn evict the zipf-hot
+    /// working set, an admission-filtered store refuses it.
+    ScanChurn,
 }
 
 impl OpMix {
@@ -70,11 +76,17 @@ impl OpMix {
             OpMix::SubmitHeavy => "submit-heavy",
             OpMix::QueryHeavy => "query-heavy",
             OpMix::Scan => "scan",
+            OpMix::ScanChurn => "scan-churn",
         }
     }
 
     /// Every mix, for sweeps.
-    pub const ALL: [OpMix; 3] = [OpMix::SubmitHeavy, OpMix::QueryHeavy, OpMix::Scan];
+    pub const ALL: [OpMix; 4] = [
+        OpMix::SubmitHeavy,
+        OpMix::QueryHeavy,
+        OpMix::Scan,
+        OpMix::ScanChurn,
+    ];
 }
 
 impl std::str::FromStr for OpMix {
@@ -85,8 +97,9 @@ impl std::str::FromStr for OpMix {
             "submit-heavy" => Ok(OpMix::SubmitHeavy),
             "query-heavy" => Ok(OpMix::QueryHeavy),
             "scan" => Ok(OpMix::Scan),
+            "scan-churn" => Ok(OpMix::ScanChurn),
             other => Err(format!(
-                "unknown mix '{other}' (submit-heavy|query-heavy|scan)"
+                "unknown mix '{other}' (submit-heavy|query-heavy|scan|scan-churn)"
             )),
         }
     }
@@ -109,6 +122,13 @@ pub enum OpKind {
     PcMrc {
         /// The delinquent PC queried.
         pc: u32,
+    },
+    /// One-shot submit to a unique `churn-c{id}` session nothing ever
+    /// queries again — pure pollution pressure on the session store.
+    ChurnSubmit {
+        /// Unique churn id (the op's schedule index, so names never
+        /// repeat within a run).
+        id: u32,
     },
 }
 
@@ -223,6 +243,22 @@ pub fn session_name(i: u32) -> String {
     format!("load-s{i}")
 }
 
+/// Name of one-shot churn session `id` ([`OpKind::ChurnSubmit`]).
+pub fn churn_name(id: u32) -> String {
+    format!("churn-c{id}")
+}
+
+/// The session an op addresses on the wire — the zipf-ranked load
+/// session for ordinary ops, the unique churn session for
+/// [`OpKind::ChurnSubmit`]. Routing (ring ownership) must use this, not
+/// `session_name(op.session)`, or churn ops land on the wrong node.
+pub fn op_session_name(op: &Op) -> String {
+    match op.kind {
+        OpKind::ChurnSubmit { id } => churn_name(id),
+        _ => session_name(op.session),
+    }
+}
+
 /// The 16-point size ladder a [`OpKind::PcMrc`] scan sweeps (1–16 MiB).
 pub fn scan_sizes() -> Vec<u64> {
     (1..=16u64).map(|i| i << 20).collect()
@@ -266,6 +302,23 @@ pub fn generate_ops(cfg: &LoadConfig) -> Vec<Op> {
             OpMix::Scan => OpKind::PcMrc {
                 pc: LOAD_PCS[rng.below(LOAD_PCS.len() as u64) as usize],
             },
+            OpMix::ScanChurn => {
+                // Deliberately no plain `Submit` arm: the zipf-hot
+                // working set is preloaded once and never grows, so the
+                // only byte pressure on the store is the churn stream —
+                // a hot session a policy evicts is lost for the rest of
+                // the run, exactly the pollution cost the store-policy
+                // A/B measures.
+                if roll < 10 {
+                    OpKind::ChurnSubmit { id: i as u32 }
+                } else if roll < 85 {
+                    OpKind::Mrc
+                } else {
+                    OpKind::PcMrc {
+                        pc: LOAD_PCS[rng.below(LOAD_PCS.len() as u64) as usize],
+                    }
+                }
+            }
         };
         let op_seed = rng.next_u64();
         ops.push(Op {
@@ -319,11 +372,19 @@ fn load_batch(seed: u64, samples: u64) -> SampleBatch {
 /// Materialize the wire request for one op — pure, so the full request
 /// trace is reproducible from the config alone.
 pub fn request_for(op: &Op) -> Request {
-    let session = session_name(op.session);
+    let session = op_session_name(op);
     match op.kind {
         OpKind::Submit => Request::Submit {
             session,
             batch: load_batch(op.op_seed, 16),
+        },
+        // Churn one-shots carry 3x the ordinary submit payload: scan
+        // pollution is a few large never-reused footprints, not many
+        // tiny ones, and each arrival has to be big relative to the
+        // store's slack for admission to be the thing that matters.
+        OpKind::ChurnSubmit { .. } => Request::Submit {
+            session,
+            batch: load_batch(op.op_seed, 48),
         },
         OpKind::Mrc => Request::QueryMrc {
             target: Target::Session(session),
@@ -363,6 +424,13 @@ pub struct LoadReport {
     pub completed: u64,
     /// `Busy` responses (overload shedding, not an error).
     pub busy: u64,
+    /// `UnknownSession` answers to query ops: the session existed at
+    /// preload but the store has since evicted it. A *session-store
+    /// miss*, not a client error — the store-policy comparison is built
+    /// on this count.
+    pub unknown: u64,
+    /// Query ops (MRC / per-PC MRC) answered from a live session.
+    pub query_hits: u64,
     /// Everything wrong: server errors, kind mismatches, transport or
     /// framing failures, responses never received.
     pub errors: u64,
@@ -375,6 +443,100 @@ pub struct LoadReport {
     pub service: LogHisto,
     /// Worst pacing slip: how late a send left relative to its schedule.
     pub max_send_lag_us: u64,
+    /// Server-side counter deltas over the run (post minus pre, summed
+    /// across nodes), sampled via `stats` right after preload and again
+    /// after the last driver joins. `None` if either sample failed.
+    pub server: Option<ServerStatsDelta>,
+}
+
+/// Server-side counters the load harness snapshots around a run, so
+/// hit-ratio and eviction comparisons don't require scraping `stats`
+/// output by hand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsDelta {
+    /// `sessions.evictions` delta.
+    pub evictions: u64,
+    /// `model_cache.hits` delta.
+    pub model_cache_hits: u64,
+    /// `model_cache.misses` delta.
+    pub model_cache_misses: u64,
+    /// `store.admission.accepted` delta (0 under the LRU policy).
+    pub admission_accepted: u64,
+    /// `store.admission.rejected` delta (0 under the LRU policy).
+    pub admission_rejected: u64,
+}
+
+/// One absolute `stats` snapshot summed across all nodes. Deltas of two
+/// of these bracket a run.
+fn sample_server_counters(addrs: &[String]) -> Option<ServerStatsDelta> {
+    let mut acc = ServerStatsDelta::default();
+    for addr in addrs {
+        let mut c = crate::client::Client::connect(addr.as_str()).ok()?;
+        c.set_timeout(Some(Duration::from_secs(10))).ok()?;
+        let mut tries = 0;
+        let pairs = loop {
+            match c.stats() {
+                Ok(p) => break p,
+                Err(crate::client::ClientError::Busy) if tries < 50 => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => return None,
+            }
+        };
+        for (k, v) in pairs {
+            let v = v as u64;
+            match k.as_str() {
+                "sessions.evictions" => acc.evictions += v,
+                "model_cache.hits" => acc.model_cache_hits += v,
+                "model_cache.misses" => acc.model_cache_misses += v,
+                "store.admission.accepted" => acc.admission_accepted += v,
+                "store.admission.rejected" => acc.admission_rejected += v,
+                _ => {}
+            }
+        }
+    }
+    Some(acc)
+}
+
+impl ServerStatsDelta {
+    fn delta(post: ServerStatsDelta, pre: ServerStatsDelta) -> ServerStatsDelta {
+        ServerStatsDelta {
+            evictions: post.evictions.saturating_sub(pre.evictions),
+            model_cache_hits: post.model_cache_hits.saturating_sub(pre.model_cache_hits),
+            model_cache_misses: post
+                .model_cache_misses
+                .saturating_sub(pre.model_cache_misses),
+            admission_accepted: post
+                .admission_accepted
+                .saturating_sub(pre.admission_accepted),
+            admission_rejected: post
+                .admission_rejected
+                .saturating_sub(pre.admission_rejected),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("sessions_evictions", Json::Num(self.evictions as f64)),
+            (
+                "model_cache_hits",
+                Json::Num(self.model_cache_hits as f64),
+            ),
+            (
+                "model_cache_misses",
+                Json::Num(self.model_cache_misses as f64),
+            ),
+            (
+                "admission_accepted",
+                Json::Num(self.admission_accepted as f64),
+            ),
+            (
+                "admission_rejected",
+                Json::Num(self.admission_rejected as f64),
+            ),
+        ])
+    }
 }
 
 impl LoadReport {
@@ -385,6 +547,18 @@ impl LoadReport {
             self.completed as f64 / secs
         } else {
             0.0
+        }
+    }
+
+    /// Fraction of query ops answered from a live session:
+    /// `query_hits / (query_hits + unknown)`. `None` when the run
+    /// issued no queries.
+    pub fn session_hit_ratio(&self) -> Option<f64> {
+        let total = self.query_hits + self.unknown;
+        if total > 0 {
+            Some(self.query_hits as f64 / total as f64)
+        } else {
+            None
         }
     }
 
@@ -419,9 +593,19 @@ impl LoadReport {
             ("sent", Json::Num(self.sent as f64)),
             ("completed", Json::Num(self.completed as f64)),
             ("busy", Json::Num(self.busy as f64)),
+            ("unknown", Json::Num(self.unknown as f64)),
+            ("query_hits", Json::Num(self.query_hits as f64)),
+            (
+                "session_hit_ratio",
+                self.session_hit_ratio().map_or(Json::Null, Json::Num),
+            ),
             ("errors", Json::Num(self.errors as f64)),
             ("achieved_rate", Json::Num(self.achieved_rate())),
             ("max_send_lag_us", Json::Num(self.max_send_lag_us as f64)),
+            (
+                "server",
+                self.server.map_or(Json::Null, ServerStatsDelta::to_json),
+            ),
             ("intended", Self::histo_json(&self.intended)),
             ("service", Self::histo_json(&self.service)),
         ])
@@ -461,6 +645,8 @@ struct DriverOut {
     sent: u64,
     completed: u64,
     busy: u64,
+    unknown: u64,
+    query_hits: u64,
     errors: u64,
     intended: LogHisto,
     service: LogHisto,
@@ -510,9 +696,29 @@ fn reader_loop(
                 received += 1;
                 out.last_done = Some(now);
                 let ok = match (stamp.kind, Response::decode(&body)) {
-                    (OpKind::Submit, Ok(Response::Accepted { .. }))
-                    | (OpKind::Mrc, Ok(Response::Mrc { .. }))
-                    | (OpKind::PcMrc { .. }, Ok(Response::PcMrc { .. })) => true,
+                    (
+                        OpKind::Submit | OpKind::ChurnSubmit { .. },
+                        Ok(Response::Accepted { .. }),
+                    ) => true,
+                    (OpKind::Mrc, Ok(Response::Mrc { .. }))
+                    | (OpKind::PcMrc { .. }, Ok(Response::PcMrc { .. })) => {
+                        out.query_hits += 1;
+                        true
+                    }
+                    // A query hitting an evicted session is a session-
+                    // store miss, not a client error: the store's
+                    // eviction/admission policy decided that session
+                    // was not worth keeping.
+                    (
+                        OpKind::Mrc | OpKind::PcMrc { .. },
+                        Ok(Response::Error {
+                            code: proto::ErrorCode::UnknownSession,
+                            ..
+                        }),
+                    ) => {
+                        out.unknown += 1;
+                        false
+                    }
                     (_, Ok(Response::Busy)) => {
                         out.busy += 1;
                         false
@@ -647,7 +853,7 @@ pub fn fd_budget(conns: usize, total_drivers: usize) -> u64 {
 /// descriptors mid-run produces silently wrong latency numbers; better
 /// to stop up front and say exactly what `ulimit -n` value is needed.
 #[cfg(target_os = "linux")]
-fn preflight_fd_budget(conns: usize, total_drivers: usize) -> std::io::Result<()> {
+pub fn preflight_fd_budget(conns: usize, total_drivers: usize) -> std::io::Result<()> {
     let need = fd_budget(conns, total_drivers);
     let have = crate::poll::raise_nofile_limit(need);
     if have < need {
@@ -661,8 +867,10 @@ fn preflight_fd_budget(conns: usize, total_drivers: usize) -> std::io::Result<()
     Ok(())
 }
 
+/// Portable no-op: platforms without `RLIMIT_NOFILE` wrappers find out
+/// the hard way, as before.
 #[cfg(not(target_os = "linux"))]
-fn preflight_fd_budget(_conns: usize, _total_drivers: usize) -> std::io::Result<()> {
+pub fn preflight_fd_budget(_conns: usize, _total_drivers: usize) -> std::io::Result<()> {
     Ok(())
 }
 
@@ -727,6 +935,11 @@ pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadRepor
         }
     }
 
+    // Bracket the run with server-side counter snapshots (best-effort:
+    // a failed sample yields `server: null` in the report, never a
+    // failed run).
+    let pre_counters = sample_server_counters(addrs);
+
     // Driver connections first (they must exist) — including the reader
     // half's descriptor clone, so parking the herd can never starve a
     // driver of its fds — then the rest of the herd, stopping early if
@@ -755,7 +968,7 @@ pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadRepor
     let mut per: Vec<Vec<EncodedOp>> = (0..total_drivers).map(|_| Vec::new()).collect();
     let mut next_on_node = vec![0usize; nodes];
     for op in &ops {
-        let node = ring.owner_index(&session_name(op.session)).unwrap_or(0);
+        let node = ring.owner_index(&op_session_name(op)).unwrap_or(0);
         let lane = node * drivers_per_node + next_on_node[node] % drivers_per_node;
         next_on_node[node] += 1;
         per[lane].push(EncodedOp {
@@ -784,11 +997,14 @@ pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadRepor
         sent: 0,
         completed: 0,
         busy: 0,
+        unknown: 0,
+        query_hits: 0,
         errors: 0,
         wall: Duration::ZERO,
         intended: LogHisto::new(),
         service: LogHisto::new(),
         max_send_lag_us: 0,
+        server: None,
     };
     let mut last_done: Option<Instant> = None;
     for h in handles {
@@ -796,6 +1012,8 @@ pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadRepor
         report.sent += out.sent;
         report.completed += out.completed;
         report.busy += out.busy;
+        report.unknown += out.unknown;
+        report.query_hits += out.query_hits;
         report.errors += out.errors;
         report.intended.merge(&out.intended);
         report.service.merge(&out.service);
@@ -806,5 +1024,9 @@ pub fn run_load(addrs: &[String], cfg: &LoadConfig) -> std::io::Result<LoadRepor
     }
     report.wall = last_done.map_or(Duration::ZERO, |t| t.duration_since(t0));
     drop(idle);
+    report.server = match (pre_counters, sample_server_counters(addrs)) {
+        (Some(pre), Some(post)) => Some(ServerStatsDelta::delta(post, pre)),
+        _ => None,
+    };
     Ok(report)
 }

@@ -687,6 +687,12 @@ pub fn replay_against(
     cfg: &ReplayConfig,
 ) -> Result<ReplayReport, ClientError> {
     assert!(!addrs.is_empty(), "replay needs at least one node");
+    // Same fail-fast descriptor preflight as the load generator: one
+    // client per node plus the fixed reserve, checked (after a
+    // best-effort raise) before any connection opens, so a low
+    // `ulimit -n` stops a multi-node fan-out up front instead of
+    // half-connecting.
+    crate::loadgen::preflight_fd_budget(addrs.len(), 0)?;
     let names: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
     let ring = Ring::new(cfg.seed, DEFAULT_VNODES, names.clone());
     // The ring sorts members; map ring indexes back to argument order.

@@ -44,7 +44,7 @@ use crate::cluster::{ClusterState, Route, MAX_FORWARD_HOPS, MIGRATE_REDO_MAX};
 use crate::metrics::Metrics;
 use crate::proto::{self, ErrorCode, MachineId, ModelWire, Request, Response, SampleBatch, Target};
 use crate::ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
-use crate::session::{ShardedSessionStore, SubmitRejected};
+use crate::session::{ShardedSessionStore, StorePolicy, SubmitRejected};
 use repf_core::{analyze, analyze_with_model};
 use repf_sim::{amd_phenom_ii, intel_i7_2600k, Exec, PlanCache, SubmitError, WorkerPool};
 use repf_statstack::StatStackModel;
@@ -185,6 +185,10 @@ pub struct ServeConfig {
     pub cluster_seed: u64,
     /// Virtual nodes per ring member for the initial `--peers` ring.
     pub vnodes: u32,
+    /// Session-store admission/eviction policy. `None` reads the
+    /// `REPF_SERVE_STORE_POLICY` environment variable, falling back to
+    /// [`StorePolicy::Lru`].
+    pub store_policy: Option<StorePolicy>,
 }
 
 impl Default for ServeConfig {
@@ -206,6 +210,7 @@ impl Default for ServeConfig {
             advertise: None,
             cluster_seed: DEFAULT_RING_SEED,
             vnodes: DEFAULT_VNODES,
+            store_policy: None,
         }
     }
 }
@@ -221,6 +226,18 @@ pub fn resolve_shards(configured: usize) -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n != 0)
         .unwrap_or(8)
+}
+
+/// Resolve a configured store policy: explicit value, else the
+/// `REPF_SERVE_STORE_POLICY` environment variable, else LRU.
+pub fn resolve_store_policy(configured: Option<StorePolicy>) -> StorePolicy {
+    if let Some(p) = configured {
+        return p;
+    }
+    std::env::var("REPF_SERVE_STORE_POLICY")
+        .ok()
+        .and_then(|v| v.parse::<StorePolicy>().ok())
+        .unwrap_or(StorePolicy::Lru)
 }
 
 /// Resolve a configured connection cap: explicit value, else the
@@ -262,9 +279,10 @@ impl ServeState {
             ..Default::default()
         };
         Ok(ServeState {
-            sessions: ShardedSessionStore::new(
+            sessions: ShardedSessionStore::with_policy(
                 cfg.session_budget_bytes,
                 resolve_shards(cfg.shards),
+                resolve_store_policy(cfg.store_policy),
             ),
             model_cache: cfg.model_cache,
             plans_amd: PlanCache::lazy(&amd_phenom_ii(), &opts),
@@ -721,6 +739,21 @@ impl ServeState {
             out.push((format!("sessions.shard.{i}.sessions"), s.sessions as f64));
             out.push((format!("sessions.shard.{i}.evictions"), s.evictions as f64));
         }
+        // Store-policy aggregates: admission/doorkeeper/sketch counters
+        // and per-segment byte gauges (all zero under LRU, where every
+        // byte counts as window).
+        let sum = |f: fn(&crate::session::ShardStats) -> u64| -> f64 {
+            shards.iter().map(f).sum::<u64>() as f64
+        };
+        out.push(("store.admission.accepted".into(), sum(|s| s.admission_accepted)));
+        out.push(("store.admission.rejected".into(), sum(|s| s.admission_rejected)));
+        out.push(("store.doorkeeper.hits".into(), sum(|s| s.doorkeeper_hits)));
+        out.push(("store.sketch.resets".into(), sum(|s| s.sketch_resets)));
+        out.push(("store.segment.window.bytes".into(), sum(|s| s.window_bytes)));
+        out.push(("store.segment.probation.bytes".into(), sum(|s| s.probation_bytes)));
+        out.push(("store.segment.protected.bytes".into(), sum(|s| s.protected_bytes)));
+        out.push(("store.access.drains".into(), sum(|s| s.access_drains)));
+        out.push(("store.access.dropped".into(), sum(|s| s.access_dropped)));
         out
     }
 

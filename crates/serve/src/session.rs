@@ -1,16 +1,36 @@
 //! The per-session profile store: named, client-submitted sampling
-//! profiles held under a configurable byte budget with least-recently-used
-//! eviction — the server's only unboundedly-client-driven memory, so it is
-//! the one place that must degrade instead of grow.
+//! profiles held under a configurable byte budget — the server's only
+//! unboundedly-client-driven memory, so it is the one place that must
+//! degrade instead of grow.
 //!
 //! Two stores live here:
 //!
-//! * [`SessionStore`] — one independently-locked *shard*: an LRU store
-//!   with its own byte budget, clock, name→index map (O(1) lookup) and
-//!   per-session fitted-model cache keyed on a profile version counter.
+//! * [`SessionStore`] — one independently-locked *shard*: an evicting
+//!   store with its own byte budget, clock, name→index map (O(1)
+//!   lookup) and per-session fitted-model cache keyed on a profile
+//!   version counter.
 //! * [`ShardedSessionStore`] — N shards selected by session-name hash,
 //!   each with a proportional slice of the byte budget, so submits and
 //!   queries to different sessions never contend on one mutex.
+//!
+//! Eviction runs one of two [`StorePolicy`]s:
+//!
+//! * [`StorePolicy::Lru`] (default) — plain least-recently-used over
+//!   the whole shard budget.
+//! * [`StorePolicy::TinyLfu`] — W-TinyLFU admission + segmented
+//!   eviction: new sessions enter a small *window* segment (~1% of the
+//!   shard budget); a window victim is admitted into the
+//!   probation/protected *main* segment only if its frequency — a 4-bit
+//!   count-min sketch behind a doorkeeper bloom filter, see
+//!   [`crate::tinylfu`] — beats the main segment's own eviction
+//!   candidate, so a burst of one-shot sessions cannot flush the hot
+//!   working set. Reads record frequency through a lock-free striped
+//!   buffer drained in batches under the shard lock the lookup already
+//!   holds, never an extra acquisition.
+//!
+//! Under either policy nothing is evicted or refused while the store
+//! fits its budget — replay's oracle never evicts, so per-policy replay
+//! digests stay node-count- and io-mode-invariant.
 //!
 //! Model caching: every submit bumps the session's version; a query
 //! either reuses the cached [`Arc<StatStackModel>`] (version match — no
@@ -27,12 +47,62 @@
 //! stays proportional to the configured budget.
 
 use crate::proto::SampleBatch;
+use crate::tinylfu::{AccessBuffer, TinyLfu};
 use repf_sampling::{DanglingSample, Profile, ReuseSample, StrideSample};
 use repf_statstack::{StatStackBuilder, StatStackModel};
 use repf_trace::hash::FxHashMap;
+use std::collections::VecDeque;
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Which admission/eviction policy a session store runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StorePolicy {
+    /// Plain LRU over the whole budget (the original behaviour, and
+    /// still the default).
+    #[default]
+    Lru,
+    /// W-TinyLFU: frequency-sketch admission with window +
+    /// probation/protected segmented eviction.
+    TinyLfu,
+}
+
+impl StorePolicy {
+    pub const ALL: [StorePolicy; 2] = [StorePolicy::Lru, StorePolicy::TinyLfu];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorePolicy::Lru => "lru",
+            StorePolicy::TinyLfu => "tinylfu",
+        }
+    }
+}
+
+impl std::str::FromStr for StorePolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "lru" => Ok(StorePolicy::Lru),
+            "tinylfu" => Ok(StorePolicy::TinyLfu),
+            other => Err(format!("unknown store policy '{other}' (expected lru|tinylfu)")),
+        }
+    }
+}
+
+impl std::fmt::Display for StorePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The hash every consumer of a session name agrees on: shard
+/// selection, the frequency sketch, and the striped access buffers all
+/// key off this one FxHash value.
+pub(crate) fn name_hash(name: &str) -> u64 {
+    let hasher: BuildHasherDefault<repf_trace::hash::FxHasher> = Default::default();
+    hasher.hash_one(name.as_bytes())
+}
 
 /// Fixed per-session bookkeeping charge (name, map entry, vec headers).
 const SESSION_OVERHEAD_BYTES: usize = 256;
@@ -44,8 +114,23 @@ fn profile_bytes(p: &Profile) -> usize {
         + p.strides.len() * std::mem::size_of::<StrideSample>()
 }
 
+/// Which W-TinyLFU segment an entry lives in (ignored under LRU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    /// New arrivals; ~1% of the shard budget.
+    Window,
+    /// Admitted from the window; first to be evicted from main.
+    Probation,
+    /// Probation entries that were touched again; evicted last.
+    Protected,
+}
+
 struct SessionEntry {
     name: String,
+    /// `name_hash(name)` — the sketch/doorkeeper key.
+    hash: u64,
+    /// W-TinyLFU segment membership (always `Window` under LRU).
+    segment: Segment,
     profile: Profile,
     /// Batches submitted since the last fit, as mergeable sorted runs.
     pending: StatStackBuilder,
@@ -57,6 +142,53 @@ struct SessionEntry {
     bytes: usize,
     last_used: u64,
 }
+
+/// The per-shard W-TinyLFU state: the admission filter plus segment
+/// byte accounting and the admission counters surfaced through `Stats`.
+struct LfuState {
+    filter: TinyLfu,
+    /// Byte budget of the window segment (~1% of the shard budget,
+    /// clamped to [1 KiB, budget]).
+    window_budget: usize,
+    /// Byte budget of the protected segment (80% of main).
+    protected_budget: usize,
+    window_bytes: usize,
+    probation_bytes: usize,
+    protected_bytes: usize,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl LfuState {
+    fn new(budget_bytes: usize) -> Self {
+        let window_budget = (budget_bytes / 100).clamp(1024.min(budget_bytes), budget_bytes);
+        let main_budget = budget_bytes - window_budget;
+        LfuState {
+            filter: TinyLfu::new(),
+            window_budget,
+            protected_budget: main_budget / 5 * 4,
+            window_bytes: 0,
+            probation_bytes: 0,
+            protected_bytes: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn seg_bytes_mut(&mut self, seg: Segment) -> &mut usize {
+        match seg {
+            Segment::Window => &mut self.window_bytes,
+            Segment::Probation => &mut self.probation_bytes,
+            Segment::Protected => &mut self.protected_bytes,
+        }
+    }
+}
+
+/// Extra frequency credit for an imported session that carries a
+/// cached model: the exporter considered it hot enough to fit, so the
+/// importer's admission filter must not treat it as a one-hit wonder
+/// (that would silently defeat fleet-wide fit-at-most-once).
+const MODEL_IMPORT_FREQ_BOOST: u32 = 4;
 
 /// A portable snapshot of one session — everything a peer needs to take
 /// ownership without refitting: the full raw profile as a wire batch,
@@ -102,13 +234,22 @@ pub enum SubmitRejected {
 /// `bytes() ≤ budget` holds unconditionally after every operation.
 pub struct SessionStore {
     budget_bytes: usize,
+    policy: StorePolicy,
+    /// W-TinyLFU state; `Some` iff `policy == TinyLfu`.
+    lfu: Option<Box<LfuState>>,
     entries: Vec<SessionEntry>,
     /// Name → index into `entries`, maintained across `swap_remove`.
     index: FxHashMap<String, usize>,
-    /// Migrated-away sessions: name → the address the session now lives
-    /// at, left behind by [`SessionStore::remove_migrated`] so the old
-    /// owner can forward in-flight requests during the handoff window.
-    tombstones: FxHashMap<String, String>,
+    /// Migrated-away sessions: name → (destination address, insertion
+    /// sequence), left behind by [`SessionStore::remove_migrated`] so
+    /// the old owner can forward in-flight requests during the handoff
+    /// window.
+    tombstones: FxHashMap<String, (String, u64)>,
+    /// Insertion order of live tombstones, for FIFO cap-eviction.
+    /// Entries whose sequence no longer matches the map are stale
+    /// (cleared or re-inserted) and skipped lazily.
+    tombstone_fifo: VecDeque<(String, u64)>,
+    tombstone_seq: u64,
     clock: u64,
     bytes: usize,
     evictions: u64,
@@ -116,25 +257,45 @@ pub struct SessionStore {
     model_misses: u64,
 }
 
-/// Tombstones beyond this count evict arbitrarily-chosen older ones —
-/// they are a forwarding hint for the handoff window, not durable state.
+/// Tombstones beyond this count evict the *oldest* ones first (FIFO) —
+/// they are a forwarding hint for the handoff window, not durable
+/// state, and the most recent migrations are the ones still being
+/// chased.
 const MAX_TOMBSTONES: usize = 4096;
 
 impl SessionStore {
-    /// An empty store with the given byte budget (clamped to ≥ 1 so a
-    /// zero budget means "keep nothing", not "unbounded").
+    /// An empty LRU store with the given byte budget (clamped to ≥ 1 so
+    /// a zero budget means "keep nothing", not "unbounded").
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_policy(budget_bytes, StorePolicy::Lru)
+    }
+
+    /// An empty store running `policy`.
+    pub fn with_policy(budget_bytes: usize, policy: StorePolicy) -> Self {
+        let budget_bytes = budget_bytes.max(1);
         SessionStore {
-            budget_bytes: budget_bytes.max(1),
+            budget_bytes,
+            policy,
+            lfu: match policy {
+                StorePolicy::Lru => None,
+                StorePolicy::TinyLfu => Some(Box::new(LfuState::new(budget_bytes))),
+            },
             entries: Vec::new(),
             index: FxHashMap::default(),
             tombstones: FxHashMap::default(),
+            tombstone_fifo: VecDeque::new(),
+            tombstone_seq: 0,
             clock: 0,
             bytes: 0,
             evictions: 0,
             model_hits: 0,
             model_misses: 0,
         }
+    }
+
+    /// The policy this store runs.
+    pub fn policy(&self) -> StorePolicy {
+        self.policy
     }
 
     fn tick(&mut self) -> u64 {
@@ -156,14 +317,174 @@ impl SessionStore {
         e
     }
 
-    /// Append a batch to `name`'s profile, creating the session on first
-    /// use, then evict LRU sessions until the store fits its budget.
+    /// Remove the entry at `ix`, updating the byte gauge and segment
+    /// accounting (no eviction counter — migration removals use this
+    /// too).
+    fn detach_at(&mut self, ix: usize) -> SessionEntry {
+        let seg = self.entries[ix].segment;
+        let e = self.remove_at(ix);
+        self.bytes -= e.bytes;
+        if let Some(lfu) = &mut self.lfu {
+            *lfu.seg_bytes_mut(seg) -= e.bytes;
+        }
+        e
+    }
+
+    fn evict_at(&mut self, ix: usize) {
+        self.detach_at(ix);
+        self.evictions += 1;
+    }
+
+    /// Record one access of `hash` in the admission filter (no-op under
+    /// LRU). The sharded store feeds this from the striped read buffers
+    /// and from submits.
+    pub fn record_access(&mut self, hash: u64) {
+        if let Some(lfu) = &mut self.lfu {
+            lfu.filter.record(hash);
+        }
+    }
+
+    /// Refresh `ix`'s recency; under W-TinyLFU a touched probation
+    /// entry is promoted to protected (demoting the protected LRU back
+    /// to probation if the protected segment overflows).
+    fn touch(&mut self, ix: usize) {
+        let now = self.tick();
+        self.entries[ix].last_used = now;
+        self.promote_if_probation(ix);
+    }
+
+    /// Segmented-LRU promotion: an accessed (queried or re-submitted)
+    /// probation entry moves to protected; protected overflow demotes
+    /// its LRU back to probation.
+    fn promote_if_probation(&mut self, ix: usize) {
+        if self.lfu.is_none() || self.entries[ix].segment != Segment::Probation {
+            return;
+        }
+        self.move_segment(ix, Segment::Protected);
+        loop {
+            let lfu = self.lfu.as_ref().unwrap();
+            if lfu.protected_bytes <= lfu.protected_budget {
+                break;
+            }
+            let Some(demote) = self.lru_victim_in(Segment::Protected) else {
+                break;
+            };
+            self.move_segment(demote, Segment::Probation);
+            if demote == ix {
+                break; // the sole protected entry is the one just promoted
+            }
+        }
+    }
+
+    fn move_segment(&mut self, ix: usize, to: Segment) {
+        let from = self.entries[ix].segment;
+        if from == to {
+            return;
+        }
+        let bytes = self.entries[ix].bytes;
+        self.entries[ix].segment = to;
+        if let Some(lfu) = &mut self.lfu {
+            *lfu.seg_bytes_mut(from) -= bytes;
+            *lfu.seg_bytes_mut(to) += bytes;
+        }
+    }
+
+    fn lru_victim_in(&self, seg: Segment) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.segment == seg)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+    }
+
+    /// The main segment's eviction candidate: probation LRU first,
+    /// protected LRU only when probation is empty.
+    fn main_victim(&self) -> Option<usize> {
+        self.lru_victim_in(Segment::Probation)
+            .or_else(|| self.lru_victim_in(Segment::Protected))
+    }
+
+    /// W-TinyLFU rebalance after any growth: first migrate window
+    /// overflow into main through the admission filter, then — if the
+    /// store is still over budget (an entry already in main grew) —
+    /// evict main victims outright. Nothing happens while the store
+    /// fits its budget *and* the window fits its slice.
+    fn rebalance_tinylfu(&mut self, evicted: &mut u32) {
+        loop {
+            let lfu = self.lfu.as_ref().unwrap();
+            if lfu.window_bytes <= lfu.window_budget {
+                break;
+            }
+            let Some(w) = self.lru_victim_in(Segment::Window) else {
+                break;
+            };
+            self.admit_window_victim(w, evicted);
+        }
+        while self.bytes > self.budget_bytes && !self.entries.is_empty() {
+            let v = self
+                .main_victim()
+                .or_else(|| self.lru_victim_in(Segment::Window))
+                .unwrap();
+            self.evict_at(v);
+            *evicted += 1;
+        }
+    }
+
+    /// Try to move the window victim at `w` into probation: free main
+    /// space by evicting main victims the window victim's sketch
+    /// frequency beats; the first main victim it cannot beat wins, and
+    /// the window victim is evicted instead (admission rejected).
+    fn admit_window_victim(&mut self, mut w: usize, evicted: &mut u32) {
+        let lfu = self.lfu.as_ref().unwrap();
+        let main_budget = self.budget_bytes - lfu.window_budget;
+        loop {
+            let lfu = self.lfu.as_ref().unwrap();
+            let main_bytes = lfu.probation_bytes + lfu.protected_bytes;
+            if main_bytes + self.entries[w].bytes <= main_budget {
+                self.move_segment(w, Segment::Probation);
+                self.lfu.as_mut().unwrap().admitted += 1;
+                return;
+            }
+            let Some(m) = self.main_victim() else {
+                // Main is empty and the victim alone exceeds the main
+                // budget: nothing to compare against, drop it.
+                self.evict_at(w);
+                *evicted += 1;
+                self.lfu.as_mut().unwrap().rejected += 1;
+                return;
+            };
+            let wf = lfu.filter.frequency(self.entries[w].hash);
+            let mf = lfu.filter.frequency(self.entries[m].hash);
+            if wf > mf {
+                // `swap_remove` may relocate the last entry into `m`.
+                let last = self.entries.len() - 1;
+                self.evict_at(m);
+                *evicted += 1;
+                if w == last {
+                    w = m;
+                }
+            } else {
+                self.evict_at(w);
+                *evicted += 1;
+                self.lfu.as_mut().unwrap().rejected += 1;
+                return;
+            }
+        }
+    }
+
+    /// Append a batch to `name`'s profile, creating the session on
+    /// first use, then evict sessions per the store's policy until the
+    /// store fits its budget (LRU: least-recently-used across the whole
+    /// store; W-TinyLFU: window overflow through the admission filter,
+    /// then main victims).
     pub fn submit(
         &mut self,
         name: &str,
         batch: SampleBatch,
     ) -> Result<SubmitOutcome, SubmitRejected> {
         let now = self.tick();
+        let hash = name_hash(name);
         let ix = match self.index_of(name) {
             Some(ix) => ix,
             None => {
@@ -171,6 +492,8 @@ impl SessionStore {
                 self.tombstones.remove(name);
                 self.entries.push(SessionEntry {
                     name: name.to_string(),
+                    hash,
+                    segment: Segment::Window,
                     profile: Profile {
                         sample_period: batch.sample_period,
                         line_bytes: batch.line_bytes,
@@ -183,6 +506,9 @@ impl SessionStore {
                     last_used: now,
                 });
                 self.bytes += SESSION_OVERHEAD_BYTES + name.len();
+                if let Some(lfu) = &mut self.lfu {
+                    lfu.window_bytes += SESSION_OVERHEAD_BYTES + name.len();
+                }
                 let ix = self.entries.len() - 1;
                 self.index.insert(name.to_string(), ix);
                 ix
@@ -203,21 +529,32 @@ impl SessionStore {
         let grown = profile_bytes(&entry.profile) - before;
         entry.bytes += grown;
         entry.last_used = now;
+        let seg = entry.segment;
         self.bytes += grown;
+        if let Some(lfu) = &mut self.lfu {
+            *lfu.seg_bytes_mut(seg) += grown;
+        }
+        self.record_access(hash);
+        // A re-submitted session is being reused: promote it like any
+        // other access.
+        self.promote_if_probation(ix);
 
         let mut evicted = 0u32;
-        while self.bytes > self.budget_bytes && !self.entries.is_empty() {
-            let victim = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .unwrap();
-            let e = self.remove_at(victim);
-            self.bytes -= e.bytes;
-            self.evictions += 1;
-            evicted += 1;
+        match self.policy {
+            StorePolicy::Lru => {
+                while self.bytes > self.budget_bytes && !self.entries.is_empty() {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    self.evict_at(victim);
+                    evicted += 1;
+                }
+            }
+            StorePolicy::TinyLfu => self.rebalance_tinylfu(&mut evicted),
         }
         Ok(SubmitOutcome {
             store_bytes: self.bytes as u64,
@@ -228,9 +565,11 @@ impl SessionStore {
     /// The profile of `name`, refreshing its recency. `None` when the
     /// session does not exist (never created, or evicted).
     pub fn get(&mut self, name: &str) -> Option<&Profile> {
-        let now = self.tick();
         let ix = self.index_of(name)?;
-        self.entries[ix].last_used = now;
+        self.touch(ix);
+        // `touch` may relocate entries across segments but never
+        // reorders `entries` itself; re-resolve anyway for clarity.
+        let ix = self.index_of(name)?;
         Some(&self.entries[ix].profile)
     }
 
@@ -240,10 +579,9 @@ impl SessionStore {
     /// through the incremental merge path (first fit: from the pending
     /// runs alone) and the result is published for later queries.
     pub fn model(&mut self, name: &str) -> Option<(Arc<StatStackModel>, bool)> {
-        let now = self.tick();
         let ix = self.index_of(name)?;
+        self.touch(ix);
         let entry = &mut self.entries[ix];
-        entry.last_used = now;
         if let Some((v, m)) = &entry.cached {
             if *v == entry.version {
                 self.model_hits += 1;
@@ -309,6 +647,39 @@ impl SessionStore {
         self.model_misses
     }
 
+    /// Window victims admitted into the main segment (0 under LRU).
+    pub fn admission_accepted(&self) -> u64 {
+        self.lfu.as_ref().map_or(0, |l| l.admitted)
+    }
+
+    /// Window victims rejected by the admission filter (0 under LRU).
+    pub fn admission_rejected(&self) -> u64 {
+        self.lfu.as_ref().map_or(0, |l| l.rejected)
+    }
+
+    /// One-hit wonders absorbed by the doorkeeper (0 under LRU).
+    pub fn doorkeeper_hits(&self) -> u64 {
+        self.lfu.as_ref().map_or(0, |l| l.filter.doorkeeper_hits())
+    }
+
+    /// Frequency-sketch halving resets performed (0 under LRU).
+    pub fn sketch_resets(&self) -> u64 {
+        self.lfu.as_ref().map_or(0, |l| l.filter.sketch_resets())
+    }
+
+    /// Bytes held per segment as (window, probation, protected).
+    /// Under LRU everything counts as window.
+    pub fn segment_bytes(&self) -> (u64, u64, u64) {
+        match &self.lfu {
+            Some(l) => (
+                l.window_bytes as u64,
+                l.probation_bytes as u64,
+                l.protected_bytes as u64,
+            ),
+            None => (self.bytes as u64, 0, 0),
+        }
+    }
+
     /// True when `name` is live, *without* refreshing recency — routing
     /// probes must not distort the LRU order.
     pub fn contains(&self, name: &str) -> bool {
@@ -354,15 +725,32 @@ impl SessionStore {
         if self.entries[ix].version != version {
             return false;
         }
-        let e = self.remove_at(ix);
-        self.bytes -= e.bytes;
-        if self.tombstones.len() >= MAX_TOMBSTONES {
-            let drop = self.tombstones.keys().next().cloned();
-            if let Some(k) = drop {
-                self.tombstones.remove(&k);
+        self.detach_at(ix);
+        self.tombstone_seq += 1;
+        let seq = self.tombstone_seq;
+        self.tombstones.insert(name.to_string(), (dest.to_string(), seq));
+        self.tombstone_fifo.push_back((name.to_string(), seq));
+        // FIFO cap: the oldest live tombstone goes first. Queue entries
+        // whose sequence no longer matches the map (cleared by a fresh
+        // submit/import, or superseded by a re-migration) are stale —
+        // skip them, and compact them eagerly so the queue stays
+        // proportional to the live set.
+        while self.tombstones.len() > MAX_TOMBSTONES {
+            match self.tombstone_fifo.pop_front() {
+                Some((k, s)) => {
+                    if self.tombstones.get(&k).is_some_and(|(_, live)| *live == s) {
+                        self.tombstones.remove(&k);
+                    }
+                }
+                None => break,
             }
         }
-        self.tombstones.insert(name.to_string(), dest.to_string());
+        while let Some((k, s)) = self.tombstone_fifo.front() {
+            if self.tombstones.get(k).is_some_and(|(_, live)| live == s) {
+                break;
+            }
+            self.tombstone_fifo.pop_front();
+        }
         true
     }
 
@@ -380,10 +768,19 @@ impl SessionStore {
         model: Option<Arc<StatStackModel>>,
     ) -> Result<SubmitOutcome, SubmitRejected> {
         if let Some(ix) = self.index_of(name) {
-            let e = self.remove_at(ix);
-            self.bytes -= e.bytes;
+            self.detach_at(ix);
         }
         self.tombstones.remove(name);
+        if self.policy == StorePolicy::TinyLfu && model.is_some() {
+            // A session arriving with a cached fit was hot on the
+            // exporter; pre-credit the admission filter so migration
+            // under pressure cannot discard the model fleet-wide
+            // fit-at-most-once just paid for.
+            let h = name_hash(name);
+            for _ in 0..MODEL_IMPORT_FREQ_BOOST {
+                self.record_access(h);
+            }
+        }
         let out = self.submit(name, batch)?;
         if let Some(ix) = self.index_of(name) {
             // submit() set version 1 and staged the batch as pending;
@@ -400,7 +797,7 @@ impl SessionStore {
 
     /// Where `name` migrated to, if a tombstone is held for it.
     pub fn tombstone_of(&self, name: &str) -> Option<&str> {
-        self.tombstones.get(name).map(String::as_str)
+        self.tombstones.get(name).map(|(dest, _)| dest.as_str())
     }
 
     /// Live tombstone count.
@@ -459,6 +856,26 @@ pub struct ShardStats {
     pub model_hits: u64,
     /// Model-cache misses (fits performed).
     pub model_misses: u64,
+    /// Window victims admitted into main (W-TinyLFU; 0 under LRU).
+    pub admission_accepted: u64,
+    /// Window victims rejected by the admission filter (0 under LRU).
+    pub admission_rejected: u64,
+    /// One-hit wonders absorbed by the doorkeeper (0 under LRU).
+    pub doorkeeper_hits: u64,
+    /// Frequency-sketch halving resets (0 under LRU).
+    pub sketch_resets: u64,
+    /// Bytes in the window segment (all bytes under LRU).
+    pub window_bytes: u64,
+    /// Bytes in the probation segment.
+    pub probation_bytes: u64,
+    /// Bytes in the protected segment.
+    pub protected_bytes: u64,
+    /// Batched drains of the striped read-access buffer, each performed
+    /// under a lock the drainer already held — the counter that proves
+    /// reads never took an extra lock to record frequency.
+    pub access_drains: u64,
+    /// Pending accesses lost to ring overwrites (lossy by design).
+    pub access_dropped: u64,
 }
 
 struct Shard {
@@ -466,6 +883,24 @@ struct Shard {
     /// Lock-free mirror of the store's byte gauge, refreshed after every
     /// submit, so aggregate reporting never takes other shards' locks.
     bytes: AtomicU64,
+    /// Pending read accesses awaiting a batched drain (W-TinyLFU only).
+    accesses: AccessBuffer,
+    /// Batched drains performed (each under an already-held lock).
+    drains: AtomicU64,
+    /// Accesses lost to ring overwrites.
+    dropped: AtomicU64,
+}
+
+impl Shard {
+    /// Drain the pending read accesses into the store. The caller holds
+    /// the shard lock already — this is the *batched* recording path,
+    /// never an extra acquisition.
+    fn drain_accesses(&self, store: &mut SessionStore) {
+        let n = self.accesses.drain(|h| store.record_access(h));
+        if n > 0 {
+            self.drains.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// N independently-locked [`SessionStore`] shards selected by session-name
@@ -474,22 +909,37 @@ struct Shard {
 /// to different sessions proceed without contending on a single mutex.
 pub struct ShardedSessionStore {
     shards: Vec<Shard>,
+    policy: StorePolicy,
 }
 
 impl ShardedSessionStore {
-    /// A store of `shards` shards splitting `budget_bytes` evenly
+    /// An LRU store of `shards` shards splitting `budget_bytes` evenly
     /// (`shards` is clamped to ≥ 1).
     pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        Self::with_policy(budget_bytes, shards, StorePolicy::Lru)
+    }
+
+    /// A store of `shards` shards running `policy`.
+    pub fn with_policy(budget_bytes: usize, shards: usize, policy: StorePolicy) -> Self {
         let n = shards.max(1);
         let per_shard = budget_bytes / n;
         ShardedSessionStore {
             shards: (0..n)
                 .map(|_| Shard {
-                    store: Mutex::new(SessionStore::new(per_shard)),
+                    store: Mutex::new(SessionStore::with_policy(per_shard, policy)),
                     bytes: AtomicU64::new(0),
+                    accesses: AccessBuffer::new(),
+                    drains: AtomicU64::new(0),
+                    dropped: AtomicU64::new(0),
                 })
                 .collect(),
+            policy,
         }
+    }
+
+    /// The policy every shard runs.
+    pub fn policy(&self) -> StorePolicy {
+        self.policy
     }
 
     /// Number of shards.
@@ -499,8 +949,24 @@ impl ShardedSessionStore {
 
     /// The shard index `name` maps to.
     pub fn shard_of(&self, name: &str) -> usize {
-        let hasher: BuildHasherDefault<repf_trace::hash::FxHasher> = Default::default();
-        (hasher.hash_one(name.as_bytes()) % self.shards.len() as u64) as usize
+        (name_hash(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Record a read access for the admission filter: a lock-free push
+    /// into the shard's striped buffer. Returns the shard, and whether
+    /// the caller — who is about to take the shard lock for its own
+    /// lookup anyway — should drain the batch. No-op under LRU.
+    fn note_read(&self, name: &str) -> (&Shard, bool) {
+        let hash = name_hash(name);
+        let shard = &self.shards[(hash % self.shards.len() as u64) as usize];
+        if self.policy != StorePolicy::TinyLfu {
+            return (shard, false);
+        }
+        let out = shard.accesses.push(hash);
+        if out.dropped {
+            shard.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        (shard, out.should_drain)
     }
 
     /// Submit a batch to `name`'s session (see [`SessionStore::submit`]).
@@ -513,6 +979,9 @@ impl ShardedSessionStore {
         let shard = &self.shards[self.shard_of(name)];
         let out = {
             let mut store = shard.store.lock().unwrap();
+            // Writers drain the pending read accesses first so the
+            // admission filter decides on up-to-date frequencies.
+            shard.drain_accesses(&mut store);
             let out = store.submit(name, batch)?;
             shard.bytes.store(store.bytes() as u64, Ordering::Relaxed);
             out
@@ -526,7 +995,11 @@ impl ShardedSessionStore {
     /// Run `f` on `name`'s profile under its shard lock (recency
     /// refreshed). `None` when the session does not exist.
     pub fn with_profile<R>(&self, name: &str, f: impl FnOnce(&Profile) -> R) -> Option<R> {
-        let mut store = self.shards[self.shard_of(name)].store.lock().unwrap();
+        let (shard, drain) = self.note_read(name);
+        let mut store = shard.store.lock().unwrap();
+        if drain {
+            shard.drain_accesses(&mut store);
+        }
         store.get(name).map(f)
     }
 
@@ -535,7 +1008,12 @@ impl ShardedSessionStore {
     /// one hot session do one fit, not N — and the returned `Arc` is
     /// evaluated by the caller after the lock is released.
     pub fn model(&self, name: &str) -> Option<(Arc<StatStackModel>, bool)> {
-        self.shards[self.shard_of(name)].store.lock().unwrap().model(name)
+        let (shard, drain) = self.note_read(name);
+        let mut store = shard.store.lock().unwrap();
+        if drain {
+            shard.drain_accesses(&mut store);
+        }
+        store.model(name)
     }
 
     /// Run `f` on `name`'s profile and model under the shard lock (see
@@ -545,11 +1023,12 @@ impl ShardedSessionStore {
         name: &str,
         f: impl FnOnce(&Profile, &StatStackModel) -> R,
     ) -> Option<(R, bool)> {
-        self.shards[self.shard_of(name)]
-            .store
-            .lock()
-            .unwrap()
-            .with_profile_and_model(name, f)
+        let (shard, drain) = self.note_read(name);
+        let mut store = shard.store.lock().unwrap();
+        if drain {
+            shard.drain_accesses(&mut store);
+        }
+        store.with_profile_and_model(name, f)
     }
 
     /// Aggregate bytes across shards (lock-free; each shard's gauge is
@@ -623,6 +1102,7 @@ impl ShardedSessionStore {
         let shard = &self.shards[self.shard_of(name)];
         let out = {
             let mut store = shard.store.lock().unwrap();
+            shard.drain_accesses(&mut store);
             let out = store.import(name, version, batch, model)?;
             shard.bytes.store(store.bytes() as u64, Ordering::Relaxed);
             out
@@ -677,6 +1157,7 @@ impl ShardedSessionStore {
             .iter()
             .map(|s| {
                 let store = s.store.lock().unwrap();
+                let (window_bytes, probation_bytes, protected_bytes) = store.segment_bytes();
                 ShardStats {
                     bytes: store.bytes() as u64,
                     budget_bytes: store.budget_bytes() as u64,
@@ -684,6 +1165,15 @@ impl ShardedSessionStore {
                     evictions: store.evictions(),
                     model_hits: store.model_hits(),
                     model_misses: store.model_misses(),
+                    admission_accepted: store.admission_accepted(),
+                    admission_rejected: store.admission_rejected(),
+                    doorkeeper_hits: store.doorkeeper_hits(),
+                    sketch_resets: store.sketch_resets(),
+                    window_bytes,
+                    probation_bytes,
+                    protected_bytes,
+                    access_drains: s.drains.load(Ordering::Relaxed),
+                    access_dropped: s.dropped.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -1005,6 +1495,144 @@ mod tests {
         assert!(s.with_profile("hot", |_| ()).is_some(), "hottest survives");
         assert!(s.evictions() > 0, "flooding the shard evicted colder ones");
         assert!(s.bytes() <= s.budget_bytes() as u64);
+    }
+
+    #[test]
+    fn tinylfu_under_budget_never_evicts_or_rejects() {
+        // Replay-safety: while the store fits its budget, admission
+        // must be invisible — no eviction, no rejection, every session
+        // answerable — or per-policy replay digests would diverge.
+        let mut s = SessionStore::with_policy(1 << 20, StorePolicy::TinyLfu);
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            s.submit(name, batch(50)).unwrap();
+        }
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            assert!(s.get(name).is_some());
+            assert!(s.model(name).is_some());
+        }
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.admission_rejected(), 0);
+        let (w, p, pr) = s.segment_bytes();
+        assert_eq!((w + p + pr) as usize, s.bytes(), "segments partition the gauge");
+    }
+
+    #[test]
+    fn tinylfu_protects_hot_session_from_one_shot_flood_where_lru_loses_it() {
+        // Same operation sequence on both policies: build up one hot
+        // session, then flood with one-shot sessions that together
+        // exceed the budget several times over. LRU flushes the hot
+        // session; W-TinyLFU's admission filter keeps it.
+        let run = |policy: StorePolicy| {
+            let mut s = SessionStore::with_policy(16 << 10, policy);
+            for _ in 0..3 {
+                s.submit("hot", batch(100)).unwrap();
+            }
+            for i in 0..20 {
+                s.submit(&format!("flood-{i}"), batch(100)).unwrap();
+            }
+            s
+        };
+        let mut lru = run(StorePolicy::Lru);
+        assert!(lru.get("hot").is_none(), "LRU loses the hot session to the flood");
+        let mut lfu = run(StorePolicy::TinyLfu);
+        assert!(lfu.get("hot").is_some(), "admission keeps the hot session");
+        assert!(lfu.admission_rejected() > 0, "one-shots were turned away");
+        assert!(lfu.evictions() > 0, "rejected window victims count as evictions");
+        assert!(lfu.bytes() <= lfu.budget_bytes());
+        let (w, p, pr) = lfu.segment_bytes();
+        assert_eq!((w + p + pr) as usize, lfu.bytes());
+    }
+
+    #[test]
+    fn tinylfu_import_with_model_beats_admission_where_plain_import_fails() {
+        // A fitted model travels with a migrating session; the importer
+        // must not let its admission filter discard what fleet-wide
+        // fit-at-most-once just paid to ship.
+        let mut exporter = SessionStore::new(1 << 20);
+        exporter.submit("migrant", batch(100)).unwrap();
+        exporter.model("migrant").unwrap();
+        let ex = exporter.export("migrant").unwrap();
+        assert!(ex.model.is_some());
+
+        let setup = || {
+            let mut s = SessionStore::with_policy(16 << 10, StorePolicy::TinyLfu);
+            for _ in 0..3 {
+                s.submit("resident", batch(100)).unwrap();
+            }
+            s.submit("filler", batch(100)).unwrap();
+            s
+        };
+        // Without the cached model the migrant's frequency is 1 — it
+        // cannot beat even the coldest main entry, and is rejected.
+        let mut plain = setup();
+        plain
+            .import("migrant", ex.version, ex.batch.clone(), None)
+            .unwrap();
+        assert!(plain.get("migrant").is_none(), "freq-1 import loses admission");
+        // With the model the boost carries it past the cold filler.
+        let mut boosted = setup();
+        boosted
+            .import("migrant", ex.version, ex.batch.clone(), ex.model.clone())
+            .unwrap();
+        assert!(boosted.get("migrant").is_some(), "model-carrying import admitted");
+        let (m, hit) = boosted.model("migrant").unwrap();
+        assert!(hit, "the shipped fit serves without a refit");
+        assert!(Arc::ptr_eq(&m, ex.model.as_ref().unwrap()));
+        assert!(boosted.get("resident").is_some(), "hot resident untouched");
+    }
+
+    #[test]
+    fn tinylfu_probation_promotes_to_protected_on_touch() {
+        let mut s = SessionStore::with_policy(64 << 10, StorePolicy::TinyLfu);
+        s.submit("a", batch(100)).unwrap(); // window → probation (overflow)
+        let (_, p0, pr0) = s.segment_bytes();
+        assert!(p0 > 0, "first session admitted to probation");
+        assert_eq!(pr0, 0);
+        s.get("a").unwrap(); // touch → protected
+        let (_, p1, pr1) = s.segment_bytes();
+        assert_eq!(p1, 0);
+        assert_eq!(pr1, p0, "touched probation entry moved wholesale");
+    }
+
+    #[test]
+    fn tombstone_cap_drops_oldest_first() {
+        let mut s = SessionStore::new(64 << 20);
+        let extra = 100;
+        for i in 0..(MAX_TOMBSTONES + extra) {
+            let name = format!("t{i}");
+            s.submit(&name, batch(1)).unwrap();
+            let v = s.version_of(&name).unwrap();
+            assert!(s.remove_migrated(&name, v, "peer:9"));
+            assert!(s.tombstone_count() <= MAX_TOMBSTONES, "bound holds after t{i}");
+        }
+        assert_eq!(s.tombstone_count(), MAX_TOMBSTONES);
+        // FIFO: exactly the oldest `extra` tombstones were dropped.
+        for i in 0..extra {
+            assert!(s.tombstone_of(&format!("t{i}")).is_none(), "t{i} (oldest) dropped");
+        }
+        for i in extra..(MAX_TOMBSTONES + extra) {
+            assert_eq!(s.tombstone_of(&format!("t{i}")), Some("peer:9"), "t{i} kept");
+        }
+    }
+
+    #[test]
+    fn sharded_tinylfu_batches_read_recording_off_the_hot_path() {
+        let s = ShardedSessionStore::with_policy(1 << 20, 1, StorePolicy::TinyLfu);
+        s.submit("a", batch(10)).unwrap();
+        // A burst of reads records through the striped buffer: drains
+        // happen in batches (under the lock each read already held for
+        // its lookup), not once per read.
+        for _ in 0..1000 {
+            s.model("a").unwrap();
+        }
+        let st = &s.shard_stats()[0];
+        assert!(st.access_drains > 0, "reads fed the sketch");
+        assert!(
+            st.access_drains <= 1000 / 64 + 2,
+            "{} drains for 1000 reads is not batched",
+            st.access_drains
+        );
     }
 
     #[test]

@@ -77,6 +77,27 @@ fn mixes_produce_their_op_kinds() {
                 assert_eq!(submits + mrcs, 0, "{mix}: scans only");
                 assert_eq!(scans, ops.len());
             }
+            OpMix::ScanChurn => {
+                let churns: Vec<u32> = ops
+                    .iter()
+                    .filter_map(|o| match o.kind {
+                        OpKind::ChurnSubmit { id } => Some(id),
+                        _ => None,
+                    })
+                    .collect();
+                let frac = churns.len() as f64 / ops.len() as f64;
+                assert!(
+                    (frac - 0.10).abs() < 0.02,
+                    "{mix}: ~10% churn submits, got {frac}"
+                );
+                assert_eq!(submits, 0, "{mix}: churn is the only submit arm");
+                assert!(mrcs > 0, "{mix}: still query-dominated");
+                // Churn ids never repeat: every churn session is one-shot.
+                let mut ids = churns.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), churns.len(), "{mix}: churn ids unique");
+            }
         }
     }
 }
@@ -176,12 +197,15 @@ fn stalled_server_inflates_intended_p99_far_beyond_service_p99() {
         ..LoadConfig::default()
     };
 
-    // Fatten the sessions before the run so each refit is slow.
+    // Fatten the sessions before the run so each refit is slow: the
+    // per-query cost has to dwarf the 500 us arrival spacing on fast
+    // hardware, or the server never falls behind and there is no
+    // coordinated omission to detect.
     {
         let mut c = Client::connect(&addr).expect("connect");
         c.set_timeout(Some(Duration::from_secs(30))).unwrap();
         for s in 0..cfg.sessions {
-            c.submit_batch(&session_name(s), fat_batch(3000))
+            c.submit_batch(&session_name(s), fat_batch(20_000))
                 .expect("fat preload");
         }
     }

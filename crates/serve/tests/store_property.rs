@@ -4,7 +4,7 @@
 //! per-shard gauges and never exceeds the budget — after *every*
 //! operation, not just at the end.
 
-use repf_serve::{SampleBatch, ShardedSessionStore};
+use repf_serve::{SampleBatch, ShardedSessionStore, StorePolicy};
 use repf_sampling::ReuseSample;
 use repf_trace::{AccessKind, Pc};
 
@@ -65,11 +65,17 @@ fn check_invariants(store: &ShardedSessionStore, op: &str) {
             s.bytes,
             s.budget_bytes
         );
+        // The segment gauges always partition the shard's bytes — under
+        // LRU everything sits in the (degenerate) window gauge.
+        assert_eq!(
+            s.window_bytes + s.probation_bytes + s.protected_bytes,
+            s.bytes,
+            "shard {i} segment gauges partition its bytes after {op}"
+        );
     }
 }
 
-#[test]
-fn random_submit_sequences_never_break_the_byte_gauges() {
+fn random_sequences_hold_the_gauges(policy: StorePolicy) {
     for (seed, budget, shards) in [
         (0x01u64, 32usize << 10, 1usize),
         (0x02, 48 << 10, 2),
@@ -79,7 +85,7 @@ fn random_submit_sequences_never_break_the_byte_gauges() {
         (0x06, 128 << 10, 5),
     ] {
         let mut rng = Rng(seed);
-        let store = ShardedSessionStore::new(budget, shards);
+        let store = ShardedSessionStore::with_policy(budget, shards, policy);
         let mut submits = 0u64;
         for op in 0..600u64 {
             let name = format!("s{}", rng.below(24));
@@ -111,4 +117,18 @@ fn random_submit_sequences_never_break_the_byte_gauges() {
         assert_eq!(out.store_bytes, store.bytes(), "submit reports the true aggregate");
         check_invariants(&store, "final submit");
     }
+}
+
+#[test]
+fn random_submit_sequences_never_break_the_byte_gauges() {
+    random_sequences_hold_the_gauges(StorePolicy::Lru);
+}
+
+/// The same seeded sequences under W-TinyLFU: admission and segment
+/// shuffling (window → probation → protected, demotions, frequency-
+/// compared rejections) must uphold exactly the same gauge invariants
+/// after every operation.
+#[test]
+fn tinylfu_random_sequences_never_break_the_byte_gauges() {
+    random_sequences_hold_the_gauges(StorePolicy::TinyLfu);
 }

@@ -27,8 +27,8 @@ use repf::sampling::{Sampler, SamplerConfig};
 use repf::serve::{
     apply_membership, generate_trace, replay_against, replay_clustered, replay_spawned, run_load,
     ChurnEvent, Client, ClientError, GenConfig, IoMode, LoadConfig, MachineId, OpMix,
-    ReplayConfig, Request, Response, Ring, RingChange, RingSpec, ServeConfig, Target, Trace,
-    DEFAULT_RING_SEED, DEFAULT_VNODES,
+    ReplayConfig, Request, Response, Ring, RingChange, RingSpec, ServeConfig, StorePolicy, Target,
+    Trace, DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use repf::sim::{
     amd_phenom_ii, intel_i7_2600k, prepare, run_mix, run_policy, Exec, MachineConfig, MixSpec,
@@ -51,6 +51,7 @@ struct Args {
     queue: usize,
     budget_mb: usize,
     shards: usize,
+    store_policy: Option<StorePolicy>,
     model_cache: bool,
     io_mode: IoMode,
     io_batch: bool,
@@ -126,7 +127,8 @@ Run a 4-application mix with shared-LLC and shared-DRAM contention and
 report per-app speedups, throughput and traffic deltas.",
         Some("serve") => "\
 usage: repf serve [--addr HOST:PORT] [--threads N] [--queue N]
-                  [--budget-mb N] [--shards N] [--no-model-cache]
+                  [--budget-mb N] [--shards N] [--store-policy P]
+                  [--no-model-cache]
                   [--io-mode threads|epoll] [--no-io-batch]
                   [--max-conns N] [--scale F]
                   [--peers H:P[,H:P...]] [--advertise H:P]
@@ -141,6 +143,11 @@ control message. The bound address is printed on the first stdout line
   --budget-mb N  session-store byte budget in MiB (default 64)
   --shards N     session-store shard count (default: REPF_SERVE_SHARDS or 8);
                  shards are independently locked and split the budget evenly
+  --store-policy P
+                 session-store eviction policy: `lru` (default) or `tinylfu`
+                 (W-TinyLFU: frequency-sketch admission + windowed
+                 probation/protected segments — keeps the zipf-hot working
+                 set under one-shot churn). Also: REPF_SERVE_STORE_POLICY
   --no-model-cache
                  refit session models on every query (measurement baseline)
   --io-mode M    connection I/O: `epoll` = one readiness-polled I/O thread
@@ -201,7 +208,10 @@ summary to stderr.\n
   --ring-seed N  ring seed for cluster fan-out; must match the daemons'
   --rate F       target arrival rate, ops/second (default 1000)
   --duration D   scheduled run length, e.g. 2s / 500ms (default 2s)
-  --mix M        op mix: submit-heavy|query-heavy|scan (default query-heavy)
+  --mix M        op mix: submit-heavy|query-heavy|scan|scan-churn
+                 (default query-heavy; scan-churn = pure zipf queries plus
+                 a 10% stream of large one-shot submits to never-queried
+                 sessions, the store-policy pollution workload)
   --conns N      open connections: drivers paced + rest parked (default 8)
   --drivers N    paced driver connections (default: min(conns, 8))
   --pipeline N   max in-flight requests per driver; 1 = closed-loop
@@ -239,7 +249,8 @@ file. The same seed always produces a byte-identical trace.\n
   --samples N    reuse samples per submitted batch (default 60)",
         Some("replay") => "\
 usage: repf replay --trace FILE [--nodes N] [--no-check]
-                   [--io-mode threads|epoll] [--addr H:P[,H:P...]]
+                   [--io-mode threads|epoll] [--store-policy lru|tinylfu]
+                   [--addr H:P[,H:P...]]
                    [--drain-at REC] [--join-at REC]
 
 Replay a recorded trace with a fixed interleaving, partitioning
@@ -251,7 +262,13 @@ FILE.diverged.\n
   --trace FILE   trace file to replay (required)
   --nodes N      loopback daemons to spawn and drive (default 1)
   --io-mode M    connection I/O mode for spawned nodes (threads|epoll)
-  --addr LIST    replay against running daemons instead (comma-separated)
+  --store-policy P
+                 session-store policy for spawned nodes (lru|tinylfu); the
+                 digest must be identical across node counts and io modes
+                 for a fixed policy
+  --addr LIST    replay against running daemons instead (comma-separated;
+                 the same RLIMIT_NOFILE preflight as `repf load` runs
+                 before any connection opens)
   --drain-at REC spawn a *clustered* ring and drain the last node before
                  record REC — live migration under a deterministic trace;
                  the digest must match the churn-free run
@@ -325,6 +342,7 @@ fn parse_args() -> Args {
     let mut queue = 64;
     let mut budget_mb = 64;
     let mut shards = 0;
+    let mut store_policy = None;
     let mut model_cache = true;
     let mut io_mode = IoMode::Auto;
     let mut io_batch = true;
@@ -421,6 +439,15 @@ fn parse_args() -> Args {
                 shards =
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd))
             }
+            "--store-policy" => {
+                store_policy = match it.next().as_deref().map(str::parse) {
+                    Some(Ok(p)) => Some(p),
+                    other => {
+                        eprintln!("bad --store-policy {other:?} (lru|tinylfu)");
+                        usage_err(cmd)
+                    }
+                }
+            }
             "--no-model-cache" => model_cache = false,
             "--io-mode" => {
                 io_mode = match it.next().as_deref().map(str::parse) {
@@ -454,7 +481,9 @@ fn parse_args() -> Args {
                 mix = match it.next().as_deref().map(str::parse) {
                     Some(Ok(m)) => m,
                     other => {
-                        eprintln!("bad --mix {other:?} (submit-heavy|query-heavy|scan)");
+                        eprintln!(
+                            "bad --mix {other:?} (submit-heavy|query-heavy|scan|scan-churn)"
+                        );
                         usage_err(cmd)
                     }
                 }
@@ -564,6 +593,7 @@ fn parse_args() -> Args {
         queue,
         budget_mb,
         shards,
+        store_policy,
         model_cache,
         io_mode,
         io_batch,
@@ -747,6 +777,7 @@ fn cmd_serve(a: &Args) {
         queue_depth: a.queue,
         session_budget_bytes: a.budget_mb << 20,
         shards: a.shards,
+        store_policy: a.store_policy,
         model_cache: a.model_cache,
         io_mode: a.io_mode,
         io_batch: a.io_batch,
@@ -1022,14 +1053,29 @@ fn cmd_load(a: &Args) {
         std::process::exit(1);
     });
     eprintln!(
-        "loadgen: sent {} completed {} busy {} errors {} ({:.0}/s achieved of {:.0}/s target)",
+        "loadgen: sent {} completed {} busy {} unknown {} errors {} \
+         ({:.0}/s achieved of {:.0}/s target)",
         report.sent,
         report.completed,
         report.busy,
+        report.unknown,
         report.errors,
         report.achieved_rate(),
         cfg.rate,
     );
+    if let Some(hr) = report.session_hit_ratio() {
+        eprintln!("  session hit ratio: {hr:.4} ({} hits)", report.query_hits);
+    }
+    if let Some(s) = report.server {
+        eprintln!(
+            "  server: evictions {} | model cache {}/{} hit/miss | admission {}/{} acc/rej",
+            s.evictions,
+            s.model_cache_hits,
+            s.model_cache_misses,
+            s.admission_accepted,
+            s.admission_rejected,
+        );
+    }
     eprintln!(
         "  intended p50/p99/p999: {}/{}/{} us | service p50/p99: {}/{} us | max send lag {} us",
         report.intended.quantile_us(0.50),
@@ -1112,6 +1158,7 @@ fn cmd_replay(a: &Args) {
                 queue_depth: a.queue,
                 session_budget_bytes: a.budget_mb << 20,
                 shards: a.shards,
+                store_policy: a.store_policy,
                 model_cache: a.model_cache,
                 io_mode: a.io_mode,
                 refs_scale: a.scale,
