@@ -575,6 +575,99 @@ fn cluster_fanout_run(threads: usize, rate: f64, secs: f64, sessions: u32) -> Js
     ])
 }
 
+/// Pinned MAE bound for the co-run scenario: the daemon's analytic
+/// shared-LLC prediction vs the cycle-level simulator over the seeded
+/// mixes. Mirrors the bound the `mix_behaviour` oracle test pins
+/// (measured ~0.005, held with ~10x slack).
+const CORUN_MAE_BOUND: f64 = 0.05;
+
+/// The co-run prediction scenario: seeded 4-app mixes run through the
+/// cycle-level simulator while their sampled profiles are submitted to
+/// a live daemon whose `CoRun` endpoint composes the per-session
+/// StatStack models into shared-LLC predictions. Records predicted vs
+/// simulated miss ratio per app slot and the mean absolute error, which
+/// must stay under the pinned bound.
+fn co_run_scenario(threads: usize, n_mixes: usize, seed: u64) -> Json {
+    use repf_sim::{amd_phenom_ii, generate_mixes, run_mix, PlanCache, Policy};
+    use repf_workloads::{BuildOptions, InputSet};
+
+    let m = amd_phenom_ii();
+    let cache = PlanCache::build(
+        &m,
+        &BuildOptions {
+            refs_scale: 0.3,
+            ..Default::default()
+        },
+    );
+    let llc_bytes = m.hierarchy.llc.size_bytes;
+    let specs = generate_mixes(n_mixes, seed);
+
+    let handle = start(ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let mut mixes_json: Vec<Json> = Vec::new();
+    let mut abs_err = 0.0f64;
+    let mut worst = 0.0f64;
+    let mut slots = 0usize;
+    for (mi, spec) in specs.iter().enumerate() {
+        let names: Vec<String> = (0..4).map(|s| format!("corun-{mi}-{s}")).collect();
+        for (s, id) in spec.apps.iter().enumerate() {
+            c.submit_profile(&names[s], &cache.get(*id).profile)
+                .expect("submit corun session");
+        }
+        let (per_session, _throughput) = c
+            .co_run(names.clone(), vec![llc_bytes])
+            .expect("co_run query");
+        let sim = run_mix(spec, &m, Policy::Baseline, &cache, [InputSet::Ref; 4], 0.3);
+        let mut app_rows: Vec<Json> = Vec::new();
+        for s in 0..4 {
+            assert_eq!(per_session[s].0, names[s], "reply order preserves request order");
+            let predicted = per_session[s].1[0];
+            let st = &sim.per_app[s].stats;
+            let simulated = st.llc_misses as f64 / st.demand_accesses.max(1) as f64;
+            let err = (predicted - simulated).abs();
+            abs_err += err;
+            worst = worst.max(err);
+            slots += 1;
+            app_rows.push(Json::obj([
+                ("app", Json::str(format!("{:?}", spec.apps[s]))),
+                ("predicted_miss_ratio", Json::Num(predicted)),
+                ("simulated_miss_ratio", Json::Num(simulated)),
+                ("abs_err", Json::Num(err)),
+            ]));
+        }
+        mixes_json.push(Json::obj([
+            ("mix", Json::Num(mi as f64)),
+            ("apps", Json::Arr(app_rows)),
+        ]));
+    }
+    c.shutdown_server().expect("shutdown");
+    handle.join();
+
+    let mae = abs_err / slots.max(1) as f64;
+    println!(
+        "  co_run x{n_mixes} mixes (seed {seed:#x}): predicted-vs-simulated MAE {mae:.4} (worst {worst:.4}) over {slots} app slots @ {llc_bytes} B LLC",
+    );
+    assert!(
+        mae < CORUN_MAE_BOUND,
+        "co-run MAE {mae:.4} exceeds the pinned bound {CORUN_MAE_BOUND}"
+    );
+
+    Json::obj([
+        ("mixes", Json::Num(n_mixes as f64)),
+        ("seed", Json::Num(seed as u32 as f64)),
+        ("llc_bytes", Json::Num(llc_bytes as f64)),
+        ("mae", Json::Num(mae)),
+        ("worst_abs_err", Json::Num(worst)),
+        ("mae_bound", Json::Num(CORUN_MAE_BOUND)),
+        ("per_mix", Json::Arr(mixes_json)),
+    ])
+}
+
 fn idle_json(r: &IdleRun) -> Json {
     Json::obj([
         ("daemon_threads", Json::Num(r.daemon_threads as f64)),
@@ -839,6 +932,10 @@ pub fn run() {
         load_sessions,
     );
 
+    // Co-run prediction accuracy: the daemon's analytic composition vs
+    // the cycle-level simulator over seeded 4-app mixes.
+    let co_run = co_run_scenario(threads, env_usize("REPF_CORUN_MIXES", 3), 0x005E_EDC0);
+
     let handle = start(ServeConfig {
         threads,
         ..ServeConfig::default()
@@ -984,6 +1081,7 @@ pub fn run() {
         ),
         ("store_policy".into(), store_policy),
         ("cluster_fanout".into(), cluster_fanout),
+        ("co_run".into(), co_run),
         (
             "replay".into(),
             Json::obj([

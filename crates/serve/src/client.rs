@@ -202,6 +202,27 @@ impl Client {
         }
     }
 
+    /// Predicted shared-cache behaviour of `sessions` co-running on one
+    /// cache: per-session miss-ratio curves (request order) plus the
+    /// mix-throughput estimate, one entry per size.
+    #[allow(clippy::type_complexity)]
+    pub fn co_run(
+        &mut self,
+        sessions: Vec<String>,
+        sizes_bytes: Vec<u64>,
+    ) -> Result<(Vec<(String, Vec<f64>)>, Vec<f64>), ClientError> {
+        match self.call(&Request::CoRun {
+            sessions,
+            sizes_bytes,
+        })? {
+            Response::CoRun {
+                per_session,
+                throughput,
+            } => Ok((per_session, throughput)),
+            _ => Err(ClientError::Unexpected("want CoRun")),
+        }
+    }
+
     /// Server metrics snapshot.
     pub fn stats(&mut self) -> Result<Vec<(String, f64)>, ClientError> {
         match self.call(&Request::Stats)? {

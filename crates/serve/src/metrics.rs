@@ -19,12 +19,13 @@ use repf_metrics::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Request classes tracked separately (indexes into the counter arrays).
-pub const REQUEST_KINDS: [&str; 12] = [
+pub const REQUEST_KINDS: [&str; 14] = [
     "ping",
     "submit",
     "mrc",
     "pc_mrc",
     "plan",
+    "co_run",
     "stats",
     "shutdown",
     "ring_get",
@@ -32,6 +33,7 @@ pub const REQUEST_KINDS: [&str; 12] = [
     "peer_forward",
     "session_import",
     "model_pull",
+    "model_pull_current",
 ];
 
 fn kind_index(kind: &str) -> usize {
@@ -284,6 +286,8 @@ pub struct Metrics {
     pub cluster_ring_share_ppm: AtomicU64,
     /// Latency of MRC-class queries (application and per-PC).
     pub mrc_latency: LatencyHisto,
+    /// Latency of co-run queries (includes any remote model pulls).
+    pub corun_latency: LatencyHisto,
     /// Latency of plan queries.
     pub plan_latency: LatencyHisto,
     /// Latency of submits.
@@ -389,6 +393,7 @@ impl Metrics {
         ));
         for (label, h) in [
             ("mrc", &self.mrc_latency),
+            ("corun", &self.corun_latency),
             ("plan", &self.plan_latency),
             ("submit", &self.submit_latency),
             ("migration", &self.migration_latency),

@@ -32,6 +32,12 @@ pub const PROTO_VERSION: u8 = 1;
 /// a protocol error, not an allocation.
 pub const MAX_FRAME_BYTES: u32 = 16 << 20;
 
+/// Most sessions one [`Request::CoRun`] may name. The composition walk
+/// is `O(sessions²)` per size and each remote session may cost a model
+/// pull, so the server refuses larger mixes with an `Unsupported` error
+/// rather than absorbing unbounded work per request.
+pub const MAX_CORUN_SESSIONS: usize = 16;
+
 /// Why a frame or payload failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProtoError {
@@ -353,6 +359,31 @@ pub enum Request {
         /// Exact version the fit must be for.
         version: u64,
     },
+    /// Peer message: fetch the *current* fitted model of a live session,
+    /// whatever its version — the co-run resolution path. Unlike
+    /// [`ModelPull`](Request::ModelPull) this may trigger a fit on the
+    /// owner (the same fit a local query would). The caller states the
+    /// version it already holds; when the session is still at that
+    /// version the reply carries the version number alone, sparing the
+    /// model bytes.
+    ModelPullCurrent {
+        /// Session name.
+        session: String,
+        /// Version the caller has cached (`u64::MAX` = nothing cached).
+        cached_version: u64,
+    },
+    /// Predicted shared-cache behaviour of the named sessions co-running
+    /// on one cache: per-session miss ratios plus a mix-throughput
+    /// estimate at each size. Sessions may live on other ring nodes; the
+    /// receiving node resolves them via
+    /// [`ModelPullCurrent`](Request::ModelPullCurrent).
+    CoRun {
+        /// Co-running sessions (order defines the reply order; no
+        /// duplicates; at most `MAX_CORUN_SESSIONS` on the server).
+        sessions: Vec<String>,
+        /// Shared-cache sizes in bytes.
+        sizes_bytes: Vec<u64>,
+    },
 }
 
 /// A server response.
@@ -406,11 +437,25 @@ pub enum Response {
     },
     /// Reply to [`Request::SessionImport`].
     Imported,
-    /// Reply to [`Request::ModelPull`]: the cached fit, if present at
-    /// exactly the requested version.
+    /// Reply to [`Request::ModelPull`] /
+    /// [`Request::ModelPullCurrent`]: the fit, if available.
     ModelEntry {
-        /// The fit, or `None` on a cache miss / version mismatch.
+        /// The version `model` is for. Exact-version pulls echo the
+        /// requested version; current-model pulls report the session's
+        /// live version (0 when the session is unknown).
+        version: u64,
+        /// The fit — `None` on an exact-version cache miss, or when a
+        /// current-model pull matched the caller's `cached_version`.
         model: Option<ModelWire>,
+    },
+    /// Reply to [`Request::CoRun`]: per-session predicted shared-cache
+    /// miss ratios (request order) and the mix-throughput estimate, one
+    /// entry per requested size. All f64s are bit-exact on the wire.
+    CoRun {
+        /// `(session, ratios)` per co-running session, in request order.
+        per_session: Vec<(String, Vec<f64>)>,
+        /// Weighted-speedup-style throughput estimate per size.
+        throughput: Vec<f64>,
     },
     /// The bounded request queue is full — retry later.
     Busy,
@@ -431,11 +476,13 @@ const T_QUERY_PC_MRC: u8 = 0x04;
 const T_QUERY_PLAN: u8 = 0x05;
 const T_STATS: u8 = 0x06;
 const T_SHUTDOWN: u8 = 0x07;
+const T_CO_RUN: u8 = 0x08;
 const T_RING_GET: u8 = 0x10;
 const T_RING_SET: u8 = 0x11;
 const T_PEER_FORWARD: u8 = 0x12;
 const T_SESSION_IMPORT: u8 = 0x13;
 const T_MODEL_PULL: u8 = 0x14;
+const T_MODEL_PULL_CURRENT: u8 = 0x15;
 const T_PONG: u8 = 0x81;
 const T_ACCEPTED: u8 = 0x82;
 const T_MRC: u8 = 0x83;
@@ -443,6 +490,7 @@ const T_PC_MRC: u8 = 0x84;
 const T_PLAN: u8 = 0x85;
 const T_STATS_REPLY: u8 = 0x86;
 const T_SHUTTING_DOWN: u8 = 0x87;
+const T_CO_RUN_REPLY: u8 = 0x88;
 const T_RING_INFO: u8 = 0x90;
 const T_RING_ACK: u8 = 0x91;
 const T_IMPORTED: u8 = 0x92;
@@ -837,6 +885,22 @@ impl Request {
                 e.string(session);
                 e.u64(*version);
             }
+            Request::ModelPullCurrent {
+                session,
+                cached_version,
+            } => {
+                e.u8(T_MODEL_PULL_CURRENT);
+                e.string(session);
+                e.u64(*cached_version);
+            }
+            Request::CoRun {
+                sessions,
+                sizes_bytes,
+            } => {
+                e.u8(T_CO_RUN);
+                enc_nodes(&mut e, sessions);
+                enc_sizes(&mut e, sizes_bytes);
+            }
         }
         frame(e.0)
     }
@@ -897,6 +961,14 @@ impl Request {
                 session: d.string()?,
                 version: d.u64()?,
             },
+            T_MODEL_PULL_CURRENT => Request::ModelPullCurrent {
+                session: d.string()?,
+                cached_version: d.u64()?,
+            },
+            T_CO_RUN => Request::CoRun {
+                sessions: dec_nodes(&mut d)?,
+                sizes_bytes: dec_sizes(&mut d)?,
+            },
             other => return Err(ProtoError::BadType(other)),
         };
         d.finish()?;
@@ -918,6 +990,8 @@ impl Request {
             Request::PeerForward { .. } => "peer_forward",
             Request::SessionImport { .. } => "session_import",
             Request::ModelPull { .. } => "model_pull",
+            Request::ModelPullCurrent { .. } => "model_pull_current",
+            Request::CoRun { .. } => "co_run",
         }
     }
 
@@ -932,6 +1006,7 @@ impl Request {
                 | Request::PeerForward { .. }
                 | Request::SessionImport { .. }
                 | Request::ModelPull { .. }
+                | Request::ModelPullCurrent { .. }
         )
     }
 }
@@ -1011,14 +1086,33 @@ impl Response {
                 e.u64(*migrated);
             }
             Response::Imported => e.u8(T_IMPORTED),
-            Response::ModelEntry { model } => {
+            Response::ModelEntry { version, model } => {
                 e.u8(T_MODEL_ENTRY);
+                e.u64(*version);
                 match model {
                     None => e.u8(0),
                     Some(m) => {
                         e.u8(1);
                         enc_model(&mut e, m);
                     }
+                }
+            }
+            Response::CoRun {
+                per_session,
+                throughput,
+            } => {
+                e.u8(T_CO_RUN_REPLY);
+                e.u32(per_session.len() as u32);
+                for (name, ratios) in per_session {
+                    e.string(name);
+                    e.u32(ratios.len() as u32);
+                    for &r in ratios {
+                        e.f64(r);
+                    }
+                }
+                e.u32(throughput.len() as u32);
+                for &t in throughput {
+                    e.f64(t);
                 }
             }
             Response::Busy => e.u8(T_BUSY),
@@ -1108,12 +1202,35 @@ impl Response {
             },
             T_IMPORTED => Response::Imported,
             T_MODEL_ENTRY => Response::ModelEntry {
+                version: d.u64()?,
                 model: match d.u8()? {
                     0 => None,
                     1 => Some(dec_model(&mut d)?),
                     _ => return Err(ProtoError::Malformed("option tag")),
                 },
             },
+            T_CO_RUN_REPLY => {
+                let n = d.count(6)?; // string len + ratio count
+                let mut per_session = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = d.string()?;
+                    let k = d.count(8)?;
+                    let mut ratios = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        ratios.push(d.f64()?);
+                    }
+                    per_session.push((name, ratios));
+                }
+                let k = d.count(8)?;
+                let mut throughput = Vec::with_capacity(k);
+                for _ in 0..k {
+                    throughput.push(d.f64()?);
+                }
+                Response::CoRun {
+                    per_session,
+                    throughput,
+                }
+            }
             T_BUSY => Response::Busy,
             T_ERROR => Response::Error {
                 code: ErrorCode::from_u16(d.u16()?)?,
@@ -1271,6 +1388,10 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::CoRun {
+                sessions: vec!["a".into(), "b".into(), "c".into()],
+                sizes_bytes: vec![1 << 16, 6 << 20],
+            },
         ];
         for req in reqs {
             let f = req.encode();
@@ -1309,6 +1430,17 @@ mod tests {
             Response::Error {
                 code: ErrorCode::UnknownSession,
                 message: "no such session".into(),
+            },
+            Response::CoRun {
+                per_session: vec![
+                    ("a".into(), vec![0.5, 0.25]),
+                    ("b".into(), vec![1.0, f64::MIN_POSITIVE]),
+                ],
+                throughput: vec![1.75, 2.0],
+            },
+            Response::CoRun {
+                per_session: vec![],
+                throughput: vec![],
             },
         ];
         for resp in resps {
@@ -1363,6 +1495,10 @@ mod tests {
                 session: "s".into(),
                 version: 2,
             },
+            Request::ModelPullCurrent {
+                session: "s".into(),
+                cached_version: u64::MAX,
+            },
         ];
         for req in reqs {
             let f = req.encode();
@@ -1388,8 +1524,12 @@ mod tests {
                 migrated: 17,
             },
             Response::Imported,
-            Response::ModelEntry { model: None },
             Response::ModelEntry {
+                version: 0,
+                model: None,
+            },
+            Response::ModelEntry {
+                version: 9,
                 model: Some(sample_model()),
             },
         ];
@@ -1421,6 +1561,7 @@ mod tests {
         let mut e = Enc(Vec::new());
         e.u8(PROTO_VERSION);
         e.u8(T_MODEL_ENTRY);
+        e.u64(3); // version
         e.u8(1);
         e.u64(64);
         e.u64(0);
@@ -1429,6 +1570,59 @@ mod tests {
             Response::decode(&e.0),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn hostile_corun_counts_do_not_allocate() {
+        // A CoRun request claiming u32::MAX session names in 4 bytes.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_CO_RUN);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Request::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+        // A CoRun reply claiming u32::MAX per-session entries.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_CO_RUN_REPLY);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Response::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Plausible outer count, hostile inner ratio count.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_CO_RUN_REPLY);
+        e.u32(1);
+        e.string("s");
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Response::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corun_truncation_is_malformed_not_panic() {
+        let f = Request::CoRun {
+            sessions: vec!["left".into(), "right".into()],
+            sizes_bytes: vec![1 << 20, 6 << 20],
+        }
+        .encode();
+        for cut in 0..f.len() - 4 {
+            assert!(Request::decode(&f[4..4 + cut]).is_err(), "truncation at {cut}");
+        }
+        let f = Response::CoRun {
+            per_session: vec![("left".into(), vec![0.5]), ("right".into(), vec![0.75])],
+            throughput: vec![1.5],
+        }
+        .encode();
+        for cut in 0..f.len() - 4 {
+            assert!(Response::decode(&f[4..4 + cut]).is_err(), "truncation at {cut}");
+        }
     }
 
     #[test]

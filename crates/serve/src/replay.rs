@@ -4,9 +4,9 @@
 //! Three pieces:
 //!
 //! * **generator** — [`generate_trace`] walks a seeded RNG over
-//!   sessions × {submit, MRC, per-PC MRC, plan, stats, ping} and captures
-//!   every request frame through a [`TraceRecorder`]; the same seed
-//!   always produces byte-identical traces.
+//!   sessions × {submit, MRC, per-PC MRC, plan, co-run, stats, ping} and
+//!   captures every request frame through a [`TraceRecorder`]; the same
+//!   seed always produces byte-identical traces.
 //! * **replay client** — [`replay_against`] drives 1..N daemons from one
 //!   trace with a fixed interleaving (trace order, one in-flight request)
 //!   and a seeded per-node partitioning by session hash, so a session's
@@ -32,14 +32,16 @@
 
 use crate::client::{Client, ClientError};
 use crate::cluster::{apply_membership, RingSpec};
-use crate::proto::{ErrorCode, MachineId, Request, Response, SampleBatch, Target};
+use crate::proto::{
+    ErrorCode, MachineId, Request, Response, SampleBatch, Target, MAX_CORUN_SESSIONS,
+};
 use crate::ring::{Ring, DEFAULT_VNODES};
 use crate::server::{start, ServeConfig, ServerHandle};
 use crate::trace_file::{Trace, TraceRecorder};
 use repf_core::analyze;
 use repf_sampling::{Profile, ReuseSample, StrideSample};
 use repf_sim::{amd_phenom_ii, intel_i7_2600k};
-use repf_statstack::StatStackModel;
+use repf_statstack::{CoRunModel, StatStackModel};
 use repf_trace::hash::FxHashMap;
 use repf_trace::{AccessKind, Pc};
 use std::net::SocketAddr;
@@ -163,7 +165,7 @@ pub fn generate_trace(cfg: &GenConfig) -> Trace {
             let queries = 1 + rng.below(3);
             for _ in 0..queries {
                 let target = Target::Session(session.clone());
-                match rng.below(6) {
+                match rng.below(7) {
                     0 | 1 => {
                         let n = 1 + rng.below(GEN_SIZES.len() as u64) as usize;
                         let mut sizes: Vec<u64> =
@@ -202,6 +204,26 @@ pub fn generate_trace(cfg: &GenConfig) -> Trace {
                         });
                     }
                     4 => rec.record(Request::Ping),
+                    5 => {
+                        // Co-run over a run of sessions starting at a
+                        // random index — early rounds naturally include
+                        // not-yet-submitted names, so the UnknownSession
+                        // path is part of the digest too.
+                        let pool = u64::from(cfg.sessions.max(1));
+                        let k = (2 + rng.below(3)).min(pool);
+                        let first = rng.below(pool);
+                        let sessions: Vec<String> = (0..k)
+                            .map(|j| session_name(((first + j) % pool) as u32))
+                            .collect();
+                        let n = 1 + rng.below(GEN_SIZES.len() as u64) as usize;
+                        let mut sizes: Vec<u64> =
+                            (0..n).map(|_| GEN_SIZES[rng.below(6) as usize]).collect();
+                        sizes.sort_unstable();
+                        rec.record(Request::CoRun {
+                            sessions,
+                            sizes_bytes: sizes,
+                        });
+                    }
                     _ => rec.record(Request::Stats),
                 }
             }
@@ -295,6 +317,56 @@ impl Oracle {
         }
     }
 
+    fn unsupported(message: String) -> Response {
+        Response::Error {
+            code: ErrorCode::Unsupported,
+            message,
+        }
+    }
+
+    /// The exact co-run response a correct daemon produces, mirroring
+    /// `handle_co_run`'s validation order byte for byte and answering
+    /// through the same [`CoRunModel`] the server uses.
+    fn co_run(&mut self, names: &[String], sizes: &[u64]) -> Response {
+        if names.is_empty() {
+            return Self::unsupported("empty session list".into());
+        }
+        if names.len() > MAX_CORUN_SESSIONS {
+            return Self::unsupported(format!(
+                "co-run of {} sessions exceeds the cap of {MAX_CORUN_SESSIONS}",
+                names.len()
+            ));
+        }
+        for (i, name) in names.iter().enumerate() {
+            if names[..i].contains(name) {
+                return Self::unsupported(format!("duplicate session '{name}'"));
+            }
+        }
+        if sizes.is_empty() {
+            return Self::empty_sizes();
+        }
+        // First pass fits (mutable borrow per name), second pass gathers
+        // the now-current refs for composition.
+        for name in names {
+            if self.model_of(name).is_none() {
+                return Self::unknown(name);
+            }
+        }
+        let models: Vec<&StatStackModel> = names
+            .iter()
+            .map(|n| &self.sessions[n.as_str()].fitted.as_ref().expect("fitted above").1)
+            .collect();
+        let mut co = CoRunModel::new();
+        for m in models {
+            co.push(m);
+        }
+        let answer = co.answer_bytes(sizes);
+        Response::CoRun {
+            per_session: names.iter().cloned().zip(answer.per_member).collect(),
+            throughput: answer.throughput,
+        }
+    }
+
     /// Apply `req` to the oracle's state and return the exact response a
     /// correct daemon must produce — or `None` when the response is
     /// legitimately node-dependent (`Submit`, `Stats`) or out of the
@@ -383,6 +455,10 @@ impl Oracle {
                     *delta,
                 )))
             }
+            Request::CoRun {
+                sessions,
+                sizes_bytes,
+            } => Some(self.co_run(sessions, sizes_bytes)),
             // Benchmark targets share the server-side plan cache; they
             // are deterministic but out of the oracle's scope.
             Request::QueryMrc { .. } | Request::QueryPcMrc { .. } | Request::QueryPlan { .. } => {
@@ -395,7 +471,8 @@ impl Oracle {
             | Request::RingSet { .. }
             | Request::PeerForward { .. }
             | Request::SessionImport { .. }
-            | Request::ModelPull { .. } => None,
+            | Request::ModelPull { .. }
+            | Request::ModelPullCurrent { .. } => None,
         }
     }
 }
@@ -551,6 +628,7 @@ fn digestible(resp: &Response) -> bool {
             | Response::Mrc { .. }
             | Response::PcMrc { .. }
             | Response::Plan(_)
+            | Response::CoRun { .. }
             | Response::Error { .. }
     )
 }
@@ -566,6 +644,7 @@ fn kind_matches(req: &Request, resp: &Response) -> bool {
             | (Request::QueryMrc { .. }, Response::Mrc { .. })
             | (Request::QueryPcMrc { .. }, Response::PcMrc { .. })
             | (Request::QueryPlan { .. }, Response::Plan(_))
+            | (Request::CoRun { .. }, Response::CoRun { .. })
             | (Request::Stats, Response::Stats(_))
             | (Request::Shutdown, Response::ShuttingDown)
     )
@@ -788,7 +867,6 @@ pub fn replay_clustered(
         let mut next_churn = 0usize;
         for i in 0..trace.records.len() {
             while next_churn < churn.len() && churn[next_churn].at <= i {
-                let contacts: Vec<String> = nodes.iter().map(addr_of).collect();
                 match churn[next_churn].change {
                     RingChange::Drain(k) => {
                         let gone = addr_of(&nodes[k]);
@@ -801,6 +879,12 @@ pub fn replay_clustered(
                         nodes.push(h);
                     }
                 }
+                // Contacts are the union of old and new members: drained
+                // nodes keep running (they must shed their keys first)
+                // and a joiner must be told the ring too — a ringless
+                // joiner would answer session queries fine but could
+                // never resolve peer-owned co-run members.
+                let contacts: Vec<String> = nodes.iter().map(addr_of).collect();
                 // Losers-first ordering happens inside apply_membership;
                 // it returns only when every migration has completed.
                 apply_membership(&contacts, &spec(&members))?;
@@ -834,8 +918,11 @@ pub fn replay_clustered(
 /// Start `n` loopback daemons on ephemeral ports with `serve_cfg`
 /// (address overridden), replay `trace` against them, then shut every
 /// node down. The convenience entry the tests, CLI and bench share.
-/// The nodes are *independent* (no shared ring) — see
-/// [`replay_clustered`] for the clustered variant.
+/// With `n > 1` the daemons get the same ring the harness routes by
+/// installed (no churn — see [`replay_clustered`] for that), so
+/// co-run requests landing on a non-owner can pull peer session models;
+/// every session-targeted request still lands on its owner and is
+/// answered purely locally.
 pub fn replay_spawned(
     n: usize,
     trace: &Trace,
@@ -851,7 +938,20 @@ pub fn replay_spawned(
         })
         .collect::<std::io::Result<_>>()?;
     let addrs: Vec<SocketAddr> = nodes.iter().map(|h| h.addr()).collect();
-    let report = replay_against(&addrs, trace, replay_cfg);
+    let report = (|| {
+        if addrs.len() > 1 {
+            let members: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+            apply_membership(
+                &members,
+                &RingSpec {
+                    seed: replay_cfg.seed,
+                    vnodes: DEFAULT_VNODES,
+                    nodes: members.clone(),
+                },
+            )?;
+        }
+        replay_against(&addrs, trace, replay_cfg)
+    })();
     for node in nodes {
         node.shutdown();
     }

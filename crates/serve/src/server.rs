@@ -47,13 +47,14 @@ use crate::ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
 use crate::session::{ShardedSessionStore, StorePolicy, SubmitRejected};
 use repf_core::{analyze, analyze_with_model};
 use repf_sim::{amd_phenom_ii, intel_i7_2600k, Exec, PlanCache, SubmitError, WorkerPool};
-use repf_statstack::StatStackModel;
+use repf_statstack::{CoRunModel, StatStackModel};
+use repf_trace::hash::FxHashMap;
 use repf_workloads::BuildOptions;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 #[cfg(target_os = "linux")]
@@ -66,8 +67,11 @@ use crate::poll::{
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 #[cfg(target_os = "linux")]
 use std::os::unix::io::AsRawFd;
-#[cfg(target_os = "linux")]
-use std::sync::Mutex;
+
+/// Entry bound on the co-run remote-model cache; at the cap the map is
+/// cleared wholesale rather than evicted piecemeal — deterministic, and
+/// cache contents only affect pull traffic, never response bytes.
+const REMOTE_MODEL_CACHE_CAP: usize = 64;
 
 /// How the daemon drives connection I/O.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -265,6 +269,11 @@ pub(crate) struct ServeState {
     pub metrics: Metrics,
     /// Cluster-tier state: ring epochs, self identity, peer pool.
     pub(crate) cluster: ClusterState,
+    /// Current models of peer-owned sessions pulled for co-run queries,
+    /// keyed by session name with the owner-reported version. Bounded:
+    /// at the cap the whole map is cleared (deterministic, and cache
+    /// contents only affect pull traffic, never response bytes).
+    remote_models: Mutex<FxHashMap<String, (u64, Arc<StatStackModel>)>>,
     shutting_down: AtomicBool,
     /// Wakes the I/O loop (epoll) or acceptor (threads) out of its
     /// poll when shutdown is requested from another thread.
@@ -289,6 +298,7 @@ impl ServeState {
             plans_intel: PlanCache::lazy(&intel_i7_2600k(), &opts),
             metrics: Metrics::new(),
             cluster: ClusterState::new(),
+            remote_models: Mutex::new(FxHashMap::default()),
             shutting_down: AtomicBool::new(false),
             #[cfg(target_os = "linux")]
             wake: EventFd::new()?,
@@ -341,6 +351,10 @@ impl ServeState {
             Request::ModelPull { session, version } => {
                 return self.handle_model_pull(session, *version)
             }
+            Request::ModelPullCurrent {
+                session,
+                cached_version,
+            } => return self.handle_model_pull_current(session, *cached_version),
             _ => {}
         }
         if let Some((session, is_submit)) = Self::session_target(req) {
@@ -392,6 +406,17 @@ impl ServeState {
                     .record_us(start.elapsed().as_micros() as u64);
                 resp
             }
+            Request::CoRun {
+                sessions,
+                sizes_bytes,
+            } => {
+                let start = Instant::now();
+                let resp = self.handle_co_run(sessions, sizes_bytes);
+                self.metrics
+                    .corun_latency
+                    .record_us(start.elapsed().as_micros() as u64);
+                resp
+            }
             Request::Stats => Response::Stats(self.stats_pairs()),
             Request::Shutdown => {
                 self.request_shutdown();
@@ -403,7 +428,8 @@ impl ServeState {
             | Request::RingSet { .. }
             | Request::PeerForward { .. }
             | Request::SessionImport { .. }
-            | Request::ModelPull { .. } => Response::Error {
+            | Request::ModelPull { .. }
+            | Request::ModelPullCurrent { .. } => Response::Error {
                 code: ErrorCode::Malformed,
                 message: "peer request cannot be forwarded".into(),
             },
@@ -662,10 +688,60 @@ impl ServeState {
     /// cached — never triggers a fit here.
     fn handle_model_pull(&self, session: &str, version: u64) -> Response {
         Response::ModelEntry {
+            version,
             model: self
                 .sessions
                 .cached_model_at(session, version)
                 .map(|m| ModelWire::from_parts(&m.to_parts())),
+        }
+    }
+
+    /// A peer resolving a co-run query asks for this session's *current*
+    /// model. Unlike [`handle_model_pull`](Self::handle_model_pull) this
+    /// may fit — the same fit a local query of the session would do.
+    /// When the caller's cached version is still current the reply
+    /// carries just the version, sparing the model bytes; the caller
+    /// keeps serving from its cache.
+    fn handle_model_pull_current(&self, session: &str, cached_version: u64) -> Response {
+        let Some(version) = self.sessions.version_of(session) else {
+            return Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: format!("unknown session '{session}'"),
+            };
+        };
+        if version == cached_version {
+            return Response::ModelEntry {
+                version,
+                model: None,
+            };
+        }
+        match self.current_model(session) {
+            Some(model) => Response::ModelEntry {
+                // Re-read the version *after* the fit: a submit racing
+                // us may have made the fit newer than the version read
+                // above, and pairing the model with a too-old version
+                // would only cost the caller a redundant re-pull later.
+                version: self.sessions.version_of(session).unwrap_or(version),
+                model: Some(ModelWire::from_parts(&model.to_parts())),
+            },
+            None => Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: format!("unknown session '{session}'"),
+            },
+        }
+    }
+
+    /// The session's current fitted model, via the same cache path a
+    /// local query uses (`with_model`'s session branch).
+    fn current_model(&self, name: &str) -> Option<Arc<StatStackModel>> {
+        if self.model_cache {
+            self.try_pull_model(name);
+            let (model, hit) = self.sessions.model(name)?;
+            self.metrics.count_model_cache(hit);
+            Some(model)
+        } else {
+            self.sessions
+                .with_profile(name, |p| Arc::new(StatStackModel::from_profile(p)))
         }
     }
 
@@ -688,7 +764,7 @@ impl ServeState {
             session: name.to_string(),
             version,
         };
-        if let Ok(Response::ModelEntry { model: Some(w) }) = self.cluster.call(&peer, &req) {
+        if let Ok(Response::ModelEntry { model: Some(w), .. }) = self.cluster.call(&peer, &req) {
             let model = Arc::new(StatStackModel::from_parts(w.to_parts()));
             if self.sessions.install_model(name, version, model) {
                 self.metrics
@@ -906,6 +982,111 @@ impl ServeState {
                 };
                 Response::Plan(proto::PlanWire::from_plan(&analysis.plan, delta))
             }
+        }
+    }
+
+    /// Predict the named sessions' shared-cache behaviour when co-run.
+    /// Validation order is part of the replay contract (the oracle
+    /// mirrors it byte for byte): empty list, over-limit list, duplicate
+    /// name, empty sizes, then first unresolvable session in request
+    /// order.
+    fn handle_co_run(&self, names: &[String], sizes: &[u64]) -> Response {
+        if names.is_empty() {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "empty session list".into(),
+            };
+        }
+        if names.len() > proto::MAX_CORUN_SESSIONS {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "co-run of {} sessions exceeds the cap of {}",
+                    names.len(),
+                    proto::MAX_CORUN_SESSIONS
+                ),
+            };
+        }
+        for (i, name) in names.iter().enumerate() {
+            if names[..i].contains(name) {
+                return Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!("duplicate session '{name}'"),
+                };
+            }
+        }
+        if sizes.is_empty() {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "empty size list".into(),
+            };
+        }
+        let mut models = Vec::with_capacity(names.len());
+        for name in names {
+            match self.co_run_model(name) {
+                Some(m) => models.push(m),
+                None => {
+                    return Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        message: format!("unknown session '{name}'"),
+                    }
+                }
+            }
+        }
+        let mut co = CoRunModel::new();
+        for m in &models {
+            co.push(m);
+        }
+        let answer = co.answer_bytes(sizes);
+        Response::CoRun {
+            per_session: names.iter().cloned().zip(answer.per_member).collect(),
+            throughput: answer.throughput,
+        }
+    }
+
+    /// Resolve one co-run member to its current model: locally when the
+    /// session lives here, else by pulling the fit from its ring owner.
+    /// Pulled models are cached under the owner-reported version, and a
+    /// repeat query sends that version so an unchanged session answers
+    /// with the version number alone — no model bytes, no refit, and
+    /// `cluster.model.remote_hits` counts only actual transfers.
+    fn co_run_model(&self, name: &str) -> Option<Arc<StatStackModel>> {
+        if let Some(model) = self.current_model(name) {
+            return Some(model);
+        }
+        let (_, ring) = self.cluster.snapshot();
+        let owner = ring.as_ref()?.owner(name)?.to_string();
+        if owner == self.cluster.self_addr() {
+            return None; // we are the owner and don't have it: unknown
+        }
+        let cached = self.remote_models.lock().unwrap().get(name).cloned();
+        let req = Request::ModelPullCurrent {
+            session: name.to_string(),
+            cached_version: cached.as_ref().map_or(u64::MAX, |(v, _)| *v),
+        };
+        match self.cluster.call(&owner, &req) {
+            Ok(Response::ModelEntry {
+                version,
+                model: Some(w),
+            }) => {
+                let model = Arc::new(StatStackModel::from_parts(w.to_parts()));
+                self.metrics
+                    .cluster_model_remote_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut cache = self.remote_models.lock().unwrap();
+                if cache.len() >= REMOTE_MODEL_CACHE_CAP && !cache.contains_key(name) {
+                    cache.clear();
+                }
+                cache.insert(name.to_string(), (version, Arc::clone(&model)));
+                Some(model)
+            }
+            // "Your cached version is current" — serve the copy whose
+            // version we quoted (held above, so eviction cannot race).
+            Ok(Response::ModelEntry {
+                version,
+                model: None,
+            }) => cached.filter(|(v, _)| *v == version).map(|(_, m)| m),
+            _ => None,
         }
     }
 }

@@ -122,6 +122,16 @@ fn log_histo_merge_is_order_insensitive_and_matches_concatenation() {
 #[test]
 fn replay_digest_is_invariant_across_cluster_shapes_and_churn() {
     let trace = generate_trace(&GenConfig::default());
+    // The invariance below must cover the co-run path: a co_run request
+    // lands on an arbitrary ring member and resolves peer-owned sessions
+    // through cluster model pulls, so a trace without any would let a
+    // placement-dependent answer slip through unnoticed.
+    let corun_ops = trace
+        .records
+        .iter()
+        .filter(|r| matches!(r, repf_serve::Request::CoRun { .. }))
+        .count();
+    assert!(corun_ops > 0, "generated trace must exercise co_run");
     let serve_cfg = ServeConfig::default();
     let rcfg = ReplayConfig::default();
 
@@ -215,6 +225,105 @@ fn models_fit_at_most_once_fleet_wide() {
         forwarded, 0.0,
         "a replay that shares the daemons' ring never misdirects"
     );
+    for h in nodes {
+        h.shutdown();
+    }
+}
+
+/// Co-run over a cluster: a node answering a co-run query pulls
+/// peer-owned session models once and caches them under the
+/// owner-reported version — repeated queries re-send the cached version
+/// and get "still current" back (no model bytes, no refit), so
+/// `cluster.model.remote_hits` counts only actual transfers. Answers
+/// are byte-identical no matter which node is asked.
+#[test]
+fn corun_pulls_cache_remote_models_instead_of_refetching() {
+    let nodes: Vec<_> = (0..3)
+        .map(|_| start(ServeConfig::default()).expect("start node"))
+        .collect();
+    let members: Vec<String> = nodes.iter().map(|h| h.addr().to_string()).collect();
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: 7,
+            vnodes: DEFAULT_VNODES,
+            nodes: members.clone(),
+        },
+    )
+    .expect("install ring");
+
+    // Submit 8 sessions through node A; ownership spreads over the ring.
+    let sessions: Vec<String> = (0..8).map(|i| format!("corun-s{i}")).collect();
+    let mut ca = Client::connect(nodes[0].addr()).expect("connect a");
+    for (i, s) in sessions.iter().enumerate() {
+        ca.submit_batch(s, batch(i as u64)).expect("submit");
+    }
+    let sizes = vec![64 << 10, 1 << 20];
+    let hits = |c: &mut Client| stat(&c.stats().expect("stats"), "cluster.model.remote_hits");
+
+    let before = hits(&mut ca);
+    let (first, tp) = ca
+        .co_run(sessions.clone(), sizes.clone())
+        .expect("first co_run");
+    assert_eq!(first.len(), sessions.len());
+    assert_eq!(tp.len(), sizes.len());
+    let after_first = hits(&mut ca);
+    let pulled = after_first - before;
+    assert!(
+        pulled >= 1.0,
+        "8 sessions over 3 nodes: some member must be peer-owned"
+    );
+    assert!(pulled < sessions.len() as f64, "some member must be local");
+
+    // A repeat query answers from the remote-model cache: same bytes,
+    // zero new transfers.
+    let (second, tp2) = ca
+        .co_run(sessions.clone(), sizes.clone())
+        .expect("second co_run");
+    for ((n1, c1), (n2, c2)) in first.iter().zip(&second) {
+        assert_eq!(n1, n2);
+        for (a, b) in c1.iter().zip(c2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "repeat must be bit-identical");
+        }
+    }
+    for (a, b) in tp.iter().zip(&tp2) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(
+        hits(&mut ca),
+        after_first,
+        "a repeat co_run must not re-pull unchanged models"
+    );
+
+    // Any other node answers the same question with the same bytes.
+    let mut cb = Client::connect(nodes[1].addr()).expect("connect b");
+    let (via_b, tp_b) = ca
+        .co_run(sessions.clone(), sizes.clone())
+        .and(cb.co_run(sessions.clone(), sizes.clone()))
+        .expect("co_run via b");
+    for ((n1, c1), (n2, c2)) in first.iter().zip(&via_b) {
+        assert_eq!(n1, n2);
+        for (a, b) in c1.iter().zip(c2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "answers are placement-invariant");
+        }
+    }
+    for (a, b) in tp.iter().zip(&tp_b) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // New data bumps every session's version: the next co_run re-pulls
+    // exactly the peer-owned members, once each.
+    for (i, s) in sessions.iter().enumerate() {
+        ca.submit_batch(s, batch(100 + i as u64)).expect("resubmit");
+    }
+    ca.co_run(sessions.clone(), sizes.clone())
+        .expect("post-resubmit co_run");
+    assert_eq!(
+        hits(&mut ca) - after_first,
+        pulled,
+        "a version bump re-pulls each remote member exactly once"
+    );
+
     for h in nodes {
         h.shutdown();
     }

@@ -73,6 +73,14 @@ fn corpus() -> Vec<Vec<u8>> {
         },
         Request::Stats,
         Request::Shutdown,
+        Request::CoRun {
+            sessions: vec!["a".into(), "b".into(), "c".into()],
+            sizes_bytes: vec![32 << 10, 1 << 20],
+        },
+        Request::ModelPullCurrent {
+            session: "peer-owned".into(),
+            cached_version: 7,
+        },
     ];
     let resps = [
         Response::Pong,
@@ -96,6 +104,10 @@ fn corpus() -> Vec<Vec<u8>> {
         Response::Error {
             code: ErrorCode::UnknownSession,
             message: "no such session".into(),
+        },
+        Response::CoRun {
+            per_session: vec![("a".into(), vec![0.5, 0.25]), ("b".into(), vec![1.0, 0.0])],
+            throughput: vec![1.75, 2.0],
         },
     ];
     reqs.iter()
@@ -213,4 +225,126 @@ fn hostile_length_prefixes_are_bounded() {
         // allocation (the cap rejects len > MAX_FRAME_BYTES up front).
         let _ = proto::read_frame(&mut cursor);
     }
+}
+
+/// Seeded round-trip fuzz of the co-run frames: arbitrary (valid)
+/// CoRun requests and replies must encode → decode → re-encode
+/// bit-identically, across the whole shape space (0..32 names, long
+/// names, empty curves, NaN/Inf/subnormal ratios).
+#[test]
+fn corun_frames_roundtrip_bit_exactly() {
+    let mut rng = Rng(0xC0_2101);
+    let arb_name = |rng: &mut Rng| -> String {
+        let len = rng.below(24) as usize;
+        (0..len)
+            .map(|_| (b'a' + (rng.below(26) as u8)) as char)
+            .collect()
+    };
+    let arb_f64 = |rng: &mut Rng| -> f64 {
+        match rng.below(8) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::MIN_POSITIVE / 2.0, // subnormal
+            3 => 0.0,
+            _ => f64::from_bits(rng.next()) % 1.0,
+        }
+    };
+    for case in 0..10_000u64 {
+        if case % 2 == 0 {
+            let sessions = (0..rng.below(32)).map(|_| arb_name(&mut rng)).collect();
+            let sizes_bytes = (0..rng.below(16)).map(|_| rng.next()).collect();
+            let req = Request::CoRun {
+                sessions,
+                sizes_bytes,
+            };
+            let bytes = req.encode();
+            let back = Request::decode(&bytes[4..]).expect("valid CoRun decodes");
+            assert_eq!(back.encode(), bytes, "case {case}: request round trip");
+        } else {
+            let per_session = (0..rng.below(8))
+                .map(|_| {
+                    let curve = (0..rng.below(10)).map(|_| arb_f64(&mut rng)).collect();
+                    (arb_name(&mut rng), curve)
+                })
+                .collect();
+            let throughput = (0..rng.below(10)).map(|_| arb_f64(&mut rng)).collect();
+            let resp = Response::CoRun {
+                per_session,
+                throughput,
+            };
+            let bytes = resp.encode();
+            let back = Response::decode(&bytes[4..]).expect("valid CoRun reply decodes");
+            assert_eq!(back.encode(), bytes, "case {case}: response round trip");
+        }
+    }
+}
+
+/// Abusive co-run session lists against a live server: duplicates,
+/// unknown names, and over-limit lists each get the proper typed error
+/// frame — never a panic, a hang, or a connection drop.
+#[test]
+fn corun_session_list_abuse_gets_typed_errors() {
+    use repf_serve::{start, Client, ServeConfig};
+    let handle = start(ServeConfig {
+        threads: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    c.set_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+
+    let call = |c: &mut Client, sessions: Vec<String>, sizes: Vec<u64>| {
+        c.call_any(&Request::CoRun {
+            sessions,
+            sizes_bytes: sizes,
+        })
+        .expect("transport stays healthy")
+    };
+    let expect_err = |resp: Response, want: ErrorCode, what: &str| match resp {
+        Response::Error { code, message } => {
+            assert_eq!(code, want, "{what}: {message}");
+            assert!(!message.is_empty(), "{what}: message must explain");
+        }
+        other => panic!("{what}: wanted Error({want:?}), got {other:?}"),
+    };
+
+    // Empty session list.
+    expect_err(
+        call(&mut c, vec![], vec![1 << 20]),
+        ErrorCode::Unsupported,
+        "empty list",
+    );
+    // Over the cap: MAX_CORUN_SESSIONS + 1 distinct names.
+    let many: Vec<String> = (0..=proto::MAX_CORUN_SESSIONS)
+        .map(|i| format!("s{i}"))
+        .collect();
+    expect_err(
+        call(&mut c, many, vec![1 << 20]),
+        ErrorCode::Unsupported,
+        "over-limit list",
+    );
+    // Duplicate names are refused before resolution (no session exists,
+    // but the duplicate check fires first and deterministically).
+    expect_err(
+        call(&mut c, vec!["dup".into(), "dup".into()], vec![1 << 20]),
+        ErrorCode::Unsupported,
+        "duplicate name",
+    );
+    // Empty size list.
+    expect_err(
+        call(&mut c, vec!["a".into()], vec![]),
+        ErrorCode::Unsupported,
+        "empty sizes",
+    );
+    // Unknown session.
+    expect_err(
+        call(&mut c, vec!["never-submitted".into()], vec![1 << 20]),
+        ErrorCode::UnknownSession,
+        "unknown session",
+    );
+    // The connection survived all of it.
+    c.ping().expect("server still healthy");
+    c.shutdown_server().expect("clean shutdown");
+    handle.join();
 }

@@ -42,11 +42,13 @@
 //! [`StatStackModel::from_profile`] on the concatenated history.
 
 pub mod builder;
+pub mod corun;
 pub mod curve;
 pub mod model;
 pub mod window;
 
 pub use builder::StatStackBuilder;
+pub use corun::{CoRunAnswer, CoRunModel, MISS_WEIGHT};
 pub use curve::MissRatioCurve;
 pub use model::{ModelParts, StatStackModel};
 pub use window::WindowedModel;

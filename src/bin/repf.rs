@@ -9,6 +9,7 @@
 //! repf mix <b1> <b2> <b3> <b4> [--machine M]   # 4-app contention run
 //! repf serve [--addr H:P] [--peers LIST] # profiling-as-a-service daemon
 //! repf query <what> --addr H:P           # query a running daemon
+//! repf corun <s1> <s2> [...] --addr H:P  # co-run prediction for sessions
 //! repf ring <status|set|join|drain>      # consistent-hash ring membership
 //! repf load --addr H:P[,H:P...]          # open-loop zipf/YCSB load generator
 //! repf record --out FILE [--seed N]      # record a deterministic request trace
@@ -92,6 +93,7 @@ commands:
   mix        4-application contention run
   serve      profiling-as-a-service daemon (binary wire protocol)
   query      query a running daemon
+  corun      predicted shared-cache miss ratios for co-running sessions
   ring       inspect or change cluster ring membership (join/drain nodes)
   load       open-loop zipf/YCSB load generator against one or more daemons
   record     record a deterministic request trace to a file
@@ -235,6 +237,19 @@ A <target> is a benchmark name (see `repf list`) or `session:NAME` for a
 profile submitted over the wire. Sizes are comma-separated with k/m
 suffixes (default 32k,256k,1m,8m). `--delta F` is required for session
 plan queries (cycles per memop once stalls are removed).",
+        Some("corun") => "\
+usage: repf corun <session> <session> [...] --addr HOST:PORT [--sizes L]
+
+Predict the shared-cache behaviour of the named sessions co-running on
+one cache. The server composes each session's StatStack reuse profile
+with its peers' (reuse distances inflate by the peers' interleaved
+access intensity) and answers per-session predicted miss ratios at each
+cache size plus a mix-throughput estimate. Sessions owned by other ring
+nodes are resolved through cluster model pulls, so the list may span
+the whole cluster.\n
+  --addr H:P   a cluster member to ask (required)
+  --sizes L    comma-separated cache sizes with k/m suffixes
+               (default 32k,256k,1m,8m)",
         Some("record") => "\
 usage: repf record --out FILE [--seed N] [--sessions N] [--rounds N]
                    [--samples N]
@@ -890,6 +905,46 @@ fn cmd_query(a: &Args) {
     }
 }
 
+fn cmd_corun(a: &Args) {
+    let addr = a.addr.as_deref().unwrap_or_else(|| {
+        eprintln!("corun needs --addr HOST:PORT");
+        usage_err(Some("corun"))
+    });
+    let sessions: Vec<String> = a.positional[1..].to_vec();
+    if sessions.is_empty() {
+        eprintln!("corun needs at least one session name");
+        usage_err(Some("corun"));
+    }
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    let (per_session, throughput) = client
+        .co_run(sessions, a.sizes.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("corun failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "co-run of {} session(s) at {} cache size(s):",
+        per_session.len(),
+        a.sizes.len()
+    );
+    for (name, ratios) in &per_session {
+        for (size, r) in a.sizes.iter().zip(ratios) {
+            println!("  {name:<20} {size:>12} B  predicted miss ratio {r:.6}");
+        }
+    }
+    for (size, t) in a.sizes.iter().zip(&throughput) {
+        println!(
+            "  mix throughput estimate at {:>12} B: {:.3} (of {} solo)",
+            size,
+            t,
+            per_session.len()
+        );
+    }
+}
+
 /// `RingGet` against one node, unwrapped: what membership does it
 /// currently believe in?
 fn fetch_ring_info(addr: &str) -> (u64, u64, u32, Vec<String>, String) {
@@ -1229,6 +1284,7 @@ fn main() {
         Some("mix") => cmd_mix(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
+        Some("corun") => cmd_corun(&args),
         Some("ring") => cmd_ring(&args),
         Some("load") => cmd_load(&args),
         Some("record") => cmd_record(&args),
