@@ -620,7 +620,7 @@ fn co_run_scenario(threads: usize, n_mixes: usize, seed: u64) -> Json {
                 .expect("submit corun session");
         }
         let (per_session, _throughput) = c
-            .co_run(names.clone(), vec![llc_bytes])
+            .co_run(names.clone(), vec![llc_bytes], Vec::new())
             .expect("co_run query");
         let sim = run_mix(spec, &m, Policy::Baseline, &cache, [InputSet::Ref; 4], 0.3);
         let mut app_rows: Vec<Json> = Vec::new();
@@ -665,6 +665,239 @@ fn co_run_scenario(threads: usize, n_mixes: usize, seed: u64) -> Json {
         ("worst_abs_err", Json::Num(worst)),
         ("mae_bound", Json::Num(CORUN_MAE_BOUND)),
         ("per_mix", Json::Arr(mixes_json)),
+    ])
+}
+
+/// Required nodes-explored reduction of the pruned+memoized placement
+/// search vs brute-force enumeration at N=12, k=4 (the acceptance
+/// floor; measured reductions are far larger).
+const PLACEMENT_MIN_SPEEDUP: f64 = 5.0;
+
+/// Slack when comparing the searched-best split's *simulated* aggregate
+/// miss ratio against the simulated best over all splits: predictions
+/// carry per-app MAE ~0.005 (see `CORUN_MAE_BOUND`), so two splits
+/// within this aggregate band are indistinguishable to the model.
+const PLACEMENT_SIM_TOLERANCE: f64 = 0.1;
+
+/// The placement-search scenario, three parts:
+///
+/// 1. **Exhaustive equivalence through the daemon**: benchmark profiles
+///    are submitted as sessions and `Client::place` answers are compared
+///    bit-for-bit (grouping and aggregate miss ratio) against a local
+///    `place_exhaustive` over the same profiles, on every seeded
+///    instance with N ≤ 8.
+/// 2. **Pruning speedup**: at N=12 (the full benchmark pool), G=3, k=4,
+///    the branch-and-bound + memoized search must explore ≥5× fewer
+///    nodes than brute-force enumeration; both counts, the ratio and
+///    wall times are recorded.
+/// 3. **Simulator validation**: on seeded 4-app mixes the searched-best
+///    2+2 split is checked against the cycle-level simulator — every
+///    candidate split is simulated as two 2-core shared-LLC runs, and
+///    the searched split's simulated aggregate miss ratio must be
+///    within tolerance of the simulated best.
+fn placement_scenario(threads: usize, n_mixes: usize, seed: u64) -> Json {
+    use repf_sim::{amd_phenom_ii, generate_mixes, CoreSetup, PlanCache, Sim};
+    use repf_statstack::{place, place_exhaustive, StatStackModel};
+    use repf_trace::TraceSourceExt;
+    use repf_workloads::{build, BenchmarkId, BuildOptions, InputSet};
+
+    let m = amd_phenom_ii();
+    let cache = PlanCache::build(
+        &m,
+        &BuildOptions {
+            refs_scale: 0.3,
+            ..Default::default()
+        },
+    );
+    let llc_bytes = m.hierarchy.llc.size_bytes;
+    let pool = BenchmarkId::all();
+
+    // Part 1: daemon answers vs local exhaustive enumeration, N ≤ 8.
+    let handle = start(ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    })
+    .expect("serve start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let names: Vec<String> = pool.iter().map(|id| format!("place-{id:?}")).collect();
+    for (i, id) in pool.iter().enumerate() {
+        c.submit_profile(&names[i], &cache.get(*id).profile)
+            .expect("submit placement session");
+    }
+    let models: Vec<StatStackModel> = pool
+        .iter()
+        .map(|id| StatStackModel::from_profile(&cache.get(*id).profile))
+        .collect();
+    let mut small_json: Vec<Json> = Vec::new();
+    for &(n, g, k) in &[(4u32, 2u32, 2u32), (6, 3, 2), (7, 4, 2), (8, 2, 4), (8, 4, 2)] {
+        let subset: Vec<String> = names[..n as usize].to_vec();
+        let (groups, total, _tp, (nodes, pruned)) = c
+            .place(subset.clone(), g, k, llc_bytes, Vec::new())
+            .expect("place query");
+        let refs: Vec<&StatStackModel> = models[..n as usize].iter().collect();
+        let weights: Vec<f64> = refs.iter().map(|m| m.sample_count() as f64).collect();
+        let brute = place_exhaustive(&refs, &weights, g, k, llc_bytes);
+        let brute_groups: Vec<Vec<String>> = brute
+            .groups
+            .iter()
+            .map(|grp| grp.iter().map(|&i| subset[i].clone()).collect())
+            .collect();
+        assert_eq!(
+            groups, brute_groups,
+            "searched-best differs from exhaustive at N={n} G={g} k={k}"
+        );
+        assert_eq!(
+            total.to_bits(),
+            brute.total_miss_ratio.to_bits(),
+            "searched-best cost differs from exhaustive at N={n} G={g} k={k}"
+        );
+        small_json.push(Json::obj([
+            ("n", Json::Num(f64::from(n))),
+            ("groups", Json::Num(f64::from(g))),
+            ("capacity", Json::Num(f64::from(k))),
+            ("nodes_explored", Json::Num(nodes as f64)),
+            ("pruned", Json::Num(pruned as f64)),
+            ("brute_nodes", Json::Num(brute.nodes_explored as f64)),
+            ("total_miss_ratio", Json::Num(total)),
+        ]));
+    }
+    c.shutdown_server().expect("shutdown");
+    handle.join();
+
+    // Part 2: pruning + memoization vs brute force at N=12, k=4, G=3.
+    let refs: Vec<&StatStackModel> = models.iter().collect();
+    let weights: Vec<f64> = refs.iter().map(|m| m.sample_count() as f64).collect();
+    let t0 = Instant::now();
+    let pruned_run = place(&refs, &weights, 3, 4, llc_bytes, threads);
+    let pruned_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let brute_run = place_exhaustive(&refs, &weights, 3, 4, llc_bytes);
+    let brute_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        pruned_run.total_miss_ratio.to_bits(),
+        brute_run.total_miss_ratio.to_bits(),
+        "pruned search must find the brute-force optimum"
+    );
+    let node_reduction = brute_run.nodes_explored as f64 / pruned_run.nodes_explored.max(1) as f64;
+    assert!(
+        node_reduction >= PLACEMENT_MIN_SPEEDUP,
+        "nodes-explored reduction {node_reduction:.1}x below the {PLACEMENT_MIN_SPEEDUP}x floor \
+         ({} pruned vs {} brute)",
+        pruned_run.nodes_explored,
+        brute_run.nodes_explored
+    );
+
+    // Part 3: searched-best 2+2 splits vs the cycle-level simulator.
+    let specs = generate_mixes(n_mixes, seed);
+    let simulate_group = |apps: &[BenchmarkId]| -> f64 {
+        let setups: Vec<CoreSetup> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let opts = BuildOptions {
+                    input: InputSet::Ref,
+                    addr_offset: ((i + 1) as u64) << 45,
+                    refs_scale: 0.3,
+                };
+                let w = build(id, &opts);
+                CoreSetup {
+                    base_cpr: w.base_cpr,
+                    target_refs: w.nominal_refs,
+                    source: Box::new(w.cycle()),
+                    plan: None,
+                    hw: None,
+                }
+            })
+            .collect();
+        Sim::run_mix(&m, setups)
+            .iter()
+            .map(|o| o.stats.llc_misses as f64 / o.stats.demand_accesses.max(1) as f64)
+            .sum()
+    };
+    let splits: [([usize; 2], [usize; 2]); 3] =
+        [([0, 1], [2, 3]), ([0, 2], [1, 3]), ([0, 3], [1, 2])];
+    let mut mixes_json: Vec<Json> = Vec::new();
+    for (mi, spec) in specs.iter().enumerate() {
+        let mix_models: Vec<StatStackModel> = spec
+            .apps
+            .iter()
+            .map(|id| StatStackModel::from_profile(&cache.get(*id).profile))
+            .collect();
+        let mix_refs: Vec<&StatStackModel> = mix_models.iter().collect();
+        let mix_weights: Vec<f64> = mix_refs.iter().map(|m| m.sample_count() as f64).collect();
+        let best = place(&mix_refs, &mix_weights, 2, 2, llc_bytes, threads);
+        let searched: Vec<Vec<usize>> = best.groups.clone();
+        let mut split_rows: Vec<Json> = Vec::new();
+        let mut simulated = Vec::new();
+        for (a, b) in &splits {
+            let sim_total = simulate_group(&[spec.apps[a[0]], spec.apps[a[1]]])
+                + simulate_group(&[spec.apps[b[0]], spec.apps[b[1]]]);
+            simulated.push(((a.to_vec(), b.to_vec()), sim_total));
+            split_rows.push(Json::obj([
+                ("split", Json::str(format!("{a:?}+{b:?}"))),
+                ("simulated_total_miss_ratio", Json::Num(sim_total)),
+            ]));
+        }
+        let sim_best = simulated
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        let searched_sim = simulated
+            .iter()
+            .find(|((a, b), _)| {
+                (searched[0] == *a && searched[1] == *b)
+                    || (searched[0] == *b && searched[1] == *a)
+            })
+            .map(|(_, t)| *t)
+            .expect("searched split is one of the three");
+        assert!(
+            searched_sim <= sim_best + PLACEMENT_SIM_TOLERANCE,
+            "mix {mi}: searched split simulates at {searched_sim:.4}, best split at {sim_best:.4}"
+        );
+        mixes_json.push(Json::obj([
+            ("mix", Json::Num(mi as f64)),
+            ("apps", Json::str(format!("{:?}", spec.apps))),
+            ("searched_split", Json::str(format!("{searched:?}"))),
+            ("predicted_total_miss_ratio", Json::Num(best.total_miss_ratio)),
+            ("searched_simulated_total", Json::Num(searched_sim)),
+            ("best_simulated_total", Json::Num(sim_best)),
+            ("splits", Json::Arr(split_rows)),
+        ]));
+    }
+
+    println!(
+        "  placement N=12 G=3 k=4: {} nodes pruned-search vs {} brute ({:.1}x fewer, {} pruned), {:.3}s vs {:.3}s",
+        pruned_run.nodes_explored,
+        brute_run.nodes_explored,
+        node_reduction,
+        pruned_run.pruned,
+        pruned_secs,
+        brute_secs,
+    );
+
+    Json::obj([
+        ("llc_bytes", Json::Num(llc_bytes as f64)),
+        ("small_instances", Json::Arr(small_json)),
+        (
+            "pruning",
+            Json::obj([
+                ("n", Json::Num(12.0)),
+                ("groups", Json::Num(3.0)),
+                ("capacity", Json::Num(4.0)),
+                ("nodes_explored", Json::Num(pruned_run.nodes_explored as f64)),
+                ("pruned", Json::Num(pruned_run.pruned as f64)),
+                ("brute_nodes", Json::Num(brute_run.nodes_explored as f64)),
+                ("node_reduction_x", Json::Num(node_reduction)),
+                ("search_secs", Json::Num(pruned_secs)),
+                ("brute_secs", Json::Num(brute_secs)),
+                ("min_speedup", Json::Num(PLACEMENT_MIN_SPEEDUP)),
+                (
+                    "total_miss_ratio",
+                    Json::Num(pruned_run.total_miss_ratio),
+                ),
+            ]),
+        ),
+        ("sim_validation", Json::Arr(mixes_json)),
     ])
 }
 
@@ -936,6 +1169,10 @@ pub fn run() {
     // the cycle-level simulator over seeded 4-app mixes.
     let co_run = co_run_scenario(threads, env_usize("REPF_CORUN_MIXES", 3), 0x005E_EDC0);
 
+    // Placement search: exhaustive-equivalence through the daemon,
+    // pruning speedup vs brute force, and simulator-checked best splits.
+    let placement = placement_scenario(threads, env_usize("REPF_PLACE_MIXES", 2), 0x005E_EDC1);
+
     let handle = start(ServeConfig {
         threads,
         ..ServeConfig::default()
@@ -1082,6 +1319,7 @@ pub fn run() {
         ("store_policy".into(), store_policy),
         ("cluster_fanout".into(), cluster_fanout),
         ("co_run".into(), co_run),
+        ("placement".into(), placement),
         (
             "replay".into(),
             Json::obj([

@@ -204,22 +204,60 @@ impl Client {
 
     /// Predicted shared-cache behaviour of `sessions` co-running on one
     /// cache: per-session miss-ratio curves (request order) plus the
-    /// mix-throughput estimate, one entry per size.
+    /// mix-throughput estimate, one entry per size. `intensities` is
+    /// either empty (per-session weights inferred from sample counts,
+    /// bit-exact with the pre-override wire format) or one weight per
+    /// session.
     #[allow(clippy::type_complexity)]
     pub fn co_run(
         &mut self,
         sessions: Vec<String>,
         sizes_bytes: Vec<u64>,
+        intensities: Vec<f64>,
     ) -> Result<(Vec<(String, Vec<f64>)>, Vec<f64>), ClientError> {
         match self.call(&Request::CoRun {
             sessions,
             sizes_bytes,
+            intensities,
         })? {
             Response::CoRun {
                 per_session,
                 throughput,
             } => Ok((per_session, throughput)),
             _ => Err(ClientError::Unexpected("want CoRun")),
+        }
+    }
+
+    /// Search co-run placements of `sessions` into `groups` cache-sharing
+    /// groups of at most `capacity` members, minimizing the predicted
+    /// aggregate miss ratio at `size_bytes`. Returns the winning
+    /// grouping (session names, canonical order), its aggregate miss
+    /// ratio and throughput estimate, and the search counters
+    /// `(nodes_explored, pruned)`.
+    #[allow(clippy::type_complexity)]
+    pub fn place(
+        &mut self,
+        sessions: Vec<String>,
+        groups: u32,
+        capacity: u32,
+        size_bytes: u64,
+        intensities: Vec<f64>,
+    ) -> Result<(Vec<Vec<String>>, f64, f64, (u64, u64)), ClientError> {
+        match self.call(&Request::Place {
+            sessions,
+            groups,
+            capacity,
+            size_bytes,
+            intensities,
+        })? {
+            Response::Placement {
+                groups,
+                total_miss_ratio,
+                throughput,
+                nodes_explored,
+                pruned,
+            } => Ok((groups, total_miss_ratio, throughput, (nodes_explored, pruned))),
+            _ => Err(ClientError::Unexpected("want Placement")),
         }
     }
 

@@ -333,8 +333,14 @@ pub fn generate_ops(cfg: &LoadConfig) -> Vec<Op> {
 
 /// A small deterministic sample batch, materialized from a per-op seed
 /// (the submit payload; mirrors the replay generator's shape at 1/4 the
-/// sample count so ingest stays cheap relative to queries).
-fn load_batch(seed: u64, samples: u64) -> SampleBatch {
+/// sample count so ingest stays cheap relative to queries). `session`
+/// is the zipf rank the batch belongs to: a quarter of the non-far
+/// samples carry a rank-keyed LLC-scale reuse distance (~2–8 MB
+/// spans), so different sessions saturate at different shared-cache
+/// sizes. Without that component every load session is bimodal —
+/// always-hit short reuse plus always-miss far reuse — and
+/// co-run/placement questions over load sessions degenerate to ties.
+fn load_batch(seed: u64, samples: u64, session: u32) -> SampleBatch {
     let mut rng = ReplayRng::new(seed);
     let mut b = SampleBatch {
         total_refs: 40_000 + rng.below(20_000),
@@ -346,6 +352,8 @@ fn load_batch(seed: u64, samples: u64) -> SampleBatch {
         let pc = LOAD_PCS[rng.below(LOAD_PCS.len() as u64) as usize];
         let distance = if pc == 100 {
             400_000 + rng.below(600_000)
+        } else if rng.below(4) == 0 {
+            30_000 + 7_000 * u64::from(session) + rng.below(3_000)
         } else {
             1 + rng.below(48)
         };
@@ -376,7 +384,7 @@ pub fn request_for(op: &Op) -> Request {
     match op.kind {
         OpKind::Submit => Request::Submit {
             session,
-            batch: load_batch(op.op_seed, 16),
+            batch: load_batch(op.op_seed, 16, op.session),
         },
         // Churn one-shots carry 3x the ordinary submit payload: scan
         // pollution is a few large never-reused footprints, not many
@@ -384,7 +392,7 @@ pub fn request_for(op: &Op) -> Request {
         // store's slack for admission to be the thing that matters.
         OpKind::ChurnSubmit { .. } => Request::Submit {
             session,
-            batch: load_batch(op.op_seed, 48),
+            batch: load_batch(op.op_seed, 48, op.session),
         },
         OpKind::Mrc => Request::QueryMrc {
             target: Target::Session(session),
@@ -403,7 +411,7 @@ pub fn request_for(op: &Op) -> Request {
 pub fn preload_request(cfg: &LoadConfig, i: u32) -> Request {
     Request::Submit {
         session: session_name(i),
-        batch: load_batch(cfg.seed.wrapping_add(u64::from(i) + 1), 60),
+        batch: load_batch(cfg.seed.wrapping_add(u64::from(i) + 1), 60, i),
     }
 }
 

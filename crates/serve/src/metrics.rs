@@ -19,13 +19,14 @@ use repf_metrics::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Request classes tracked separately (indexes into the counter arrays).
-pub const REQUEST_KINDS: [&str; 14] = [
+pub const REQUEST_KINDS: [&str; 15] = [
     "ping",
     "submit",
     "mrc",
     "pc_mrc",
     "plan",
     "co_run",
+    "place",
     "stats",
     "shutdown",
     "ring_get",
@@ -284,10 +285,16 @@ pub struct Metrics {
     pub cluster_ring_nodes: AtomicU64,
     /// This node's ring ownership share, in parts-per-million (gauge).
     pub cluster_ring_share_ppm: AtomicU64,
+    /// Search-tree nodes explored across all placement queries.
+    pub placement_nodes_explored: AtomicU64,
+    /// Branches cut by the placement bound across all queries.
+    pub placement_pruned: AtomicU64,
     /// Latency of MRC-class queries (application and per-PC).
     pub mrc_latency: LatencyHisto,
     /// Latency of co-run queries (includes any remote model pulls).
     pub corun_latency: LatencyHisto,
+    /// Latency of placement searches (includes model resolution).
+    pub placement_latency: LatencyHisto,
     /// Latency of plan queries.
     pub plan_latency: LatencyHisto,
     /// Latency of submits.
@@ -391,9 +398,15 @@ impl Metrics {
             "cluster.ring.share_ppm".into(),
             g(&self.cluster_ring_share_ppm),
         ));
+        out.push((
+            "placement.nodes_explored".into(),
+            g(&self.placement_nodes_explored),
+        ));
+        out.push(("placement.pruned".into(), g(&self.placement_pruned)));
         for (label, h) in [
             ("mrc", &self.mrc_latency),
             ("corun", &self.corun_latency),
+            ("placement", &self.placement_latency),
             ("plan", &self.plan_latency),
             ("submit", &self.submit_latency),
             ("migration", &self.migration_latency),

@@ -32,10 +32,12 @@ pub const PROTO_VERSION: u8 = 1;
 /// a protocol error, not an allocation.
 pub const MAX_FRAME_BYTES: u32 = 16 << 20;
 
-/// Most sessions one [`Request::CoRun`] may name. The composition walk
-/// is `O(sessions²)` per size and each remote session may cost a model
-/// pull, so the server refuses larger mixes with an `Unsupported` error
-/// rather than absorbing unbounded work per request.
+/// Most sessions one [`Request::CoRun`] or [`Request::Place`] may name.
+/// The composition walk is `O(sessions²)` per size, each remote session
+/// may cost a model pull, and the placement search space grows
+/// super-exponentially in the session count, so the server refuses
+/// larger mixes with an `Unsupported` error rather than absorbing
+/// unbounded work per request.
 pub const MAX_CORUN_SESSIONS: usize = 16;
 
 /// Why a frame or payload failed to decode.
@@ -383,6 +385,31 @@ pub enum Request {
         sessions: Vec<String>,
         /// Shared-cache sizes in bytes.
         sizes_bytes: Vec<u64>,
+        /// Optional per-session interleaving intensities (one per
+        /// session when non-empty). Empty means "infer from sample
+        /// counts" — and encodes to the PR 9 wire bytes exactly, so
+        /// recorded traces and digests predate this field unharmed.
+        intensities: Vec<f64>,
+    },
+    /// Search for the partition of the named sessions into cache-sharing
+    /// groups that minimizes the predicted aggregate shared miss ratio
+    /// at one cache size (the `repf_statstack::placement` engine).
+    /// Sessions may live on other ring nodes; the receiving node
+    /// resolves them via [`ModelPullCurrent`](Request::ModelPullCurrent),
+    /// so the reply is byte-identical from every member.
+    Place {
+        /// Sessions to place (no duplicates; at most
+        /// `MAX_CORUN_SESSIONS` on the server).
+        sessions: Vec<String>,
+        /// Number of cache-sharing groups available.
+        groups: u32,
+        /// Sessions per group at most.
+        capacity: u32,
+        /// The shared-cache size each group competes for, in bytes.
+        size_bytes: u64,
+        /// Optional per-session intensities, as in
+        /// [`CoRun`](Request::CoRun) (empty = infer from sample counts).
+        intensities: Vec<f64>,
     },
 }
 
@@ -457,6 +484,24 @@ pub enum Response {
         /// Weighted-speedup-style throughput estimate per size.
         throughput: Vec<f64>,
     },
+    /// Reply to [`Request::Place`]: the searched-best assignment.
+    /// Everything here — the counters included — is a deterministic
+    /// function of the request and the session models, so replay
+    /// digests cover the whole reply.
+    Placement {
+        /// Non-empty groups in canonical order (ordered by their
+        /// earliest-named member; members in request-name order).
+        groups: Vec<Vec<String>>,
+        /// Σ over sessions of the predicted shared miss ratio
+        /// (bit-exact f64) — the minimized objective.
+        total_miss_ratio: f64,
+        /// Σ over groups of the mix-throughput estimate.
+        throughput: f64,
+        /// Search-tree nodes the branch-and-bound visited.
+        nodes_explored: u64,
+        /// Branches cut by the admissible bound.
+        pruned: u64,
+    },
     /// The bounded request queue is full — retry later.
     Busy,
     /// The request failed.
@@ -477,6 +522,7 @@ const T_QUERY_PLAN: u8 = 0x05;
 const T_STATS: u8 = 0x06;
 const T_SHUTDOWN: u8 = 0x07;
 const T_CO_RUN: u8 = 0x08;
+const T_PLACE: u8 = 0x09;
 const T_RING_GET: u8 = 0x10;
 const T_RING_SET: u8 = 0x11;
 const T_PEER_FORWARD: u8 = 0x12;
@@ -491,6 +537,7 @@ const T_PLAN: u8 = 0x85;
 const T_STATS_REPLY: u8 = 0x86;
 const T_SHUTTING_DOWN: u8 = 0x87;
 const T_CO_RUN_REPLY: u8 = 0x88;
+const T_PLACE_REPLY: u8 = 0x89;
 const T_RING_INFO: u8 = 0x90;
 const T_RING_ACK: u8 = 0x91;
 const T_IMPORTED: u8 = 0x92;
@@ -596,6 +643,12 @@ impl<'a> Dec<'a> {
             return Err(ProtoError::Malformed("count larger than payload"));
         }
         Ok(n)
+    }
+
+    /// True when payload bytes remain — how optional trailing fields
+    /// (e.g. co-run intensities) detect their presence.
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
     }
 
     fn finish(self) -> Result<(), ProtoError> {
@@ -783,6 +836,22 @@ fn dec_model(d: &mut Dec) -> Result<ModelWire, ProtoError> {
     })
 }
 
+fn enc_f64s(e: &mut Enc, v: &[f64]) {
+    e.u32(v.len() as u32);
+    for &x in v {
+        e.f64(x);
+    }
+}
+
+fn dec_f64s(d: &mut Dec) -> Result<Vec<f64>, ProtoError> {
+    let n = d.count(8)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.f64()?);
+    }
+    Ok(v)
+}
+
 fn enc_sizes(e: &mut Enc, sizes: &[u64]) {
     e.u32(sizes.len() as u32);
     for &s in sizes {
@@ -896,10 +965,31 @@ impl Request {
             Request::CoRun {
                 sessions,
                 sizes_bytes,
+                intensities,
             } => {
                 e.u8(T_CO_RUN);
                 enc_nodes(&mut e, sessions);
                 enc_sizes(&mut e, sizes_bytes);
+                // Trailing optional field: omitted entirely when empty,
+                // so default-intensity requests encode to the PR 9
+                // bytes and recorded traces stay loadable bit-for-bit.
+                if !intensities.is_empty() {
+                    enc_f64s(&mut e, intensities);
+                }
+            }
+            Request::Place {
+                sessions,
+                groups,
+                capacity,
+                size_bytes,
+                intensities,
+            } => {
+                e.u8(T_PLACE);
+                enc_nodes(&mut e, sessions);
+                e.u32(*groups);
+                e.u32(*capacity);
+                e.u64(*size_bytes);
+                enc_f64s(&mut e, intensities);
             }
         }
         frame(e.0)
@@ -965,9 +1055,26 @@ impl Request {
                 session: d.string()?,
                 cached_version: d.u64()?,
             },
-            T_CO_RUN => Request::CoRun {
+            T_CO_RUN => {
+                let sessions = dec_nodes(&mut d)?;
+                let sizes_bytes = dec_sizes(&mut d)?;
+                let intensities = if d.has_remaining() {
+                    dec_f64s(&mut d)?
+                } else {
+                    Vec::new()
+                };
+                Request::CoRun {
+                    sessions,
+                    sizes_bytes,
+                    intensities,
+                }
+            }
+            T_PLACE => Request::Place {
                 sessions: dec_nodes(&mut d)?,
-                sizes_bytes: dec_sizes(&mut d)?,
+                groups: d.u32()?,
+                capacity: d.u32()?,
+                size_bytes: d.u64()?,
+                intensities: dec_f64s(&mut d)?,
             },
             other => return Err(ProtoError::BadType(other)),
         };
@@ -992,6 +1099,7 @@ impl Request {
             Request::ModelPull { .. } => "model_pull",
             Request::ModelPullCurrent { .. } => "model_pull_current",
             Request::CoRun { .. } => "co_run",
+            Request::Place { .. } => "place",
         }
     }
 
@@ -1115,6 +1223,23 @@ impl Response {
                     e.f64(t);
                 }
             }
+            Response::Placement {
+                groups,
+                total_miss_ratio,
+                throughput,
+                nodes_explored,
+                pruned,
+            } => {
+                e.u8(T_PLACE_REPLY);
+                e.u32(groups.len() as u32);
+                for g in groups {
+                    enc_nodes(&mut e, g);
+                }
+                e.f64(*total_miss_ratio);
+                e.f64(*throughput);
+                e.u64(*nodes_explored);
+                e.u64(*pruned);
+            }
             Response::Busy => e.u8(T_BUSY),
             Response::Error { code, message } => {
                 e.u8(T_ERROR);
@@ -1229,6 +1354,20 @@ impl Response {
                 Response::CoRun {
                     per_session,
                     throughput,
+                }
+            }
+            T_PLACE_REPLY => {
+                let n = d.count(4)?; // at least a member count per group
+                let mut groups = Vec::with_capacity(n);
+                for _ in 0..n {
+                    groups.push(dec_nodes(&mut d)?);
+                }
+                Response::Placement {
+                    groups,
+                    total_miss_ratio: d.f64()?,
+                    throughput: d.f64()?,
+                    nodes_explored: d.u64()?,
+                    pruned: d.u64()?,
                 }
             }
             T_BUSY => Response::Busy,
@@ -1391,6 +1530,26 @@ mod tests {
             Request::CoRun {
                 sessions: vec!["a".into(), "b".into(), "c".into()],
                 sizes_bytes: vec![1 << 16, 6 << 20],
+                intensities: vec![],
+            },
+            Request::CoRun {
+                sessions: vec!["a".into(), "b".into()],
+                sizes_bytes: vec![1 << 16],
+                intensities: vec![1000.0, 0.25],
+            },
+            Request::Place {
+                sessions: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                groups: 2,
+                capacity: 2,
+                size_bytes: 6 << 20,
+                intensities: vec![],
+            },
+            Request::Place {
+                sessions: vec!["a".into(), "b".into()],
+                groups: 1,
+                capacity: 2,
+                size_bytes: 1 << 16,
+                intensities: vec![2.5, f64::MIN_POSITIVE],
             },
         ];
         for req in reqs {
@@ -1441,6 +1600,23 @@ mod tests {
             Response::CoRun {
                 per_session: vec![],
                 throughput: vec![],
+            },
+            Response::Placement {
+                groups: vec![
+                    vec!["a".into(), "c".into()],
+                    vec!["b".into(), "d".into()],
+                ],
+                total_miss_ratio: 0.375,
+                throughput: 3.5,
+                nodes_explored: 421,
+                pruned: 77,
+            },
+            Response::Placement {
+                groups: vec![vec!["solo".into()]],
+                total_miss_ratio: f64::MIN_POSITIVE,
+                throughput: 1.0,
+                nodes_explored: 1,
+                pruned: 0,
             },
         ];
         for resp in resps {
@@ -1606,14 +1782,131 @@ mod tests {
     }
 
     #[test]
-    fn corun_truncation_is_malformed_not_panic() {
-        let f = Request::CoRun {
+    fn corun_wire_without_intensities_is_the_pr9_encoding() {
+        // Empty intensities must vanish from the wire entirely: the
+        // committed golden trace (and every recorded trace) carries
+        // intensity-free CoRun frames that must decode unchanged.
+        let req = Request::CoRun {
+            sessions: vec!["a".into(), "b".into()],
+            sizes_bytes: vec![1 << 20],
+            intensities: vec![],
+        };
+        let f = req.encode();
+        let mut by_hand = Enc(Vec::new());
+        by_hand.u8(PROTO_VERSION);
+        by_hand.u8(T_CO_RUN);
+        enc_nodes(&mut by_hand, &["a".into(), "b".into()]);
+        enc_sizes(&mut by_hand, &[1 << 20]);
+        assert_eq!(&f[4..], &by_hand.0[..], "no trailing field when empty");
+        assert_eq!(Request::decode(&f[4..]).unwrap(), req);
+    }
+
+    #[test]
+    fn hostile_place_counts_do_not_allocate() {
+        // A Place request claiming u32::MAX session names in 4 bytes.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_PLACE);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Request::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Plausible sessions, hostile intensity count.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_PLACE);
+        enc_nodes(&mut e, &["s".into()]);
+        e.u32(2);
+        e.u32(2);
+        e.u64(1 << 20);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Request::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+        // A Placement reply claiming u32::MAX groups.
+        let mut e = Enc(Vec::new());
+        e.u8(PROTO_VERSION);
+        e.u8(T_PLACE_REPLY);
+        e.u32(u32::MAX);
+        assert!(matches!(
+            Response::decode(&e.0),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn place_truncation_is_malformed_not_panic() {
+        let f = Request::Place {
             sessions: vec!["left".into(), "right".into()],
-            sizes_bytes: vec![1 << 20, 6 << 20],
+            groups: 2,
+            capacity: 1,
+            size_bytes: 6 << 20,
+            intensities: vec![1.0, 2.0],
         }
         .encode();
         for cut in 0..f.len() - 4 {
             assert!(Request::decode(&f[4..4 + cut]).is_err(), "truncation at {cut}");
+        }
+        let f = Response::Placement {
+            groups: vec![vec!["left".into()], vec!["right".into()]],
+            total_miss_ratio: 0.5,
+            throughput: 1.75,
+            nodes_explored: 10,
+            pruned: 3,
+        }
+        .encode();
+        for cut in 0..f.len() - 4 {
+            assert!(Response::decode(&f[4..4 + cut]).is_err(), "truncation at {cut}");
+        }
+        // Trailing bytes after a complete Place payload are rejected.
+        let mut f = Request::Place {
+            sessions: vec!["s".into()],
+            groups: 1,
+            capacity: 1,
+            size_bytes: 1,
+            intensities: vec![],
+        }
+        .encode();
+        f.push(0);
+        assert_eq!(Request::decode(&f[4..]), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn corun_truncation_is_malformed_not_panic() {
+        let sessions = vec!["left".to_string(), "right".to_string()];
+        let sizes_bytes = vec![1u64 << 20, 6 << 20];
+        let f = Request::CoRun {
+            sessions: sessions.clone(),
+            sizes_bytes: sizes_bytes.clone(),
+            intensities: vec![3.0, 4.0],
+        }
+        .encode();
+        // One cut length is special: chopping the whole trailing
+        // intensities field leaves a *valid* PR 9 frame.
+        let pr9 = Request::CoRun {
+            sessions: sessions.clone(),
+            sizes_bytes: sizes_bytes.clone(),
+            intensities: vec![],
+        }
+        .encode();
+        let pr9_body_len = pr9.len() - 4;
+        for cut in 0..f.len() - 4 {
+            let got = Request::decode(&f[4..4 + cut]);
+            if cut == pr9_body_len {
+                assert_eq!(
+                    got.unwrap(),
+                    Request::CoRun {
+                        sessions: sessions.clone(),
+                        sizes_bytes: sizes_bytes.clone(),
+                        intensities: vec![],
+                    },
+                    "intensity-free prefix is the legacy frame"
+                );
+            } else {
+                assert!(got.is_err(), "truncation at {cut}");
+            }
         }
         let f = Response::CoRun {
             per_session: vec![("left".into(), vec![0.5]), ("right".into(), vec![0.75])],

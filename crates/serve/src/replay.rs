@@ -149,9 +149,19 @@ fn gen_batch(rng: &mut ReplayRng, samples: u32) -> SampleBatch {
     b
 }
 
+/// One trace in three carries explicit per-session intensity weights;
+/// the rest leave them empty (the sample-count-inference wire form).
+fn gen_intensities(rng: &mut ReplayRng, k: u64) -> Vec<f64> {
+    if rng.below(3) != 0 {
+        return Vec::new();
+    }
+    (0..k).map(|_| 0.5 + rng.below(8) as f64 * 0.5).collect()
+}
+
 /// Generate a deterministic trace: each round submits one batch per
-/// session and follows with a seeded mix of MRC, per-PC MRC, plan, ping
-/// and stats requests. The whole walk is a pure function of `cfg`.
+/// session and follows with a seeded mix of MRC, per-PC MRC, plan, ping,
+/// co-run, placement and stats requests. The whole walk is a pure
+/// function of `cfg`.
 pub fn generate_trace(cfg: &GenConfig) -> Trace {
     let mut rng = ReplayRng::new(cfg.seed);
     let mut rec = TraceRecorder::new(cfg.seed);
@@ -165,7 +175,7 @@ pub fn generate_trace(cfg: &GenConfig) -> Trace {
             let queries = 1 + rng.below(3);
             for _ in 0..queries {
                 let target = Target::Session(session.clone());
-                match rng.below(7) {
+                match rng.below(8) {
                     0 | 1 => {
                         let n = 1 + rng.below(GEN_SIZES.len() as u64) as usize;
                         let mut sizes: Vec<u64> =
@@ -219,9 +229,35 @@ pub fn generate_trace(cfg: &GenConfig) -> Trace {
                         let mut sizes: Vec<u64> =
                             (0..n).map(|_| GEN_SIZES[rng.below(6) as usize]).collect();
                         sizes.sort_unstable();
+                        // One trace in three overrides the inferred
+                        // intensities, so both wire forms are replayed.
+                        let intensities = gen_intensities(&mut rng, k);
                         rec.record(Request::CoRun {
                             sessions,
                             sizes_bytes: sizes,
+                            intensities,
+                        });
+                    }
+                    6 => {
+                        // Placement over a run of sessions; group shape
+                        // is always feasible (G·cap ≥ k) so the search
+                        // itself — not just validation — is replayed.
+                        let pool = u64::from(cfg.sessions.max(1));
+                        let k = (2 + rng.below(3)).min(pool);
+                        let first = rng.below(pool);
+                        let sessions: Vec<String> = (0..k)
+                            .map(|j| session_name(((first + j) % pool) as u32))
+                            .collect();
+                        let groups = (1 + rng.below(2)) as u32;
+                        let capacity = k.div_ceil(u64::from(groups)) as u32 + rng.below(2) as u32;
+                        let size_bytes = GEN_SIZES[rng.below(6) as usize];
+                        let intensities = gen_intensities(&mut rng, k);
+                        rec.record(Request::Place {
+                            sessions,
+                            groups,
+                            capacity,
+                            size_bytes,
+                            intensities,
                         });
                     }
                     _ => rec.record(Request::Stats),
@@ -324,46 +360,125 @@ impl Oracle {
         }
     }
 
-    /// The exact co-run response a correct daemon produces, mirroring
-    /// `handle_co_run`'s validation order byte for byte and answering
-    /// through the same [`CoRunModel`] the server uses.
-    fn co_run(&mut self, names: &[String], sizes: &[u64]) -> Response {
+    /// The shared `CoRun`/`Place` validation prefix, mirroring the
+    /// server's `validate_session_list` byte for byte: empty list,
+    /// over-limit list, duplicate name, intensity-count mismatch.
+    fn validate_session_list(names: &[String], intensities: &[f64]) -> Option<Response> {
         if names.is_empty() {
-            return Self::unsupported("empty session list".into());
+            return Some(Self::unsupported("empty session list".into()));
         }
         if names.len() > MAX_CORUN_SESSIONS {
-            return Self::unsupported(format!(
+            return Some(Self::unsupported(format!(
                 "co-run of {} sessions exceeds the cap of {MAX_CORUN_SESSIONS}",
                 names.len()
-            ));
+            )));
         }
         for (i, name) in names.iter().enumerate() {
             if names[..i].contains(name) {
-                return Self::unsupported(format!("duplicate session '{name}'"));
+                return Some(Self::unsupported(format!("duplicate session '{name}'")));
             }
         }
-        if sizes.is_empty() {
-            return Self::empty_sizes();
+        if !intensities.is_empty() && intensities.len() != names.len() {
+            return Some(Self::unsupported(format!(
+                "{} intensities for {} sessions",
+                intensities.len(),
+                names.len()
+            )));
         }
+        None
+    }
+
+    /// Fit every named session (first unresolvable name errors, in
+    /// request order), then gather the now-current model refs.
+    fn fitted_models(&mut self, names: &[String]) -> Result<Vec<&StatStackModel>, Response> {
         // First pass fits (mutable borrow per name), second pass gathers
         // the now-current refs for composition.
         for name in names {
             if self.model_of(name).is_none() {
-                return Self::unknown(name);
+                return Err(Self::unknown(name));
             }
         }
-        let models: Vec<&StatStackModel> = names
+        Ok(names
             .iter()
             .map(|n| &self.sessions[n.as_str()].fitted.as_ref().expect("fitted above").1)
-            .collect();
+            .collect())
+    }
+
+    /// The exact co-run response a correct daemon produces, mirroring
+    /// `handle_co_run`'s validation order byte for byte and answering
+    /// through the same [`CoRunModel`] the server uses.
+    fn co_run(&mut self, names: &[String], sizes: &[u64], intensities: &[f64]) -> Response {
+        if let Some(err) = Self::validate_session_list(names, intensities) {
+            return err;
+        }
+        if sizes.is_empty() {
+            return Self::empty_sizes();
+        }
+        let models = match self.fitted_models(names) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
         let mut co = CoRunModel::new();
-        for m in models {
-            co.push(m);
+        for (i, m) in models.into_iter().enumerate() {
+            if intensities.is_empty() {
+                co.push(m);
+            } else {
+                co.push_with_intensity(m, intensities[i]);
+            }
         }
         let answer = co.answer_bytes(sizes);
         Response::CoRun {
             per_session: names.iter().cloned().zip(answer.per_member).collect(),
             throughput: answer.throughput,
+        }
+    }
+
+    /// The exact placement response a correct daemon produces, mirroring
+    /// `handle_place`'s validation order and answering through the same
+    /// single-threaded-equivalent search (bit-identical at any thread
+    /// count by construction, so one thread is the simplest reference).
+    fn place(
+        &mut self,
+        names: &[String],
+        groups: u32,
+        capacity: u32,
+        size_bytes: u64,
+        intensities: &[f64],
+    ) -> Response {
+        if let Some(err) = Self::validate_session_list(names, intensities) {
+            return err;
+        }
+        if groups == 0 || capacity == 0 {
+            return Self::unsupported("groups and capacity must be positive".into());
+        }
+        if names.len() as u64 > u64::from(groups) * u64::from(capacity) {
+            return Self::unsupported(format!(
+                "{} sessions do not fit in {groups} groups of {capacity}",
+                names.len()
+            ));
+        }
+        let models = match self.fitted_models(names) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
+        let weights: Vec<f64> = if intensities.is_empty() {
+            models.iter().map(|m| m.sample_count() as f64).collect()
+        } else {
+            intensities.to_vec()
+        };
+        let result = repf_statstack::placement::place(
+            &models, &weights, groups, capacity, size_bytes, 1,
+        );
+        Response::Placement {
+            groups: result
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| names[i].clone()).collect())
+                .collect(),
+            total_miss_ratio: result.total_miss_ratio,
+            throughput: result.throughput,
+            nodes_explored: result.nodes_explored,
+            pruned: result.pruned,
         }
     }
 
@@ -458,7 +573,15 @@ impl Oracle {
             Request::CoRun {
                 sessions,
                 sizes_bytes,
-            } => Some(self.co_run(sessions, sizes_bytes)),
+                intensities,
+            } => Some(self.co_run(sessions, sizes_bytes, intensities)),
+            Request::Place {
+                sessions,
+                groups,
+                capacity,
+                size_bytes,
+                intensities,
+            } => Some(self.place(sessions, *groups, *capacity, *size_bytes, intensities)),
             // Benchmark targets share the server-side plan cache; they
             // are deterministic but out of the oracle's scope.
             Request::QueryMrc { .. } | Request::QueryPcMrc { .. } | Request::QueryPlan { .. } => {
@@ -629,6 +752,7 @@ fn digestible(resp: &Response) -> bool {
             | Response::PcMrc { .. }
             | Response::Plan(_)
             | Response::CoRun { .. }
+            | Response::Placement { .. }
             | Response::Error { .. }
     )
 }
@@ -645,6 +769,7 @@ fn kind_matches(req: &Request, resp: &Response) -> bool {
             | (Request::QueryPcMrc { .. }, Response::PcMrc { .. })
             | (Request::QueryPlan { .. }, Response::Plan(_))
             | (Request::CoRun { .. }, Response::CoRun { .. })
+            | (Request::Place { .. }, Response::Placement { .. })
             | (Request::Stats, Response::Stats(_))
             | (Request::Shutdown, Response::ShuttingDown)
     )

@@ -68,10 +68,11 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 #[cfg(target_os = "linux")]
 use std::os::unix::io::AsRawFd;
 
-/// Entry bound on the co-run remote-model cache; at the cap the map is
-/// cleared wholesale rather than evicted piecemeal — deterministic, and
-/// cache contents only affect pull traffic, never response bytes.
-const REMOTE_MODEL_CACHE_CAP: usize = 64;
+/// Default entry bound on the co-run remote-model cache; at the cap the
+/// map is cleared wholesale rather than evicted piecemeal —
+/// deterministic, and cache contents only affect pull traffic, never
+/// response bytes. Configurable via [`ServeConfig::remote_model_cache_cap`].
+pub const REMOTE_MODEL_CACHE_CAP: usize = 64;
 
 /// How the daemon drives connection I/O.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -193,6 +194,11 @@ pub struct ServeConfig {
     /// `REPF_SERVE_STORE_POLICY` environment variable, falling back to
     /// [`StorePolicy::Lru`].
     pub store_policy: Option<StorePolicy>,
+    /// Entry bound on the co-run remote-model cache (cleared wholesale
+    /// at the cap). Cache contents never affect response bytes, only
+    /// pull traffic, so shrinking this is safe — tests use it to force
+    /// eviction and observe re-pulls.
+    pub remote_model_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -215,6 +221,7 @@ impl Default for ServeConfig {
             cluster_seed: DEFAULT_RING_SEED,
             vnodes: DEFAULT_VNODES,
             store_policy: None,
+            remote_model_cache_cap: REMOTE_MODEL_CACHE_CAP,
         }
     }
 }
@@ -274,6 +281,7 @@ pub(crate) struct ServeState {
     /// at the cap the whole map is cleared (deterministic, and cache
     /// contents only affect pull traffic, never response bytes).
     remote_models: Mutex<FxHashMap<String, (u64, Arc<StatStackModel>)>>,
+    remote_model_cache_cap: usize,
     shutting_down: AtomicBool,
     /// Wakes the I/O loop (epoll) or acceptor (threads) out of its
     /// poll when shutdown is requested from another thread.
@@ -299,6 +307,7 @@ impl ServeState {
             metrics: Metrics::new(),
             cluster: ClusterState::new(),
             remote_models: Mutex::new(FxHashMap::default()),
+            remote_model_cache_cap: cfg.remote_model_cache_cap.max(1),
             shutting_down: AtomicBool::new(false),
             #[cfg(target_os = "linux")]
             wake: EventFd::new()?,
@@ -409,12 +418,41 @@ impl ServeState {
             Request::CoRun {
                 sessions,
                 sizes_bytes,
+                intensities,
             } => {
                 let start = Instant::now();
-                let resp = self.handle_co_run(sessions, sizes_bytes);
+                let resp = self.handle_co_run(sessions, sizes_bytes, intensities);
                 self.metrics
                     .corun_latency
                     .record_us(start.elapsed().as_micros() as u64);
+                resp
+            }
+            Request::Place {
+                sessions,
+                groups,
+                capacity,
+                size_bytes,
+                intensities,
+            } => {
+                let start = Instant::now();
+                let resp =
+                    self.handle_place(sessions, *groups, *capacity, *size_bytes, intensities);
+                self.metrics
+                    .placement_latency
+                    .record_us(start.elapsed().as_micros() as u64);
+                if let Response::Placement {
+                    nodes_explored,
+                    pruned,
+                    ..
+                } = &resp
+                {
+                    self.metrics
+                        .placement_nodes_explored
+                        .fetch_add(*nodes_explored, Ordering::Relaxed);
+                    self.metrics
+                        .placement_pruned
+                        .fetch_add(*pruned, Ordering::Relaxed);
+                }
                 resp
             }
             Request::Stats => Response::Stats(self.stats_pairs()),
@@ -985,35 +1023,77 @@ impl ServeState {
         }
     }
 
-    /// Predict the named sessions' shared-cache behaviour when co-run.
-    /// Validation order is part of the replay contract (the oracle
-    /// mirrors it byte for byte): empty list, over-limit list, duplicate
-    /// name, empty sizes, then first unresolvable session in request
-    /// order.
-    fn handle_co_run(&self, names: &[String], sizes: &[u64]) -> Response {
+    /// Shared validation prefix for `CoRun` and `Place`: empty list,
+    /// over-limit list, duplicate name, then (when present) an
+    /// intensity-count mismatch. Returns the first violation as the
+    /// error response. Validation order is part of the replay contract
+    /// (the oracle mirrors it byte for byte).
+    fn validate_session_list(names: &[String], intensities: &[f64]) -> Option<Response> {
         if names.is_empty() {
-            return Response::Error {
+            return Some(Response::Error {
                 code: ErrorCode::Unsupported,
                 message: "empty session list".into(),
-            };
+            });
         }
         if names.len() > proto::MAX_CORUN_SESSIONS {
-            return Response::Error {
+            return Some(Response::Error {
                 code: ErrorCode::Unsupported,
                 message: format!(
                     "co-run of {} sessions exceeds the cap of {}",
                     names.len(),
                     proto::MAX_CORUN_SESSIONS
                 ),
-            };
+            });
         }
         for (i, name) in names.iter().enumerate() {
             if names[..i].contains(name) {
-                return Response::Error {
+                return Some(Response::Error {
                     code: ErrorCode::Unsupported,
                     message: format!("duplicate session '{name}'"),
-                };
+                });
             }
+        }
+        if !intensities.is_empty() && intensities.len() != names.len() {
+            return Some(Response::Error {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "{} intensities for {} sessions",
+                    intensities.len(),
+                    names.len()
+                ),
+            });
+        }
+        None
+    }
+
+    /// Resolve every listed session to its current model (locally or via
+    /// the owner's `ModelPullCurrent`), failing on the first
+    /// unresolvable name in request order.
+    fn resolve_models(&self, names: &[String]) -> Result<Vec<Arc<StatStackModel>>, Response> {
+        let mut models = Vec::with_capacity(names.len());
+        for name in names {
+            match self.co_run_model(name) {
+                Some(m) => models.push(m),
+                None => {
+                    return Err(Response::Error {
+                        code: ErrorCode::UnknownSession,
+                        message: format!("unknown session '{name}'"),
+                    })
+                }
+            }
+        }
+        Ok(models)
+    }
+
+    /// Predict the named sessions' shared-cache behaviour when co-run.
+    /// Validation order is part of the replay contract (the oracle
+    /// mirrors it byte for byte): empty list, over-limit list, duplicate
+    /// name, intensity mismatch, empty sizes, then first unresolvable
+    /// session in request order. An empty `intensities` keeps the
+    /// sample-count inference bit-exact; a full-length one overrides it.
+    fn handle_co_run(&self, names: &[String], sizes: &[u64], intensities: &[f64]) -> Response {
+        if let Some(err) = Self::validate_session_list(names, intensities) {
+            return err;
         }
         if sizes.is_empty() {
             return Response::Error {
@@ -1021,26 +1101,85 @@ impl ServeState {
                 message: "empty size list".into(),
             };
         }
-        let mut models = Vec::with_capacity(names.len());
-        for name in names {
-            match self.co_run_model(name) {
-                Some(m) => models.push(m),
-                None => {
-                    return Response::Error {
-                        code: ErrorCode::UnknownSession,
-                        message: format!("unknown session '{name}'"),
-                    }
-                }
-            }
-        }
+        let models = match self.resolve_models(names) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
         let mut co = CoRunModel::new();
-        for m in &models {
-            co.push(m);
+        for (i, m) in models.iter().enumerate() {
+            if intensities.is_empty() {
+                co.push(m);
+            } else {
+                co.push_with_intensity(m, intensities[i]);
+            }
         }
         let answer = co.answer_bytes(sizes);
         Response::CoRun {
             per_session: names.iter().cloned().zip(answer.per_member).collect(),
             throughput: answer.throughput,
+        }
+    }
+
+    /// Search co-run placements of the named sessions into `groups`
+    /// cache-sharing groups of at most `capacity` members each,
+    /// minimizing the predicted aggregate miss ratio at `size_bytes`.
+    /// Validation order (the replay oracle mirrors it): empty list,
+    /// over-limit list, duplicate name, intensity mismatch, zero
+    /// groups/capacity, infeasible N > G·k, then first unresolvable
+    /// session in request order. Models resolve through the same
+    /// `ModelPullCurrent` path as co-run, so any ring member answers
+    /// with identical bytes.
+    fn handle_place(
+        &self,
+        names: &[String],
+        groups: u32,
+        capacity: u32,
+        size_bytes: u64,
+        intensities: &[f64],
+    ) -> Response {
+        if let Some(err) = Self::validate_session_list(names, intensities) {
+            return err;
+        }
+        if groups == 0 || capacity == 0 {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "groups and capacity must be positive".into(),
+            };
+        }
+        if names.len() as u64 > groups as u64 * capacity as u64 {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "{} sessions do not fit in {groups} groups of {capacity}",
+                    names.len()
+                ),
+            };
+        }
+        let models = match self.resolve_models(names) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
+        let refs: Vec<&StatStackModel> = models.iter().map(|m| m.as_ref()).collect();
+        let weights: Vec<f64> = if intensities.is_empty() {
+            refs.iter().map(|m| m.sample_count() as f64).collect()
+        } else {
+            intensities.to_vec()
+        };
+        // Thread count does not affect the answer (the search is
+        // bit-identical by construction), only the wall clock.
+        let threads = Exec::from_env().threads();
+        let result =
+            repf_statstack::placement::place(&refs, &weights, groups, capacity, size_bytes, threads);
+        Response::Placement {
+            groups: result
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| names[i].clone()).collect())
+                .collect(),
+            total_miss_ratio: result.total_miss_ratio,
+            throughput: result.throughput,
+            nodes_explored: result.nodes_explored,
+            pruned: result.pruned,
         }
     }
 
@@ -1074,7 +1213,7 @@ impl ServeState {
                     .cluster_model_remote_hits
                     .fetch_add(1, Ordering::Relaxed);
                 let mut cache = self.remote_models.lock().unwrap();
-                if cache.len() >= REMOTE_MODEL_CACHE_CAP && !cache.contains_key(name) {
+                if cache.len() >= self.remote_model_cache_cap && !cache.contains_key(name) {
                     cache.clear();
                 }
                 cache.insert(name.to_string(), (version, Arc::clone(&model)));

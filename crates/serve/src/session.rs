@@ -164,7 +164,7 @@ impl LfuState {
         let window_budget = (budget_bytes / 100).clamp(1024.min(budget_bytes), budget_bytes);
         let main_budget = budget_bytes - window_budget;
         LfuState {
-            filter: TinyLfu::new(),
+            filter: TinyLfu::for_budget(budget_bytes),
             window_budget,
             protected_budget: main_budget / 5 * 4,
             window_bytes: 0,

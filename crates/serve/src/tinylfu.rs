@@ -131,6 +131,11 @@ impl FreqSketch {
     pub fn resets(&self) -> u64 {
         self.resets
     }
+
+    /// Counters per row (the power-of-two row width).
+    pub fn counters_per_row(&self) -> usize {
+        (self.mask + 1) as usize
+    }
 }
 
 /// A small bloom filter (two probes) in front of the sketch: the first
@@ -182,6 +187,11 @@ impl Doorkeeper {
     pub fn clear(&mut self) {
         self.bits.iter_mut().for_each(|w| *w = 0);
     }
+
+    /// Filter size in bits (power of two).
+    pub fn num_bits(&self) -> usize {
+        (self.mask + 1) as usize
+    }
 }
 
 /// The combined admission filter: doorkeeper + sketch, with the
@@ -199,10 +209,35 @@ const DEFAULT_COUNTERS: usize = 4096;
 /// Default doorkeeper: 16384 bits = 2 KiB.
 const DEFAULT_DOOR_BITS: usize = 16384;
 
+/// Budget scaling: one sketch counter per this many budget bytes, so
+/// the sketch (counters × 4 rows × 4 bits = 2 bytes/counter) costs
+/// ~0.1% of the shard budget it protects.
+const BYTES_PER_COUNTER: usize = 2048;
+/// Floor/ceiling for budget-derived sketch widths: tiny test budgets
+/// still get a useful sketch, pathological budgets stay bounded
+/// (2²² counters = 8 MiB of sketch).
+const MIN_COUNTERS: usize = 1024;
+const MAX_COUNTERS: usize = 1 << 22;
+
 impl TinyLfu {
     /// A filter with the default per-shard sizing.
     pub fn new() -> Self {
         Self::with_params(DEFAULT_COUNTERS, 10 * DEFAULT_COUNTERS as u64, DEFAULT_DOOR_BITS)
+    }
+
+    /// A filter sized from the shard byte budget it guards: one sketch
+    /// counter per [`BYTES_PER_COUNTER`] budget bytes and four
+    /// doorkeeper bits per counter (the same 4:1 ratio as the
+    /// defaults), clamped to `[MIN_COUNTERS, MAX_COUNTERS]`. A larger
+    /// budget holds more sessions, so it gets a proportionally wider
+    /// sketch — fewer collisions at the same ~0.1% memory overhead —
+    /// while the admission rule itself (doorkeeper, estimate
+    /// comparison, halving at 10× width) is unchanged.
+    pub fn for_budget(budget_bytes: usize) -> Self {
+        let c = (budget_bytes / BYTES_PER_COUNTER)
+            .clamp(MIN_COUNTERS, MAX_COUNTERS)
+            .next_power_of_two();
+        Self::with_params(c, 10 * c as u64, 4 * c)
     }
 
     /// A filter with explicit sketch/doorkeeper sizing (tests).
@@ -242,6 +277,16 @@ impl TinyLfu {
     /// Sketch halving resets performed.
     pub fn sketch_resets(&self) -> u64 {
         self.resets()
+    }
+
+    /// Sketch counters per row.
+    pub fn sketch_counters(&self) -> usize {
+        self.sketch.counters_per_row()
+    }
+
+    /// Doorkeeper size in bits.
+    pub fn doorkeeper_bits(&self) -> usize {
+        self.door.num_bits()
     }
 
     fn resets(&self) -> u64 {
@@ -443,6 +488,90 @@ mod tests {
         let hits = lfu.doorkeeper_hits();
         lfu.record(0xDEAD_BEEF);
         assert_eq!(lfu.doorkeeper_hits(), hits + 1);
+    }
+
+    /// Satellite property: 10× the shard budget must yield a strictly
+    /// wider sketch and doorkeeper, while the admission semantics for
+    /// the same access sequence are unchanged — identical frequency
+    /// estimates for every key, identical doorkeeper absorption, and
+    /// the same admit/reject verdict for every (candidate, victim)
+    /// pair. The wider sketch only reduces collision noise; it never
+    /// changes what the rule *means*.
+    #[test]
+    fn ten_x_budget_widens_sketch_with_unchanged_admission() {
+        let budget = 32 << 20;
+        let mut small = TinyLfu::for_budget(budget);
+        let mut big = TinyLfu::for_budget(10 * budget);
+        assert!(
+            big.sketch_counters() > small.sketch_counters(),
+            "10x budget must widen the sketch ({} vs {})",
+            big.sketch_counters(),
+            small.sketch_counters()
+        );
+        assert!(
+            big.doorkeeper_bits() > small.doorkeeper_bits(),
+            "10x budget must widen the doorkeeper ({} vs {})",
+            big.doorkeeper_bits(),
+            small.doorkeeper_bits()
+        );
+        // Same 4:1 doorkeeper:counter ratio as the fixed defaults.
+        assert_eq!(small.doorkeeper_bits(), 4 * small.sketch_counters());
+        assert_eq!(big.doorkeeper_bits(), 4 * big.sketch_counters());
+
+        // Replay one deterministic mixed-popularity sequence into both.
+        let mut rng = Rng(0xB0D6_E7ED);
+        let keys: Vec<u64> = (0..256).map(|_| rng.next()).collect();
+        let counts: Vec<u64> = keys.iter().map(|_| 1 + rng.below(12)).collect();
+        let mut sequence = Vec::new();
+        for (k, c) in keys.iter().zip(&counts) {
+            for _ in 0..*c {
+                sequence.push(*k);
+            }
+        }
+        // Interleave deterministically so doorkeeper windows see the
+        // same order in both filters.
+        let mut order: Vec<usize> = (0..sequence.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        for &i in &order {
+            small.record(sequence[i]);
+            big.record(sequence[i]);
+        }
+
+        assert_eq!(
+            small.doorkeeper_hits(),
+            big.doorkeeper_hits(),
+            "first-sighting absorption must not depend on budget"
+        );
+        for k in &keys {
+            assert_eq!(
+                small.frequency(*k),
+                big.frequency(*k),
+                "estimate for key {k:#x} must not depend on budget"
+            );
+        }
+        // Every pairwise admission verdict (candidate beats victim)
+        // therefore matches too — spot-check the full cross product.
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(
+                    small.frequency(*a) > small.frequency(*b),
+                    big.frequency(*a) > big.frequency(*b),
+                );
+            }
+        }
+    }
+
+    /// Budget extremes stay clamped: a zero budget still gets the
+    /// minimum structures, an absurd one the bounded maximum.
+    #[test]
+    fn budget_sizing_is_clamped() {
+        let tiny = TinyLfu::for_budget(0);
+        assert_eq!(tiny.sketch_counters(), MIN_COUNTERS.next_power_of_two());
+        let huge = TinyLfu::for_budget(usize::MAX);
+        assert_eq!(huge.sketch_counters(), MAX_COUNTERS);
+        assert_eq!(huge.doorkeeper_bits(), 4 * MAX_COUNTERS);
     }
 
     #[test]

@@ -132,6 +132,15 @@ fn replay_digest_is_invariant_across_cluster_shapes_and_churn() {
         .filter(|r| matches!(r, repf_serve::Request::CoRun { .. }))
         .count();
     assert!(corun_ops > 0, "generated trace must exercise co_run");
+    // Placement replies carry the full search outcome (grouping, cost,
+    // nodes-explored/pruned counters); keeping them in the digest is
+    // what pins the search to be node-count invariant.
+    let place_ops = trace
+        .records
+        .iter()
+        .filter(|r| matches!(r, repf_serve::Request::Place { .. }))
+        .count();
+    assert!(place_ops > 0, "generated trace must exercise place");
     let serve_cfg = ServeConfig::default();
     let rcfg = ReplayConfig::default();
 
@@ -263,7 +272,7 @@ fn corun_pulls_cache_remote_models_instead_of_refetching() {
 
     let before = hits(&mut ca);
     let (first, tp) = ca
-        .co_run(sessions.clone(), sizes.clone())
+        .co_run(sessions.clone(), sizes.clone(), Vec::new())
         .expect("first co_run");
     assert_eq!(first.len(), sessions.len());
     assert_eq!(tp.len(), sizes.len());
@@ -278,7 +287,7 @@ fn corun_pulls_cache_remote_models_instead_of_refetching() {
     // A repeat query answers from the remote-model cache: same bytes,
     // zero new transfers.
     let (second, tp2) = ca
-        .co_run(sessions.clone(), sizes.clone())
+        .co_run(sessions.clone(), sizes.clone(), Vec::new())
         .expect("second co_run");
     for ((n1, c1), (n2, c2)) in first.iter().zip(&second) {
         assert_eq!(n1, n2);
@@ -298,8 +307,8 @@ fn corun_pulls_cache_remote_models_instead_of_refetching() {
     // Any other node answers the same question with the same bytes.
     let mut cb = Client::connect(nodes[1].addr()).expect("connect b");
     let (via_b, tp_b) = ca
-        .co_run(sessions.clone(), sizes.clone())
-        .and(cb.co_run(sessions.clone(), sizes.clone()))
+        .co_run(sessions.clone(), sizes.clone(), Vec::new())
+        .and(cb.co_run(sessions.clone(), sizes.clone(), Vec::new()))
         .expect("co_run via b");
     for ((n1, c1), (n2, c2)) in first.iter().zip(&via_b) {
         assert_eq!(n1, n2);
@@ -316,13 +325,186 @@ fn corun_pulls_cache_remote_models_instead_of_refetching() {
     for (i, s) in sessions.iter().enumerate() {
         ca.submit_batch(s, batch(100 + i as u64)).expect("resubmit");
     }
-    ca.co_run(sessions.clone(), sizes.clone())
+    ca.co_run(sessions.clone(), sizes.clone(), Vec::new())
         .expect("post-resubmit co_run");
     assert_eq!(
         hits(&mut ca) - after_first,
         pulled,
         "a version bump re-pulls each remote member exactly once"
     );
+
+    for h in nodes {
+        h.shutdown();
+    }
+}
+
+/// Placement answers are bit-identical across ring sizes (1 node ≡ a
+/// 3-node ring) and across which member is asked: peer-owned session
+/// models resolve through the same `ModelPullCurrent` pulls co-run
+/// uses, and the search itself is deterministic, so the whole reply —
+/// grouping, aggregate cost, throughput, and even the
+/// nodes-explored/pruned counters — must not depend on cluster shape.
+#[test]
+fn placement_is_bit_identical_across_ring_sizes_and_members() {
+    let sessions: Vec<String> = (0..8).map(|i| format!("place-s{i}")).collect();
+    let (size_bytes, groups, capacity) = (1u64 << 20, 3u32, 3u32);
+
+    // Single node: the reference reply.
+    let solo = start(ServeConfig::default()).expect("start solo");
+    let mut c = Client::connect(solo.addr()).expect("connect solo");
+    for (i, s) in sessions.iter().enumerate() {
+        c.submit_batch(s, batch(i as u64)).expect("submit");
+    }
+    let reference = c
+        .place(sessions.clone(), groups, capacity, size_bytes, Vec::new())
+        .expect("solo place");
+    solo.shutdown();
+    // 8 sessions with capacity 3 need all 3 groups.
+    assert_eq!(reference.0.len(), groups as usize);
+    assert!(reference.3 .0 > 0, "search must explore nodes");
+
+    // 3-node ring: every member must answer the same bytes.
+    let nodes: Vec<_> = (0..3)
+        .map(|_| start(ServeConfig::default()).expect("start node"))
+        .collect();
+    let members: Vec<String> = nodes.iter().map(|h| h.addr().to_string()).collect();
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: 7,
+            vnodes: DEFAULT_VNODES,
+            nodes: members.clone(),
+        },
+    )
+    .expect("install ring");
+    let mut ca = Client::connect(nodes[0].addr()).expect("connect");
+    for (i, s) in sessions.iter().enumerate() {
+        ca.submit_batch(s, batch(i as u64)).expect("submit");
+    }
+    for h in &nodes {
+        let mut c = Client::connect(h.addr()).expect("connect member");
+        let reply = c
+            .place(sessions.clone(), groups, capacity, size_bytes, Vec::new())
+            .expect("ring place");
+        assert_eq!(reply.0, reference.0, "grouping differs from single-node");
+        assert_eq!(
+            reply.1.to_bits(),
+            reference.1.to_bits(),
+            "aggregate miss ratio differs from single-node"
+        );
+        assert_eq!(
+            reply.2.to_bits(),
+            reference.2.to_bits(),
+            "throughput estimate differs from single-node"
+        );
+        assert_eq!(reply.3, reference.3, "search counters differ from single-node");
+    }
+
+    // Intensity overrides are part of the same invariance, and a
+    // different weighting is allowed to pick a different grouping.
+    let weights: Vec<f64> = (0..sessions.len()).map(|i| 1.0 + i as f64).collect();
+    let mut first: Option<(Vec<Vec<String>>, f64, f64, (u64, u64))> = None;
+    for h in &nodes {
+        let mut c = Client::connect(h.addr()).expect("connect member");
+        let reply = c
+            .place(sessions.clone(), groups, capacity, size_bytes, weights.clone())
+            .expect("weighted place");
+        match &first {
+            None => first = Some(reply),
+            Some(want) => {
+                assert_eq!(&reply.0, &want.0);
+                assert_eq!(reply.1.to_bits(), want.1.to_bits());
+                assert_eq!(reply.3, want.3);
+            }
+        }
+    }
+
+    // Typed errors: over-capacity and unknown names.
+    let mut c = Client::connect(nodes[0].addr()).expect("connect");
+    let err = c
+        .place(sessions.clone(), 2, 2, size_bytes, Vec::new())
+        .expect_err("8 sessions cannot fit 2x2");
+    assert!(
+        matches!(err, repf_serve::ClientError::Server { code: repf_serve::ErrorCode::Unsupported, .. }),
+        "want Unsupported, got {err:?}"
+    );
+    let err = c
+        .place(vec!["no-such-session".into()], 1, 1, size_bytes, Vec::new())
+        .expect_err("unknown session");
+    assert!(
+        matches!(err, repf_serve::ClientError::Server { code: repf_serve::ErrorCode::UnknownSession, .. }),
+        "want UnknownSession, got {err:?}"
+    );
+
+    for h in nodes {
+        h.shutdown();
+    }
+}
+
+/// The remote-model cache is bounded: pulling more peer-owned models
+/// than `remote_model_cache_cap` clears the cache wholesale, and the
+/// next query over evicted members re-pulls them — every transfer
+/// counted in `cluster.model.remote_hits`. (Cache contents never affect
+/// response bytes, only pull traffic.)
+#[test]
+fn remote_model_cache_evicts_at_cap_and_repulls() {
+    // Cap of 1 on the querying node: a co-run touching two or more
+    // peer-owned sessions overflows it within one query.
+    let nodes: Vec<_> = (0..2)
+        .map(|i| {
+            start(ServeConfig {
+                remote_model_cache_cap: if i == 0 { 1 } else { 64 },
+                ..ServeConfig::default()
+            })
+            .expect("start node")
+        })
+        .collect();
+    let members: Vec<String> = nodes.iter().map(|h| h.addr().to_string()).collect();
+    apply_membership(
+        &members,
+        &RingSpec {
+            seed: 7,
+            vnodes: DEFAULT_VNODES,
+            nodes: members.clone(),
+        },
+    )
+    .expect("install ring");
+
+    let sessions: Vec<String> = (0..16).map(|i| format!("cap-s{i}")).collect();
+    let mut ca = Client::connect(nodes[0].addr()).expect("connect a");
+    for (i, s) in sessions.iter().enumerate() {
+        ca.submit_batch(s, batch(i as u64)).expect("submit");
+    }
+    let hits = |c: &mut Client| stat(&c.stats().expect("stats"), "cluster.model.remote_hits");
+    let sizes = vec![256 << 10];
+
+    let before = hits(&mut ca);
+    let (first, _) = ca
+        .co_run(sessions.clone(), sizes.clone(), Vec::new())
+        .expect("first co_run");
+    let pulled = hits(&mut ca) - before;
+    assert!(
+        pulled > 1.0,
+        "16 sessions over 2 nodes must exceed the cap-1 remote cache ({pulled} pulls)"
+    );
+
+    // With more remote members than the cap, the wholesale clear ran at
+    // least once mid-query, so a repeat cannot be fully cache-served:
+    // evicted members are re-pulled and re-counted.
+    let (second, _) = ca
+        .co_run(sessions.clone(), sizes.clone(), Vec::new())
+        .expect("second co_run");
+    let repulled = hits(&mut ca) - before - pulled;
+    assert!(
+        repulled > 0.0,
+        "cap-overflow eviction must force re-pulls on the repeat query"
+    );
+    for ((n1, c1), (n2, c2)) in first.iter().zip(&second) {
+        assert_eq!(n1, n2);
+        for (a, b) in c1.iter().zip(c2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "eviction never changes response bytes");
+        }
+    }
 
     for h in nodes {
         h.shutdown();

@@ -76,6 +76,14 @@ fn corpus() -> Vec<Vec<u8>> {
         Request::CoRun {
             sessions: vec!["a".into(), "b".into(), "c".into()],
             sizes_bytes: vec![32 << 10, 1 << 20],
+            intensities: vec![1.0, 2.5, 0.25],
+        },
+        Request::Place {
+            sessions: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            groups: 2,
+            capacity: 2,
+            size_bytes: 1 << 20,
+            intensities: vec![],
         },
         Request::ModelPullCurrent {
             session: "peer-owned".into(),
@@ -108,6 +116,13 @@ fn corpus() -> Vec<Vec<u8>> {
         Response::CoRun {
             per_session: vec![("a".into(), vec![0.5, 0.25]), ("b".into(), vec![1.0, 0.0])],
             throughput: vec![1.75, 2.0],
+        },
+        Response::Placement {
+            groups: vec![vec!["a".into(), "c".into()], vec!["b".into(), "d".into()]],
+            total_miss_ratio: 0.375,
+            throughput: 3.5,
+            nodes_explored: 19,
+            pruned: 6,
         },
     ];
     reqs.iter()
@@ -253,9 +268,17 @@ fn corun_frames_roundtrip_bit_exactly() {
         if case % 2 == 0 {
             let sessions = (0..rng.below(32)).map(|_| arb_name(&mut rng)).collect();
             let sizes_bytes = (0..rng.below(16)).map(|_| rng.next()).collect();
+            // Half the frames carry the optional intensity tail, half stay
+            // in the legacy shape — both wire forms must round trip.
+            let intensities = if rng.below(2) == 0 {
+                Vec::new()
+            } else {
+                (0..1 + rng.below(16)).map(|_| arb_f64(&mut rng)).collect()
+            };
             let req = Request::CoRun {
                 sessions,
                 sizes_bytes,
+                intensities,
             };
             let bytes = req.encode();
             let back = Request::decode(&bytes[4..]).expect("valid CoRun decodes");
@@ -298,6 +321,7 @@ fn corun_session_list_abuse_gets_typed_errors() {
         c.call_any(&Request::CoRun {
             sessions,
             sizes_bytes: sizes,
+            intensities: Vec::new(),
         })
         .expect("transport stays healthy")
     };
@@ -342,6 +366,44 @@ fn corun_session_list_abuse_gets_typed_errors() {
         call(&mut c, vec!["never-submitted".into()], vec![1 << 20]),
         ErrorCode::UnknownSession,
         "unknown session",
+    );
+    // Intensity count that disagrees with the session count.
+    expect_err(
+        c.call_any(&Request::CoRun {
+            sessions: vec!["a".into(), "b".into()],
+            sizes_bytes: vec![1 << 20],
+            intensities: vec![1.0],
+        })
+        .expect("transport stays healthy"),
+        ErrorCode::Unsupported,
+        "intensity count mismatch",
+    );
+    // Placement abuse: degenerate shapes and unknown names get typed
+    // errors through the same path.
+    let place = |c: &mut Client, sessions: Vec<String>, groups: u32, capacity: u32| {
+        c.call_any(&Request::Place {
+            sessions,
+            groups,
+            capacity,
+            size_bytes: 1 << 20,
+            intensities: Vec::new(),
+        })
+        .expect("transport stays healthy")
+    };
+    expect_err(
+        place(&mut c, vec!["a".into()], 0, 2),
+        ErrorCode::Unsupported,
+        "zero groups",
+    );
+    expect_err(
+        place(&mut c, (0..5).map(|i| format!("p{i}")).collect(), 2, 2),
+        ErrorCode::Unsupported,
+        "sessions do not fit",
+    );
+    expect_err(
+        place(&mut c, vec!["never-submitted".into()], 1, 1),
+        ErrorCode::UnknownSession,
+        "place unknown session",
     );
     // The connection survived all of it.
     c.ping().expect("server still healthy");

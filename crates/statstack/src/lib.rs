@@ -45,10 +45,12 @@ pub mod builder;
 pub mod corun;
 pub mod curve;
 pub mod model;
+pub mod placement;
 pub mod window;
 
 pub use builder::StatStackBuilder;
 pub use corun::{CoRunAnswer, CoRunModel, MISS_WEIGHT};
+pub use placement::{place, place_exhaustive, PlacementResult};
 pub use curve::MissRatioCurve;
 pub use model::{ModelParts, StatStackModel};
 pub use window::WindowedModel;

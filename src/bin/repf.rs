@@ -10,6 +10,7 @@
 //! repf serve [--addr H:P] [--peers LIST] # profiling-as-a-service daemon
 //! repf query <what> --addr H:P           # query a running daemon
 //! repf corun <s1> <s2> [...] --addr H:P  # co-run prediction for sessions
+//! repf place <s1> <s2> [...] --addr H:P --groups G --capacity K  # placement search
 //! repf ring <status|set|join|drain>      # consistent-hash ring membership
 //! repf load --addr H:P[,H:P...]          # open-loop zipf/YCSB load generator
 //! repf record --out FILE [--seed N]      # record a deterministic request trace
@@ -80,6 +81,10 @@ struct Args {
     ring_nodes: Vec<String>,
     drain_at: Option<usize>,
     join_at: Option<usize>,
+    groups: Option<u32>,
+    capacity: Option<u32>,
+    size: Option<u64>,
+    intensities: Vec<f64>,
 }
 
 const GENERAL_USAGE: &str = "\
@@ -94,6 +99,7 @@ commands:
   serve      profiling-as-a-service daemon (binary wire protocol)
   query      query a running daemon
   corun      predicted shared-cache miss ratios for co-running sessions
+  place      search co-run placements minimizing aggregate miss ratio
   ring       inspect or change cluster ring membership (join/drain nodes)
   load       open-loop zipf/YCSB load generator against one or more daemons
   record     record a deterministic request trace to a file
@@ -249,7 +255,30 @@ nodes are resolved through cluster model pulls, so the list may span
 the whole cluster.\n
   --addr H:P   a cluster member to ask (required)
   --sizes L    comma-separated cache sizes with k/m suffixes
-               (default 32k,256k,1m,8m)",
+               (default 32k,256k,1m,8m)
+  --intensities L
+               comma-separated per-session access-intensity weights
+               (default: inferred from each session's sample count)",
+        Some("place") => "\
+usage: repf place <session> <session> [...] --addr HOST:PORT
+                  --groups G --capacity K [--size BYTES]
+                  [--intensities L]
+
+Search assignments of the named sessions into G cache-sharing groups of
+at most K members each, minimizing the predicted aggregate shared-cache
+miss ratio at one cache size. The server runs a memoized
+branch-and-bound over the canonical partition space (bit-identical at
+any thread count, ring size, or queried member) and answers the winning
+grouping, its aggregate miss ratio and throughput estimate, plus the
+nodes-explored/pruned search counters. Sessions owned by other ring
+nodes are resolved through cluster model pulls.\n
+  --addr H:P   a cluster member to ask (required)
+  --groups G   cache-sharing groups (required)
+  --capacity K max sessions per group (required)
+  --size BYTES shared cache size with k/m suffix (default 8m)
+  --intensities L
+               comma-separated per-session access-intensity weights
+               (default: inferred from each session's sample count)",
         Some("record") => "\
 usage: repf record --out FILE [--seed N] [--sessions N] [--rounds N]
                    [--samples N]
@@ -387,6 +416,10 @@ fn parse_args() -> Args {
     let mut ring_nodes = Vec::new();
     let mut drain_at = None;
     let mut join_at = None;
+    let mut groups = None;
+    let mut capacity = None;
+    let mut size = None;
+    let mut intensities = Vec::new();
     let split_list = |s: String| -> Vec<String> {
         s.split(',')
             .map(str::trim)
@@ -579,6 +612,42 @@ fn parse_args() -> Args {
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
                 )
             }
+            "--groups" => {
+                groups = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&v: &u32| v > 0)
+                        .unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--capacity" => {
+                capacity = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&v: &u32| v > 0)
+                        .unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--size" => {
+                size = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(parse_sizes)
+                        .and_then(|v| (v.len() == 1).then(|| v[0]))
+                        .unwrap_or_else(|| usage_err(cmd)),
+                )
+            }
+            "--intensities" => {
+                intensities = it
+                    .next()
+                    .and_then(|s| {
+                        s.split(',')
+                            .map(|p| p.trim().parse::<f64>().ok().filter(|v| v.is_finite()))
+                            .collect::<Option<Vec<f64>>>()
+                    })
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| usage_err(cmd))
+            }
             "--join-at" => {
                 join_at = Some(
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage_err(cmd)),
@@ -636,6 +705,10 @@ fn parse_args() -> Args {
         ring_nodes,
         drain_at,
         join_at,
+        groups,
+        capacity,
+        size,
+        intensities,
     }
 }
 
@@ -920,7 +993,7 @@ fn cmd_corun(a: &Args) {
         std::process::exit(1);
     });
     let (per_session, throughput) = client
-        .co_run(sessions, a.sizes.clone())
+        .co_run(sessions, a.sizes.clone(), a.intensities.clone())
         .unwrap_or_else(|e| {
             eprintln!("corun failed: {e}");
             std::process::exit(1);
@@ -943,6 +1016,43 @@ fn cmd_corun(a: &Args) {
             per_session.len()
         );
     }
+}
+
+fn cmd_place(a: &Args) {
+    let addr = a.addr.as_deref().unwrap_or_else(|| {
+        eprintln!("place needs --addr HOST:PORT");
+        usage_err(Some("place"))
+    });
+    let sessions: Vec<String> = a.positional[1..].to_vec();
+    if sessions.is_empty() {
+        eprintln!("place needs at least one session name");
+        usage_err(Some("place"));
+    }
+    let (Some(groups), Some(capacity)) = (a.groups, a.capacity) else {
+        eprintln!("place needs --groups G and --capacity K");
+        usage_err(Some("place"));
+    };
+    let size_bytes = a.size.unwrap_or(8 << 20);
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    let (placement, total, throughput, (nodes_explored, pruned)) = client
+        .place(sessions.clone(), groups, capacity, size_bytes, a.intensities.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("place failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "best placement of {} session(s) into {groups} group(s) of <= {capacity} at {size_bytes} B:",
+        sessions.len()
+    );
+    for (g, members) in placement.iter().enumerate() {
+        println!("  group {g}: {}", members.join(", "));
+    }
+    println!("  aggregate predicted miss ratio {total:.6}");
+    println!("  mix throughput estimate       {throughput:.3}");
+    println!("  search: {nodes_explored} nodes explored, {pruned} pruned");
 }
 
 /// `RingGet` against one node, unwrapped: what membership does it
@@ -1285,6 +1395,7 @@ fn main() {
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
         Some("corun") => cmd_corun(&args),
+        Some("place") => cmd_place(&args),
         Some("ring") => cmd_ring(&args),
         Some("load") => cmd_load(&args),
         Some("record") => cmd_record(&args),
